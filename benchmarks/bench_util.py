@@ -1,0 +1,52 @@
+"""Workload helpers shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.domain import RefineDomain
+from repro.core.refiner import SequentialRefiner
+from repro.imaging.image import SegmentedImage
+from repro.imaging.isosurface import SurfaceOracle
+
+_calibration_cache: Dict[Tuple[int, float], Tuple[float, int]] = {}
+_oracle_cache: Dict[int, SurfaceOracle] = {}
+
+
+def oracle_for(image: SegmentedImage) -> SurfaceOracle:
+    """One shared surface oracle per image (EDT is the pricey part)."""
+    key = id(image)
+    if key not in _oracle_cache:
+        _oracle_cache[key] = SurfaceOracle(image)
+    return _oracle_cache[key]
+
+
+def elements_at_delta(image: SegmentedImage, delta: float) -> int:
+    """Measure how many elements a sequential run yields at ``delta``."""
+    key = (id(image), round(delta, 6))
+    if key not in _calibration_cache:
+        domain = RefineDomain(image, delta=delta, oracle=oracle_for(image))
+        SequentialRefiner(domain, max_operations=2_000_000).refine()
+        _calibration_cache[key] = (delta, domain.tri.n_tets)
+    return _calibration_cache[key][1]
+
+
+def delta_for_elements(image: SegmentedImage, target_elements: int,
+                       delta_ref: float = None) -> float:
+    """Pick delta so a run produces roughly ``target_elements`` elements.
+
+    Volume scaling: halving delta multiplies the element count by ~8
+    (the paper's own x -> x^3 argument in Section 6.3), so one coarse
+    calibration run pins the constant.
+    """
+    if delta_ref is None:
+        delta_ref = 3.0 * image.min_spacing
+    floor = 1.0 * image.min_spacing
+    e_ref = elements_at_delta(image, delta_ref)
+    delta = delta_ref * (e_ref / max(1, target_elements)) ** (1.0 / 3.0)
+    delta = max(delta, floor)
+    # One secant refinement: the pure volume law ignores the surface
+    # sampling term, which matters at small mesh sizes.
+    e_1 = elements_at_delta(image, delta)
+    delta = max(floor, delta * (e_1 / max(1, target_elements)) ** (1.0 / 3.0))
+    return delta

@@ -1,0 +1,62 @@
+"""Shared fixtures and result-file plumbing for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at laptop
+scale (see DESIGN.md's scale-down policy): it prints the same rows the
+paper reports and writes them under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference them.  Problem sizes are controlled by
+``REPRO_BENCH_SCALE`` (small | medium); "small" keeps the full suite in
+the tens of minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.imaging import abdominal_phantom, head_neck_phantom, knee_phantom
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+if SCALE not in ("small", "medium"):
+    raise ValueError(f"REPRO_BENCH_SCALE must be small|medium, got {SCALE!r}")
+
+# phantom resolutions per scale
+PHANTOM_N = {"small": 24, "medium": 40}[SCALE]
+# target elements per thread for weak scaling (Table 4's knob)
+WEAK_TARGET = {"small": 120, "medium": 300}[SCALE]
+# thread counts used by scaling tables (paper: 1..176)
+THREAD_STEPS = {
+    "small": (1, 16, 32, 64, 128, 144, 160, 176),
+    "medium": (1, 16, 32, 64, 128, 144, 160, 176),
+}[SCALE]
+
+
+@pytest.fixture(scope="session")
+def abdominal():
+    return abdominal_phantom(PHANTOM_N)
+
+
+@pytest.fixture(scope="session")
+def knee():
+    return knee_phantom(PHANTOM_N)
+
+
+@pytest.fixture(scope="session")
+def head_neck():
+    return head_neck_phantom(PHANTOM_N)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    (results_dir / name).write_text(text + "\n")

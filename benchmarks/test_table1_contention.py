@@ -1,0 +1,108 @@
+"""Table 1 — contention manager comparison at two high core counts.
+
+Paper: 128 and 256 Blacklight cores on the abdominal atlas; reports
+time, rollbacks, the three overhead categories, speedup and whether the
+run livelocked.  Here: the abdominal phantom on the simulated machine
+at the same two thread counts (scaled-down mesh, DESIGN.md section 6).
+
+Expected shape: Aggressive livelocks; Random is slowest / may livelock
+at 256; Global and Local always terminate with Local ahead on total
+overhead.
+"""
+
+import pytest
+
+from benchmarks.bench_util import delta_for_elements, oracle_for
+from benchmarks.conftest import WEAK_TARGET, publish
+from repro.core.domain import RefineDomain
+from repro.reporting import Table
+from repro.simnuma import simulate_parallel_refinement
+
+THREAD_COUNTS = (128, 256)
+CMS = ("aggressive", "random", "global", "local")
+
+
+def run_table1(image):
+    delta = delta_for_elements(image, 250 * WEAK_TARGET)
+    baseline = simulate_parallel_refinement(
+        image, 1, delta=delta,
+        domain=RefineDomain(image, delta=delta, oracle=oracle_for(image)),
+    )
+    out = {}
+    for threads in THREAD_COUNTS:
+        for cm in CMS:
+            domain = RefineDomain(image, delta=delta, oracle=oracle_for(image))
+            r = simulate_parallel_refinement(
+                image, threads, delta=delta, cm=cm, domain=domain,
+                livelock_horizon=1.0, livelock_event_horizon=60_000,
+            )
+            out[(threads, cm)] = r
+    return baseline, out
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_contention_managers(benchmark, abdominal, results_dir):
+    baseline, results = benchmark.pedantic(
+        run_table1, args=(abdominal,), rounds=1, iterations=1
+    )
+
+    blocks = []
+    for threads in THREAD_COUNTS:
+        table = Table(
+            f"Table 1 ({threads} simulated cores) — "
+            f"single-thread time {baseline.virtual_time:.3f}s, "
+            f"{baseline.n_elements} elements",
+            ["metric"] + [cm for cm in CMS],
+        )
+        rows = {
+            "time (s)": [],
+            "rollbacks": [],
+            "contention overhead (s)": [],
+            "load balance overhead (s)": [],
+            "rollback overhead (s)": [],
+            "total overhead (s)": [],
+            "speedup": [],
+            "livelock": [],
+        }
+        for cm in CMS:
+            r = results[(threads, cm)]
+            na = r.livelock
+            rows["time (s)"].append("n/a" if na else round(r.virtual_time, 4))
+            rows["rollbacks"].append(r.rollbacks)
+            rows["contention overhead (s)"].append(
+                round(r.totals["contention_overhead"], 4))
+            rows["load balance overhead (s)"].append(
+                round(r.totals["load_balance_overhead"], 4))
+            rows["rollback overhead (s)"].append(
+                round(r.totals["rollback_overhead"], 4))
+            rows["total overhead (s)"].append(
+                round(r.totals["total_overhead"], 4))
+            rows["speedup"].append(
+                "n/a" if na else round(baseline.virtual_time / r.virtual_time, 2))
+            rows["livelock"].append("yes" if na else "no")
+        for metric, values in rows.items():
+            table.add_row([metric] + values)
+        blocks.append(table.render())
+    publish(results_dir, "table1_contention.txt", "\n\n".join(blocks))
+
+    # ---- shape assertions (the paper's qualitative claims) ----
+    for threads in THREAD_COUNTS:
+        agg = results[(threads, "aggressive")]
+        glob = results[(threads, "global")]
+        loc = results[(threads, "local")]
+        rand = results[(threads, "random")]
+        # Global and Local provably terminate (Section 5.3 / 5.4).
+        assert not glob.livelock
+        assert not loc.livelock
+        # Aggressive must have livelocked or been dramatically worse.
+        assert agg.livelock or agg.virtual_time > 2 * loc.virtual_time
+        # Rollback ordering: the blocking managers keep rollbacks far
+        # below Random's (Table 1's most robust relationship), with
+        # Local at or near the bottom.
+        assert loc.rollbacks < rand.rollbacks
+        assert glob.rollbacks < rand.rollbacks
+        assert loc.rollbacks <= 1.25 * glob.rollbacks
+        # End-to-end times are NOT asserted: at ~10^2 elements per thread
+        # the schedule is chaotic and Local's parking can dominate a run
+        # (at the paper's scale Local wins outright) — the printed table
+        # and EXPERIMENTS.md carry the timing discussion.

@@ -1,0 +1,84 @@
+"""Table 5 — hyper-threaded weak scaling (2 hardware threads per core).
+
+Paper: rerunning Table 4a with HT doubles the thread count per core;
+speedup relative to the non-HT run is ~1.4-1.5x up to 64 cores, then
+collapses (more senders/receivers pressuring the switches), while the
+modeled core-sharing counters (TLB, LLC, stalls) *improve* per thread.
+
+Counters here are modeled, not measured (see repro.simnuma.counters).
+"""
+
+import pytest
+
+from benchmarks.bench_util import delta_for_elements, oracle_for
+from benchmarks.conftest import THREAD_STEPS, WEAK_TARGET, publish
+from repro.core.domain import RefineDomain
+from repro.reporting import Table, format_si
+from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma.counters import HTCounterModel
+
+CORES = tuple(c for c in THREAD_STEPS)
+
+
+def run_table5(image):
+    out = {}
+    for cores in CORES:
+        delta = delta_for_elements(image, WEAK_TARGET * cores)
+        base_domain = RefineDomain(image, delta=delta, oracle=oracle_for(image))
+        base = simulate_parallel_refinement(
+            image, cores, delta=delta, domain=base_domain,
+        )
+        ht_domain = RefineDomain(image, delta=delta, oracle=oracle_for(image))
+        ht = simulate_parallel_refinement(
+            image, 2 * cores, delta=delta, hyperthreading=True,
+            domain=ht_domain,
+        )
+        out[cores] = (base, ht)
+    return out
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_hyperthreading(benchmark, abdominal, results_dir):
+    results = benchmark.pedantic(run_table5, args=(abdominal,),
+                                 rounds=1, iterations=1)
+    counters = HTCounterModel()
+
+    table = Table(
+        "Table 5 — hyper-threaded execution of the Table 4a study "
+        "(speedup relative to non-HT on the same cores; counters modeled)",
+        ["#Cores", "#Elements", "HT time (s)", "Elements/s",
+         "Speedup vs non-HT", "Overhead s/thread",
+         "TLB misses/thread", "LLC misses/thread", "Stall cycles/thread"],
+    )
+    speedups = {}
+    for cores in CORES:
+        base, ht = results[cores]
+        sp = base.virtual_time / ht.virtual_time
+        speedups[cores] = sp
+        tlb, llc, stalls = counters.deltas(ht, base)
+        table.add_row([
+            cores,
+            format_si(ht.n_elements),
+            round(ht.virtual_time, 4),
+            format_si(ht.elements_per_second),
+            round(sp, 2),
+            round(ht.overhead_per_thread, 5),
+            f"{tlb * 100:+.1f}%",
+            f"{llc * 100:+.1f}%",
+            f"{stalls * 100:+.1f}%",
+        ])
+    publish(results_dir, "table5_hyperthreading.txt", table.render())
+
+    # ---- shape assertions ----
+    # The paper's >64-core collapse: the top-core HT speedup falls
+    # clearly below the mid-range peak.  (The paper's absolute 1.4-1.5x
+    # HT gain below 64 cores does NOT reproduce at this scale — with
+    # ~10^2 elements per thread, doubling the thread count only adds
+    # contention; EXPERIMENTS.md discusses this at length.)
+    mid = [speedups[c] for c in CORES if 1 <= c <= 64]
+    assert speedups[CORES[-1]] < max(mid)
+    # Modeled counters always improve per thread (negative deltas) —
+    # Table 5's surprising observation.
+    base, ht = results[64]
+    tlb, llc, stalls = counters.deltas(ht, base)
+    assert tlb < 0 and llc < 0 and stalls < 0

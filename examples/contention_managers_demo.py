@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Compare the four contention managers of Section 5 head-to-head.
+
+High thread counts against a small mesh maximise contention — the
+regime where Aggressive-CM livelocks, Random-CM crawls, and the
+paper's Global-/Local-CM shine (Table 1's story at laptop scale).
+
+Run:  python examples/contention_managers_demo.py [threads]
+"""
+
+import sys
+
+from repro.imaging import sphere_phantom
+from repro.reporting import Table
+from repro.simnuma import simulate_parallel_refinement
+
+
+def main() -> None:
+    threads = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    image = sphere_phantom(20)
+
+    table = Table(
+        f"Contention managers at {threads} simulated threads",
+        ["CM", "time (s)", "elements", "rollbacks",
+         "contention s", "total overhead s", "livelock"],
+    )
+    for cm in ("aggressive", "random", "global", "local"):
+        r = simulate_parallel_refinement(
+            image, threads, delta=2.5, cm=cm, livelock_horizon=1.0,
+        )
+        table.add_row([
+            cm,
+            round(r.virtual_time, 4) if not r.livelock else "n/a",
+            r.n_elements,
+            r.rollbacks,
+            round(r.totals["contention_overhead"], 4),
+            round(r.totals["total_overhead"], 4),
+            "yes" if r.livelock else "no",
+        ])
+        status = "LIVELOCK" if r.livelock else f"{r.virtual_time:.4f}s"
+        print(f"  {cm:>10}: {status}")
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Multi-tissue meshing of a CT-abdomen-like phantom.
+
+Demonstrates what the paper's medical use case needs from the mesher:
+
+* several tissues of very different volumes in one pass,
+* interior tissue-tissue interfaces recovered as boundary triangles,
+* a graded size function concentrating elements near a region of
+  interest (rule R5),
+* per-tissue element statistics for FE material assignment.
+
+Run:  python examples/multi_tissue_abdominal.py [n]
+"""
+
+import sys
+from collections import Counter
+
+from repro.core import mesh_image, radial
+from repro.imaging import abdominal_phantom
+from repro.io import save_tetgen, save_vtk
+from repro.metrics import quality_report
+from repro.reporting import Table
+
+TISSUES = {1: "body", 2: "liver", 3: "kidneys", 4: "spine", 5: "aorta"}
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    image = abdominal_phantom(n)
+    print(f"Abdominal phantom: shape={image.shape} spacing="
+          f"{tuple(round(s, 2) for s in image.spacing)} "
+          f"tissues={image.n_labels}")
+
+    # Focus elements around the liver (like a surgery-planning ROI).
+    lo, hi = image.foreground_bounds()
+    roi_center = (
+        0.5 * (lo[0] + hi[0]) + 0.18 * n,
+        0.5 * (lo[1] + hi[1]) + 0.05 * n,
+        0.5 * (lo[2] + hi[2]),
+    )
+    sf = radial(roi_center, near=2.5, far=8.0, radius=0.5 * n)
+
+    result = mesh_image(image, delta=2.5, size_function=sf)
+    mesh = result.mesh
+
+    q = quality_report(mesh)
+    print(f"\nMesh: {mesh.n_tets} tets, {mesh.n_vertices} vertices, "
+          f"{len(mesh.boundary_faces)} boundary faces "
+          f"in {result.stats.wall_time:.1f}s")
+    print(f"Quality: {q.row()}")
+
+    table = Table("Per-tissue elements", ["tissue", "label", "elements"])
+    for lab, count in sorted(q.labels.items()):
+        table.add_row([TISSUES.get(lab, "?"), lab, count])
+    table.print()
+
+    pairs = Counter(tuple(sorted(p)) for p in mesh.boundary_labels.tolist())
+    table = Table("Recovered interfaces", ["labels", "triangles"])
+    for pair, count in sorted(pairs.items()):
+        a = TISSUES.get(pair[0], "outside" if pair[0] == 0 else str(pair[0]))
+        b = TISSUES.get(pair[1], "outside" if pair[1] == 0 else str(pair[1]))
+        table.add_row([f"{a}|{b}", count])
+    table.print()
+
+    save_vtk(mesh, "abdominal_mesh.vtk")
+    save_tetgen(mesh, "abdominal_mesh")
+    print("Wrote abdominal_mesh.vtk and abdominal_mesh.node/.ele")
+
+
+if __name__ == "__main__":
+    main()

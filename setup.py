@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works on
+environments whose setuptools predates bundled bdist_wheel support
+(legacy ``setup.py develop`` editable path).
+"""
+
+from setuptools import setup
+
+setup()

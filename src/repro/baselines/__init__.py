@@ -1,0 +1,22 @@
+"""Baseline meshers for the paper's Table 6 comparison.
+
+* :mod:`repro.baselines.cgal_like` — an isosurface-based restricted
+  Delaunay refiner in the style of CGAL's Mesh_3 (facet criteria first,
+  then cell criteria; insertions only, no removals);
+* :mod:`repro.baselines.tetgen_like` — a PLC-based mesher in the style
+  of TetGen: it takes the triangulated isosurface recovered by PI2M as
+  input (exactly the paper's setup), tetrahedralises its vertex set and
+  refines the volume on radius-edge quality only (TetGen has no boundary
+  planar-angle control, which is why its dihedral angles trail in
+  Table 6).
+
+Both baselines run on this repository's own Delaunay kernel, so the
+comparison measures *algorithm structure*, not kernel implementation
+differences — the same spirit as the paper's observation that all three
+meshers share the Bowyer-Watson insertion kernel.
+"""
+
+from repro.baselines.cgal_like import CGALLikeMesher
+from repro.baselines.tetgen_like import TetGenLikeMesher
+
+__all__ = ["CGALLikeMesher", "TetGenLikeMesher"]

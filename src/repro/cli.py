@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``phantom``   generate a synthetic segmented image (.npz)
+``mesh``      image-to-mesh conversion (sequential or real threads)
+``simulate``  parallel refinement on the simulated cc-NUMA machine
+``report``    quality/fidelity report of a stored image + parameters
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+PHANTOMS = {
+    "sphere": "sphere_phantom",
+    "shell": "shell_phantom",
+    "two-spheres": "two_spheres_phantom",
+    "abdominal": "abdominal_phantom",
+    "knee": "knee_phantom",
+    "head-neck": "head_neck_phantom",
+    "vascular": "vascular_phantom",
+}
+
+
+def _cmd_phantom(args: argparse.Namespace) -> int:
+    import repro.imaging as imaging
+    from repro.io import save_image_npz
+
+    factory = getattr(imaging, PHANTOMS[args.kind])
+    image = factory(args.n)
+    save_image_npz(image, args.output)
+    print(f"wrote {args.output}: shape={image.shape} "
+          f"spacing={tuple(round(s, 3) for s in image.spacing)} "
+          f"tissues={image.n_labels}")
+    return 0
+
+
+def _load_image(path: str):
+    from repro.io import load_image_npz
+
+    return load_image_npz(path)
+
+
+def _cmd_mesh(args: argparse.Namespace) -> int:
+    from repro.metrics import quality_report
+
+    image = _load_image(args.image)
+    t0 = time.perf_counter()
+    if args.threads > 1:
+        from repro.parallel import parallel_mesh_image
+
+        res = parallel_mesh_image(
+            image, n_threads=args.threads, delta=args.delta, cm=args.cm,
+        )
+        mesh = res.mesh
+        extra = f" rollbacks={res.n_rollbacks}"
+    else:
+        from repro.core import mesh_image
+
+        res = mesh_image(image, delta=args.delta)
+        mesh = res.mesh
+        extra = f" rules={res.stats.rule_counts}"
+    dt = time.perf_counter() - t0
+
+    if mesh.n_tets == 0:
+        print("error: produced an empty mesh (is the image foreground "
+              "empty or delta far too large?)", file=sys.stderr)
+        return 1
+    q = quality_report(mesh)
+    print(f"{mesh.n_tets} tets in {dt:.2f}s "
+          f"({mesh.n_tets / dt:,.0f} tets/s){extra}")
+    print(q.row())
+
+    if args.output:
+        if args.output.endswith(".vtk"):
+            from repro.io import save_vtk
+
+            save_vtk(mesh, args.output)
+        elif args.output.endswith(".off"):
+            from repro.io import save_off_surface
+
+            save_off_surface(mesh, args.output)
+        else:
+            from repro.io import save_tetgen
+
+            save_tetgen(mesh, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simnuma import simulate_parallel_refinement
+
+    image = _load_image(args.image)
+    r = simulate_parallel_refinement(
+        image,
+        args.threads,
+        delta=args.delta,
+        cm=args.cm,
+        lb=args.lb,
+        hyperthreading=args.hyperthreading,
+        seed=args.seed,
+    )
+    status = "LIVELOCK" if r.livelock else "ok"
+    print(f"[{status}] {r.n_elements} elements in {r.virtual_time:.4f} "
+          f"simulated seconds = {r.elements_per_second:,.0f} elements/s")
+    print(f"rollbacks={r.rollbacks} "
+          f"contention={r.totals['contention_overhead']:.4f}s "
+          f"load-balance={r.totals['load_balance_overhead']:.4f}s "
+          f"rollback-overhead={r.totals['rollback_overhead']:.4f}s")
+    if args.utilization and not r.livelock:
+        from repro.simnuma.trace import utilization_report
+
+        print()
+        print(utilization_report(r))
+    return 2 if r.livelock else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core import mesh_image
+    from repro.metrics import hausdorff_distance, quality_report
+    from repro.metrics.histograms import (
+        dihedral_histogram,
+        radius_edge_histogram,
+    )
+    from repro.metrics.validate import validate_extracted_mesh
+
+    image = _load_image(args.image)
+    res = mesh_image(image, delta=args.delta)
+    q = quality_report(res.mesh)
+    d = hausdorff_distance(res.mesh, image, res.domain.oracle)
+    print(q.row())
+    print(f"hausdorff={d:.3f} (delta={res.domain.delta})")
+    labels = ", ".join(f"{k}: {v}" for k, v in sorted(q.labels.items()))
+    print(f"elements per tissue: {labels}")
+    issues = validate_extracted_mesh(res.mesh)
+    print("validation: " + ("OK" if not issues else "; ".join(issues)))
+    if args.histograms:
+        print()
+        print(dihedral_histogram(res.mesh))
+        print()
+        print(radius_edge_histogram(res.mesh))
+    return 0 if not issues else 1
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.viz import render_image_slice
+
+    image = _load_image(args.image)
+    print(render_image_slice(image, k=args.slice, axis=args.axis))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PI2M: parallel image-to-mesh conversion (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("phantom", help="generate a synthetic image")
+    p.add_argument("kind", choices=sorted(PHANTOMS))
+    p.add_argument("-n", type=int, default=32, help="base resolution")
+    p.add_argument("-o", "--output", required=True, help=".npz path")
+    p.set_defaults(func=_cmd_phantom)
+
+    p = sub.add_parser("mesh", help="image-to-mesh conversion")
+    p.add_argument("image", help="segmented image .npz")
+    p.add_argument("--delta", type=float, default=None,
+                   help="surface sampling parameter (default 2 voxels)")
+    p.add_argument("--threads", type=int, default=1,
+                   help="real threads (1 = sequential)")
+    p.add_argument("--cm", default="local",
+                   choices=["aggressive", "random", "global", "local"])
+    p.add_argument("-o", "--output", default=None,
+                   help=".vtk, .off, or TetGen basename")
+    p.set_defaults(func=_cmd_mesh)
+
+    p = sub.add_parser("simulate", help="simulated cc-NUMA refinement")
+    p.add_argument("image", help="segmented image .npz")
+    p.add_argument("--threads", type=int, default=16)
+    p.add_argument("--delta", type=float, default=None)
+    p.add_argument("--cm", default="local",
+                   choices=["aggressive", "random", "global", "local"])
+    p.add_argument("--lb", default="hws", choices=["rws", "hws"])
+    p.add_argument("--hyperthreading", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--utilization", action="store_true",
+                   help="print a per-thread-group utilization chart")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("report", help="mesh quality/fidelity report")
+    p.add_argument("image", help="segmented image .npz")
+    p.add_argument("--delta", type=float, default=None)
+    p.add_argument("--histograms", action="store_true",
+                   help="print dihedral / radius-edge distributions")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("show", help="ASCII view of an image slice")
+    p.add_argument("image", help="segmented image .npz")
+    p.add_argument("--slice", type=int, default=None)
+    p.add_argument("--axis", type=int, default=2, choices=[0, 1, 2])
+    p.set_defaults(func=_cmd_show)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

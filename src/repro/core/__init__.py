@@ -1,0 +1,92 @@
+"""PI2M core: the paper's primary contribution.
+
+High-level entry point::
+
+    from repro.core import mesh_image
+    from repro.imaging import sphere_phantom
+
+    result = mesh_image(sphere_phantom(32), delta=2.0)
+    print(result.mesh.n_tets, result.stats.tets_per_second)
+
+Lower-level pieces — :class:`RefineDomain` (rules R1-R6),
+:class:`SequentialRefiner`, :func:`extract_mesh` — compose the same way
+the parallel refiners use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.domain import OperationResult, RefineDomain, VertexKind
+from repro.core.extract import ExtractedMesh, extract_mesh
+from repro.core.pel import PoorElementList
+from repro.core.pointgrid import PointGrid
+from repro.core.refiner import RefineStats, SequentialRefiner
+from repro.core.sizing import (
+    SizeFunction,
+    constant,
+    radial,
+    surface_graded,
+    unconstrained,
+)
+from repro.imaging.image import SegmentedImage
+
+
+@dataclass
+class MeshingResult:
+    """Bundle returned by :func:`mesh_image`."""
+
+    mesh: ExtractedMesh
+    stats: RefineStats
+    domain: RefineDomain
+
+
+def mesh_image(
+    image: SegmentedImage,
+    delta: Optional[float] = None,
+    size_function: Optional[SizeFunction] = None,
+    radius_edge_bound: float = 2.0,
+    planar_angle_bound_deg: float = 30.0,
+    max_operations: Optional[int] = None,
+) -> MeshingResult:
+    """One-call image-to-mesh conversion (sequential).
+
+    Parameters mirror the paper's knobs: ``delta`` controls the surface
+    sampling density (fidelity; Theorem 1 gives an O(delta^2) Hausdorff
+    bound), ``radius_edge_bound`` the element quality (rule R4, paper
+    value 2), ``planar_angle_bound_deg`` the boundary triangle quality
+    (rule R3, paper value 30), and ``size_function`` custom element
+    density (rule R5).
+    """
+    domain = RefineDomain(
+        image,
+        delta=delta,
+        size_function=size_function,
+        radius_edge_bound=radius_edge_bound,
+        planar_angle_bound_deg=planar_angle_bound_deg,
+    )
+    refiner = SequentialRefiner(domain, max_operations=max_operations)
+    stats = refiner.refine()
+    mesh = extract_mesh(domain)
+    return MeshingResult(mesh=mesh, stats=stats, domain=domain)
+
+
+__all__ = [
+    "RefineDomain",
+    "VertexKind",
+    "OperationResult",
+    "SequentialRefiner",
+    "RefineStats",
+    "PoorElementList",
+    "PointGrid",
+    "ExtractedMesh",
+    "extract_mesh",
+    "mesh_image",
+    "MeshingResult",
+    "SizeFunction",
+    "constant",
+    "radial",
+    "surface_graded",
+    "unconstrained",
+]

@@ -1,0 +1,108 @@
+"""Uniform spatial hash grid over vertex ids.
+
+The refinement rules need two proximity queries that a triangulation
+cannot answer cheaply:
+
+* R1 — "is there an isosurface vertex within delta of z?"
+* R6 — "which circumcenter vertices lie within 2*delta of z?"
+
+A hash grid with cell size of the query radius answers both in O(1)
+per query for the uniform densities Delaunay refinement produces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+Point = Tuple[float, float, float]
+
+
+class PointGrid:
+    """Hash grid mapping cells to sets of (vertex id, point)."""
+
+    def __init__(self, cell: float):
+        if cell <= 0:
+            raise ValueError("cell size must be positive")
+        self.cell = float(cell)
+        self._cells: Dict[Tuple[int, int, int], Dict[int, Point]] = {}
+        self._where: Dict[int, Tuple[int, int, int]] = {}
+
+    def _key(self, p: Sequence[float]) -> Tuple[int, int, int]:
+        c = self.cell
+        return (
+            int(math.floor(p[0] / c)),
+            int(math.floor(p[1] / c)),
+            int(math.floor(p[2] / c)),
+        )
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, vid: int) -> bool:
+        return vid in self._where
+
+    def add(self, vid: int, p: Sequence[float]) -> None:
+        """Register vertex ``vid`` at point ``p``; re-adding moves it."""
+        if vid in self._where:
+            self.remove(vid)
+        key = self._key(p)
+        self._cells.setdefault(key, {})[vid] = (p[0], p[1], p[2])
+        self._where[vid] = key
+
+    def remove(self, vid: int) -> None:
+        """Forget vertex ``vid``; unknown ids are ignored."""
+        key = self._where.pop(vid, None)
+        if key is None:
+            return
+        cell = self._cells.get(key)
+        if cell is not None:
+            cell.pop(vid, None)
+            if not cell:
+                del self._cells[key]
+
+    def query_ball(self, p: Sequence[float], radius: float) -> List[int]:
+        """Vertex ids within ``radius`` of ``p`` (closed ball)."""
+        c = self.cell
+        r2 = radius * radius
+        lo = [int(math.floor((p[i] - radius) / c)) for i in range(3)]
+        hi = [int(math.floor((p[i] + radius) / c)) for i in range(3)]
+        out: List[int] = []
+        cells = self._cells
+        for ix in range(lo[0], hi[0] + 1):
+            for iy in range(lo[1], hi[1] + 1):
+                for iz in range(lo[2], hi[2] + 1):
+                    cell = cells.get((ix, iy, iz))
+                    if not cell:
+                        continue
+                    for vid, q in cell.items():
+                        dx = q[0] - p[0]
+                        dy = q[1] - p[1]
+                        dz = q[2] - p[2]
+                        if dx * dx + dy * dy + dz * dz <= r2:
+                            out.append(vid)
+        return out
+
+    def any_within(self, p: Sequence[float], radius: float,
+                   exclude: int = -1) -> bool:
+        """True when some vertex other than ``exclude`` is within radius."""
+        c = self.cell
+        r2 = radius * radius
+        lo = [int(math.floor((p[i] - radius) / c)) for i in range(3)]
+        hi = [int(math.floor((p[i] + radius) / c)) for i in range(3)]
+        cells = self._cells
+        for ix in range(lo[0], hi[0] + 1):
+            for iy in range(lo[1], hi[1] + 1):
+                for iz in range(lo[2], hi[2] + 1):
+                    cell = cells.get((ix, iy, iz))
+                    if not cell:
+                        continue
+                    for vid, q in cell.items():
+                        if vid == exclude:
+                            continue
+                        dx = q[0] - p[0]
+                        dy = q[1] - p[1]
+                        dz = q[2] - p[2]
+                        if dx * dx + dy * dy + dz * dz <= r2:
+                            return True
+        return False

@@ -1,0 +1,87 @@
+"""Sequential Delaunay refinement for smooth surfaces (Section 3).
+
+This is the single-threaded reference implementation of the paper's
+refinement loop: seed a Poor Element List with the virtual bounding
+volume's elements, then repeatedly pop an element, apply the first
+applicable rule (R1-R6 via :meth:`RefineDomain.refine_tet`), and queue
+any newly created poor elements, until no rule applies anywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.domain import OperationResult, RefineDomain
+from repro.core.pel import PoorElementList
+
+
+@dataclass
+class RefineStats:
+    """Operation counts and timings for a refinement run."""
+
+    n_operations: int = 0
+    n_insertions: int = 0
+    n_removals: int = 0
+    n_skipped: int = 0
+    rule_counts: Dict[str, int] = field(default_factory=dict)
+    wall_time: float = 0.0
+    final_tets: int = 0
+    final_vertices: int = 0
+
+    @property
+    def tets_per_second(self) -> float:
+        return self.final_tets / self.wall_time if self.wall_time > 0 else 0.0
+
+
+class SequentialRefiner:
+    """Single-threaded PI2M refinement driver."""
+
+    def __init__(self, domain: RefineDomain,
+                 max_operations: Optional[int] = None):
+        self.domain = domain
+        self.pel = PoorElementList(domain.tri.mesh)
+        self.max_operations = max_operations
+        self.stats = RefineStats()
+
+    def refine(self) -> RefineStats:
+        """Run refinement to completion; returns the statistics."""
+        domain = self.domain
+        pel = self.pel
+        t_start = time.perf_counter()
+
+        for t in domain.tri.mesh.live_tets():
+            if domain.is_poor(t):
+                pel.push(t)
+
+        ops = 0
+        while True:
+            t = pel.pop()
+            if t is None:
+                break
+            result = domain.refine_tet(t)
+            ops += 1
+            if self.max_operations is not None and ops > self.max_operations:
+                raise RuntimeError(
+                    f"refinement exceeded {self.max_operations} operations"
+                )
+            self._record(result)
+            if result.skipped:
+                continue
+            for nt in result.new_tets:
+                if domain.tri.mesh.is_live(nt) and domain.is_poor(nt):
+                    pel.push(nt)
+
+        self.stats.wall_time = time.perf_counter() - t_start
+        self.stats.final_tets = domain.tri.n_tets
+        self.stats.final_vertices = domain.tri.n_vertices
+        self.stats.n_insertions = domain.n_insertions
+        self.stats.n_removals = domain.n_removals
+        self.stats.n_skipped = domain.n_skipped
+        return self.stats
+
+    def _record(self, result: OperationResult) -> None:
+        self.stats.n_operations += 1
+        rc = self.stats.rule_counts
+        rc[result.rule] = rc.get(result.rule, 0) + 1

@@ -1,0 +1,209 @@
+"""Low-level tetrahedral mesh storage with face-to-face adjacency.
+
+Storage layout (struct-of-arrays, free-list recycled):
+
+* ``points[v]``          – vertex coordinates as a 3-tuple of floats.
+* ``timestamps[v]``      – global insertion counter, used by vertex
+                           removal to replay link vertices in insertion
+                           order (paper Section 4.2).
+* ``alive_vertex[v]``    – False once a vertex has been removed.
+* ``tet_verts[t]``       – 4-tuple of vertex ids (positively oriented)
+                           or ``None`` for dead/recycled slots.
+* ``tet_adj[t]``         – list of 4 neighbor tet ids; ``tet_adj[t][i]``
+                           is the tet sharing the face opposite local
+                           vertex ``i``; ``HULL`` (-1) on the hull.
+* ``v2t[v]``             – one live incident tet per vertex (point-location
+                           and ball-collection anchor).
+
+All tetrahedra are stored positively oriented (``orient3d > 0``), which
+the in-sphere predicate requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+HULL = -1  # adjacency marker: face on the convex hull (virtual box surface)
+DEAD = -2  # adjacency marker used transiently for invalidated slots
+
+Point = Tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class Tet:
+    """Immutable view of a tetrahedron handed to callers."""
+
+    id: int
+    verts: Tuple[int, int, int, int]
+
+
+class MeshArrays:
+    """Growable struct-of-arrays store for vertices and tetrahedra."""
+
+    __slots__ = (
+        "points",
+        "timestamps",
+        "alive_vertex",
+        "tet_verts",
+        "tet_adj",
+        "tet_epoch",
+        "v2t",
+        "_free_tets",
+        "_free_verts",
+        "_clock",
+        "n_live_tets",
+    )
+
+    def __init__(self) -> None:
+        self.points: List[Point] = []
+        self.timestamps: List[int] = []
+        self.alive_vertex: List[bool] = []
+        self.tet_verts: List[Optional[Tuple[int, int, int, int]]] = []
+        self.tet_adj: List[List[int]] = []
+        # Epoch counter per slot: bumps every time the slot is reused, so
+        # stale references (e.g. Poor Element List entries) can detect
+        # that "their" tet died even if the id was recycled.
+        self.tet_epoch: List[int] = []
+        self.v2t: List[int] = []
+        self._free_tets: List[int] = []
+        self._free_verts: List[int] = []
+        self._clock = 0
+        self.n_live_tets = 0
+
+    # ------------------------------------------------------------------
+    # vertices
+    # ------------------------------------------------------------------
+    def add_vertex(self, p: Sequence[float]) -> int:
+        """Store a new vertex and stamp it with the insertion clock."""
+        self._clock += 1
+        pt = (float(p[0]), float(p[1]), float(p[2]))
+        if self._free_verts:
+            v = self._free_verts.pop()
+            self.points[v] = pt
+            self.timestamps[v] = self._clock
+            self.alive_vertex[v] = True
+            self.v2t[v] = HULL
+        else:
+            v = len(self.points)
+            self.points.append(pt)
+            self.timestamps.append(self._clock)
+            self.alive_vertex.append(True)
+            self.v2t.append(HULL)
+        return v
+
+    def kill_vertex(self, v: int) -> None:
+        self.alive_vertex[v] = False
+        self.v2t[v] = DEAD
+        self._free_verts.append(v)
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.points) - len(self._free_verts)
+
+    # ------------------------------------------------------------------
+    # tetrahedra
+    # ------------------------------------------------------------------
+    def add_tet(self, verts: Tuple[int, int, int, int]) -> int:
+        """Allocate a tet slot; adjacency starts as four HULL markers."""
+        if self._free_tets:
+            t = self._free_tets.pop()
+            self.tet_verts[t] = verts
+            self.tet_epoch[t] += 1
+            adj = self.tet_adj[t]
+            adj[0] = adj[1] = adj[2] = adj[3] = HULL
+        else:
+            t = len(self.tet_verts)
+            self.tet_verts.append(verts)
+            self.tet_adj.append([HULL, HULL, HULL, HULL])
+            self.tet_epoch.append(0)
+        for v in verts:
+            self.v2t[v] = t
+        self.n_live_tets += 1
+        return t
+
+    def kill_tet(self, t: int) -> None:
+        self.tet_verts[t] = None
+        self._free_tets.append(t)
+        self.n_live_tets -= 1
+
+    def is_live(self, t: int) -> bool:
+        return 0 <= t < len(self.tet_verts) and self.tet_verts[t] is not None
+
+    def live_tets(self) -> Iterator[int]:
+        """Iterate ids of all live tetrahedra."""
+        tv = self.tet_verts
+        for t in range(len(tv)):
+            if tv[t] is not None:
+                yield t
+
+    # ------------------------------------------------------------------
+    # topology helpers
+    # ------------------------------------------------------------------
+    def face_opposite(self, t: int, i: int) -> Tuple[int, int, int]:
+        """Vertex ids of the face of ``t`` opposite local vertex ``i``."""
+        a, b, c, d = self.tet_verts[t]
+        if i == 0:
+            return (b, c, d)
+        if i == 1:
+            return (a, c, d)
+        if i == 2:
+            return (a, b, d)
+        return (a, b, c)
+
+    def local_index(self, t: int, v: int) -> int:
+        """Local index (0..3) of global vertex ``v`` inside tet ``t``."""
+        verts = self.tet_verts[t]
+        for i in range(4):
+            if verts[i] == v:
+                return i
+        raise ValueError(f"vertex {v} not in tet {t} {verts}")
+
+    def neighbor_index(self, t: int, nbr: int) -> int:
+        """Local face index of ``t`` across which ``nbr`` lies."""
+        adj = self.tet_adj[t]
+        for i in range(4):
+            if adj[i] == nbr:
+                return i
+        raise ValueError(f"tet {nbr} is not a neighbor of {t}")
+
+    def set_mutual_adjacency(self, t1: int, i1: int, t2: int, i2: int) -> None:
+        self.tet_adj[t1][i1] = t2
+        self.tet_adj[t2][i2] = t1
+
+    def incident_tets(self, v: int) -> List[int]:
+        """All live tets incident to vertex ``v`` (breadth-first from v2t)."""
+        seed = self.v2t[v]
+        if seed < 0 or not self.is_live(seed):
+            seed = self._find_incident_slow(v)
+            if seed is None:
+                return []
+        out = [seed]
+        seen = {seed}
+        stack = [seed]
+        while stack:
+            t = stack.pop()
+            verts = self.tet_verts[t]
+            adj = self.tet_adj[t]
+            for i in range(4):
+                nbr = adj[i]
+                if nbr < 0 or nbr in seen:
+                    continue
+                # The face shared with nbr is opposite local vertex i; it
+                # contains v iff v is not the opposite vertex.
+                if verts[i] == v:
+                    continue
+                nverts = self.tet_verts[nbr]
+                if nverts is None or v not in nverts:
+                    continue
+                seen.add(nbr)
+                out.append(nbr)
+                stack.append(nbr)
+        return out
+
+    def _find_incident_slow(self, v: int) -> Optional[int]:
+        for t in self.live_tets():
+            if v in self.tet_verts[t]:
+                self.v2t[v] = t
+                return t
+        return None

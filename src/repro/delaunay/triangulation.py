@@ -1,0 +1,727 @@
+"""Incremental 3D Delaunay triangulation with insertions and removals.
+
+The triangulation always lives inside a *virtual box* (paper Figure 1):
+the box is triangulated into 6 tetrahedra and every subsequent point is
+inserted strictly inside it, so no ghost/infinite elements are needed.
+
+Speculative-execution support
+-----------------------------
+Every operation accepts an optional ``touch`` callback which is invoked
+with each vertex id the operation reads *before* the read happens.  The
+parallel refiner uses this hook to take per-vertex try-locks; when a lock
+is already owned by another thread the callback raises
+:class:`RollbackSignal`, the operation unwinds without having mutated
+anything, and the caller rolls back (paper Section 4.2).  All mutation is
+deferred until the read phase has fully succeeded, which is what makes
+rollbacks free of side effects.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.delaunay.mesh import HULL, MeshArrays
+from repro.geometry.predicates import insphere, orient3d
+
+Point = Tuple[float, float, float]
+TouchFn = Optional[Callable[[int], None]]
+
+
+class RollbackSignal(Exception):
+    """Raised by a touch callback to abort an operation without side effects.
+
+    Carries the id of the thread that owns the contended vertex so the
+    contention manager can record the dependency (``conflicting_id``).
+    """
+
+    def __init__(self, owner: int = -1):
+        super().__init__(f"rollback: vertex owned by thread {owner}")
+        self.owner = owner
+
+
+class PointLocationError(Exception):
+    """The walk left the triangulated domain (point outside the box)."""
+
+
+class InsertionError(Exception):
+    """Insertion would create a degenerate element (point on a cavity face,
+    duplicate vertex, ...).  The triangulation is left untouched."""
+
+
+class RemovalError(Exception):
+    """The removal ball could not be consistently re-triangulated.  The
+    triangulation is left untouched and the caller skips the removal."""
+
+
+class Triangulation3D:
+    """Delaunay triangulation of points inside a virtual bounding box."""
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float], margin: float = 0.0):
+        """Create the box triangulation (the paper's only sequential step).
+
+        Parameters
+        ----------
+        lo, hi:
+            Opposite corners of the region that must be enclosed.
+        margin:
+            Extra slack added on every side; the refiner passes a few
+            multiples of ``delta`` so circumcenters never escape.
+        """
+        self.mesh = MeshArrays()
+        dx = (hi[0] - lo[0]) or 1.0
+        dy = (hi[1] - lo[1]) or 1.0
+        dz = (hi[2] - lo[2]) or 1.0
+        pad = margin + 0.25 * max(dx, dy, dz)
+        self._lo = (lo[0] - pad, lo[1] - pad, lo[2] - pad)
+        self._hi = (hi[0] + pad, hi[1] + pad, hi[2] + pad)
+
+        # The virtual bounding volume is an enclosing *simplex* rather
+        # than the paper's 6-tet box.  A simplex's hull facets are single
+        # triangles, so interior insertions never need to re-triangulate
+        # the hull, and 4 auxiliary vertices cannot form the cospherical /
+        # cocircular clusters that a cube's corners do — which is what
+        # makes vertex removal near the boundary robust.  Functionally the
+        # two choices are identical: the auxiliary volume is carved away
+        # at extraction (paper Figure 1).
+        cx = 0.5 * (self._lo[0] + self._hi[0])
+        cy = 0.5 * (self._lo[1] + self._hi[1])
+        cz = 0.5 * (self._lo[2] + self._hi[2])
+        extent = max(
+            self._hi[0] - self._lo[0],
+            self._hi[1] - self._lo[1],
+            self._hi[2] - self._lo[2],
+        )
+        k = 3.0 * extent
+        corners = [
+            (cx + k, cy + k, cz + k),
+            (cx + k, cy - k, cz - k),
+            (cx - k, cy + k, cz - k),
+            (cx - k, cy - k, cz + k),
+        ]
+        self.box_vertices: List[int] = [
+            self.mesh.add_vertex(c) for c in corners
+        ]
+        v = self.box_vertices
+        pts = self.mesh.points
+        tet = (v[0], v[1], v[2], v[3])
+        if orient3d(pts[tet[0]], pts[tet[1]], pts[tet[2]], pts[tet[3]]) < 0:
+            tet = (v[1], v[0], v[2], v[3])
+        self.mesh.add_tet(tet)
+        # Inward-facing face planes of the simplex, used by the insertion
+        # gate: a point is insertable when strictly inside the simplex
+        # hull by a small safety margin.
+        self._hull_planes = []
+        tv = self.mesh.tet_verts[0]
+        for i in range(4):
+            face = [tv[j] for j in range(4) if j != i]
+            a, b, c = (pts[w] for w in face)
+            n = (
+                (b[1] - a[1]) * (c[2] - a[2]) - (b[2] - a[2]) * (c[1] - a[1]),
+                (b[2] - a[2]) * (c[0] - a[0]) - (b[0] - a[0]) * (c[2] - a[2]),
+                (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]),
+            )
+            norm = math.sqrt(n[0] * n[0] + n[1] * n[1] + n[2] * n[2])
+            n = (n[0] / norm, n[1] / norm, n[2] / norm)
+            off = n[0] * a[0] + n[1] * a[1] + n[2] * a[2]
+            inner = pts[tv[i]]
+            side = n[0] * inner[0] + n[1] * inner[1] + n[2] * inner[2] - off
+            if side < 0:
+                n = (-n[0], -n[1], -n[2])
+                off = -off
+            self._hull_planes.append((n, off))
+        self._hull_margin = 1e-9 * k
+        self._rng = random.Random(0x5EED)
+        # Scratch used by remove_vertex to pass the ball volume to the
+        # fill verification.
+        self._pending_ball_volume = 0.0
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        return self.mesh.n_vertices
+
+    @property
+    def n_tets(self) -> int:
+        return self.mesh.n_live_tets
+
+    def point(self, v: int) -> Point:
+        return self.mesh.points[v]
+
+    def tet_points(self, t: int):
+        pts = self.mesh.points
+        a, b, c, d = self.mesh.tet_verts[t]
+        return pts[a], pts[b], pts[c], pts[d]
+
+    def is_box_vertex(self, v: int) -> bool:
+        """True for the 4 auxiliary corners of the virtual bounding simplex."""
+        return v < 4
+
+    def inside_box(self, p: Sequence[float], slack: float = 0.0) -> bool:
+        """True if ``p`` lies strictly inside the padded image box."""
+        lo, hi = self._lo, self._hi
+        return all(lo[i] + slack < p[i] < hi[i] - slack for i in range(3))
+
+    def inside_domain(self, p: Sequence[float]) -> bool:
+        """True if ``p`` is strictly inside the virtual bounding simplex.
+
+        This is the insertion gate: any such point can be triangulated.
+        It is a superset of :meth:`inside_box` — circumcenters of exterior
+        tetrahedra routinely fall outside the padded image box but are
+        perfectly insertable.
+        """
+        m = self._hull_margin
+        for n, off in self._hull_planes:
+            if n[0] * p[0] + n[1] * p[1] + n[2] * p[2] - off <= m:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # point location
+    # ------------------------------------------------------------------
+    def locate(self, p: Sequence[float], hint: Optional[int] = None,
+               touch: TouchFn = None) -> int:
+        """Find a tetrahedron containing ``p`` by a remembering walk."""
+        mesh = self.mesh
+        pts = mesh.points
+        t = hint if hint is not None and mesh.is_live(hint) else None
+        if t is None:
+            t = next(mesh.live_tets())
+        max_steps = mesh.n_live_tets * 2 + 64
+        rng = self._rng
+        # The walk itself is read-only point location and is deliberately
+        # NOT protected by vertex locks (the paper locks what cavity
+        # expansion and ball filling touch).  A concurrently invalidated
+        # tet is detected and the walk restarts from a live one; a
+        # wrongly located tet is caught by the conflict check in
+        # compute_cavity.
+        for _ in range(max_steps):
+            verts = mesh.tet_verts[t]
+            if verts is None:  # invalidated under our feet
+                t = next(mesh.live_tets())
+                continue
+            qa, qb, qc, qd = (pts[verts[0]], pts[verts[1]],
+                              pts[verts[2]], pts[verts[3]])
+            quad = (qa, qb, qc, qd)
+            moved = False
+            start = rng.randrange(4)
+            for k in range(4):
+                i = (start + k) & 3
+                args = list(quad)
+                args[i] = p
+                if orient3d(*args) < 0:
+                    nbr = mesh.tet_adj[t][i]
+                    if nbr == HULL:
+                        raise PointLocationError(
+                            f"point {tuple(p)} escapes the virtual box"
+                        )
+                    t = nbr
+                    moved = True
+                    break
+            if not moved:
+                return t
+        raise PointLocationError("walk did not converge (cycling)")
+
+    # ------------------------------------------------------------------
+    # insertion (Bowyer-Watson)
+    # ------------------------------------------------------------------
+    def compute_cavity(self, p: Sequence[float], hint: Optional[int] = None,
+                       touch: TouchFn = None
+                       ) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """Conflict region of ``p``: cavity tets + boundary (tet, face) pairs.
+
+        Purely a read operation; safe to abandon at any point.  The
+        conflict rule is *strict* (``insphere > 0``): cospherical ties stay
+        outside the cavity, which yields degenerate-but-valid new elements
+        instead of corrupting the cavity's star-shapedness.  A located tet
+        that is not in strict conflict means ``p`` duplicates an existing
+        vertex (a point inside a closed tet lies on its circumsphere only
+        at a vertex) and raises :class:`InsertionError`.
+        """
+        mesh = self.mesh
+        pts = mesh.points
+        t0 = self.locate(p, hint, touch)
+        v0 = mesh.tet_verts[t0]
+        if touch is not None:
+            for v in v0:
+                touch(v)
+            if mesh.tet_verts[t0] != v0:
+                # The seed died between location and locking: treat like
+                # a conflict and let the caller retry the element.
+                raise RollbackSignal(owner=-1)
+        p0a, p0b, p0c, p0d = (pts[v0[0]], pts[v0[1]], pts[v0[2]], pts[v0[3]])
+        if insphere(p0a, p0b, p0c, p0d, p) <= 0:
+            raise InsertionError(
+                f"point {tuple(p)} duplicates an existing vertex"
+            )
+        cavity = [t0]
+        in_cavity = {t0}
+        checked_out: Set[int] = set()
+        boundary: List[Tuple[int, int]] = []
+        stack = [t0]
+        while stack:
+            t = stack.pop()
+            adj = mesh.tet_adj[t]
+            for i in range(4):
+                nbr = adj[i]
+                if nbr == HULL:
+                    boundary.append((t, i))
+                    continue
+                if nbr in in_cavity:
+                    continue
+                if nbr in checked_out:
+                    boundary.append((t, i))
+                    continue
+                nverts = mesh.tet_verts[nbr]
+                if touch is not None:
+                    for v in nverts:
+                        touch(v)
+                na, nb, nc, nd = (pts[nverts[0]], pts[nverts[1]],
+                                  pts[nverts[2]], pts[nverts[3]])
+                if insphere(na, nb, nc, nd, p) > 0:
+                    in_cavity.add(nbr)
+                    cavity.append(nbr)
+                    stack.append(nbr)
+                else:
+                    checked_out.add(nbr)
+                    boundary.append((t, i))
+        return cavity, boundary
+
+    def insert_point(self, p: Sequence[float], hint: Optional[int] = None,
+                     touch: TouchFn = None
+                     ) -> Tuple[int, List[int], List[int]]:
+        """Insert ``p``; returns ``(vertex_id, new_tets, killed_tets)``.
+
+        Raises :class:`InsertionError` (triangulation untouched) when the
+        insertion would create a degenerate tetrahedron — e.g. ``p``
+        duplicates an existing vertex or lies exactly on a cavity boundary
+        face.  Raises :class:`PointLocationError` if ``p`` is outside the
+        virtual box.
+        """
+        if not self.inside_domain(p):
+            raise PointLocationError(
+                f"point {tuple(p)} outside the virtual bounding simplex"
+            )
+        mesh = self.mesh
+        pts = mesh.points
+        cavity, boundary = self.compute_cavity(p, hint, touch)
+
+        # Validate before mutating: each new tet replaces the cavity-side
+        # vertex of a boundary face with p and must stay positively
+        # oriented (cavity star-shapedness around p).
+        new_specs: List[Tuple[int, int]] = []  # (cavity tet, face index)
+        edge_use: Dict[Tuple[int, int], int] = {}
+        for (t, i) in boundary:
+            verts = mesh.tet_verts[t]
+            args = [pts[verts[0]], pts[verts[1]], pts[verts[2]], pts[verts[3]]]
+            args[i] = p
+            if orient3d(*args) <= 0:
+                raise InsertionError(
+                    "degenerate insertion: point lies on a cavity face"
+                )
+            face = [verts[m] for m in range(4) if m != i]
+            for (u, w) in ((face[0], face[1]), (face[0], face[2]),
+                           (face[1], face[2])):
+                key = (u, w) if u < w else (w, u)
+                edge_use[key] = edge_use.get(key, 0) + 1
+            new_specs.append((t, i))
+        if any(c != 2 for c in edge_use.values()):
+            raise InsertionError(
+                "degenerate insertion: cavity boundary is not a closed surface"
+            )
+
+        # ---- commit phase (no predicate can fail from here on) ----
+        vnew = mesh.add_vertex(p)
+        # Record external adjacency before killing cavity tets.
+        ext: List[int] = []
+        for (t, i) in boundary:
+            ext.append(mesh.tet_adj[t][i])
+
+        new_tets: List[int] = []
+        edge_map: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for k, (t, i) in enumerate(new_specs):
+            verts = list(mesh.tet_verts[t])
+            verts[i] = vnew
+            nt = mesh.add_tet(tuple(verts))
+            new_tets.append(nt)
+            o = ext[k]
+            mesh.tet_adj[nt][i] = o
+            if o != HULL:
+                # o's pointer still references the dying cavity tet t.
+                j = mesh.neighbor_index(o, t)
+                mesh.tet_adj[o][j] = nt
+            # Internal faces: each contains vnew and one edge of the
+            # boundary triangle.
+            for j in range(4):
+                if j == i:
+                    continue
+                edge = [verts[m] for m in range(4) if m != j and m != i]
+                key = (edge[0], edge[1]) if edge[0] < edge[1] else (edge[1], edge[0])
+                other = edge_map.pop(key, None)
+                if other is None:
+                    edge_map[key] = (nt, j)
+                else:
+                    mesh.set_mutual_adjacency(nt, j, other[0], other[1])
+
+        for t in cavity:
+            mesh.kill_tet(t)
+        # v2t anchors for surviving vertices may point at dead tets; they
+        # are refreshed lazily, but make sure vnew's anchor is live.
+        mesh.v2t[vnew] = new_tets[0]
+        for nt in new_tets:
+            for v in mesh.tet_verts[nt]:
+                mesh.v2t[v] = nt
+        return vnew, new_tets, cavity
+
+    # ------------------------------------------------------------------
+    # removal
+    # ------------------------------------------------------------------
+    def remove_vertex(self, v: int, touch: TouchFn = None
+                      ) -> Tuple[List[int], List[int]]:
+        """Remove vertex ``v`` and re-triangulate its ball.
+
+        Returns ``(new_tets, killed_tets)``.  The ball is filled with the
+        tetrahedra of a *local* Delaunay triangulation of the link
+        vertices, built by inserting them in global insertion-timestamp
+        order (paper Section 4.2), selecting the local tets whose
+        circumsphere contains ``v``; the selection is verified to tile the
+        hole exactly before any mutation happens, and
+        :class:`RemovalError` is raised otherwise.
+        """
+        mesh = self.mesh
+        if self.is_box_vertex(v):
+            raise RemovalError("virtual box corners cannot be removed")
+        if not mesh.alive_vertex[v]:
+            raise RemovalError(f"vertex {v} is not alive")
+        pts = mesh.points
+        p = pts[v]
+
+        # Lock the vertex itself before walking its star: any concurrent
+        # operation that would create or destroy a tet incident to ``v``
+        # must touch ``v`` too, so holding it freezes the ball.
+        if touch is not None:
+            touch(v)
+        ball = mesh.incident_tets(v)
+        if not ball:
+            raise RemovalError(f"vertex {v} has no incident tetrahedra")
+        if touch is not None:
+            for t in ball:
+                for w in mesh.tet_verts[t]:
+                    touch(w)
+
+        ball_set = set(ball)
+        # Hole boundary: the face opposite v in each ball tet, plus its
+        # outside neighbor.
+        hole_faces: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        link: List[int] = []
+        link_seen: Set[int] = set()
+        for t in ball:
+            li = mesh.local_index(t, v)
+            face = mesh.face_opposite(t, li)
+            key = tuple(sorted(face))
+            hole_faces[key] = (t, li)
+            for w in face:
+                if w not in link_seen:
+                    link_seen.add(w)
+                    link.append(w)
+
+        from repro.geometry.quality import tet_volume
+
+        self._pending_ball_volume = sum(
+            abs(tet_volume(*self.tet_points(t))) for t in ball
+        )
+        # Two fill strategies, both verified against the hole boundary
+        # before any mutation:
+        #  1. boundary-conforming Delaunay gift-wrapping (advancing front
+        #     seeded with the hole's own boundary faces, min-id tie-break);
+        #  2. fallback: local Delaunay triangulation of the link replayed
+        #     in global insertion-timestamp order (the paper's approach).
+        fill = None
+        errors = []
+        for strategy in (self._fill_hole_giftwrap, self._fill_hole_local_dt):
+            try:
+                candidate = strategy(p, link, hole_faces, ball)
+                self._verify_fill(candidate, hole_faces)
+            except RemovalError as exc:
+                errors.append(f"{strategy.__name__}: {exc}")
+                continue
+            fill = candidate
+            break
+        if fill is None:
+            raise RemovalError(
+                "ball re-triangulation failed (" + "; ".join(errors) + ")"
+            )
+        boundary_faces = set(hole_faces.keys())
+
+        # ---- commit ----
+        # Resolve each boundary face's outside neighbor *and* the slot in
+        # that neighbor pointing back into the ball before killing any
+        # tet: killed slots get recycled by add_tet, which would make the
+        # stale back-pointers ambiguous.
+        ext: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        for key, (t, li) in hole_faces.items():
+            o = mesh.tet_adj[t][li]
+            j = mesh.neighbor_index(o, t) if o != HULL else -1
+            ext[key] = (o, j)
+
+        for t in ball:
+            mesh.kill_tet(t)
+        mesh.kill_vertex(v)
+
+        new_tets: List[int] = []
+        face_map: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+        for tet in fill:
+            a, b, c, d = tet
+            if orient3d(pts[a], pts[b], pts[c], pts[d]) < 0:
+                tet = (b, a, c, d)
+            nt = mesh.add_tet(tet)
+            new_tets.append(nt)
+            for i in range(4):
+                f = tuple(sorted(tet[j] for j in range(4) if j != i))
+                if f in boundary_faces:
+                    o, j = ext[f]
+                    mesh.tet_adj[nt][i] = o
+                    if o != HULL:
+                        mesh.tet_adj[o][j] = nt
+                else:
+                    other = face_map.pop(f, None)
+                    if other is None:
+                        face_map[f] = (nt, i)
+                    else:
+                        mesh.set_mutual_adjacency(nt, i, other[0], other[1])
+
+        for nt in new_tets:
+            for w in mesh.tet_verts[nt]:
+                mesh.v2t[w] = nt
+        return new_tets, ball
+
+    # ------------------------------------------------------------------
+    # hole-filling strategies for vertex removal
+    # ------------------------------------------------------------------
+    def _fill_hole_giftwrap(self, p, link, hole_faces, ball):
+        """Delaunay gift-wrapping of the removal ball.
+
+        Advancing front seeded with the hole's own boundary faces, so the
+        result conforms to the surrounding mesh by construction.  Apexes
+        are chosen by the standard empty-circumsphere sweep with a
+        deterministic smallest-id tie-break (a "pulling" resolution of
+        cospherical clusters); dominance is re-verified so degenerate
+        inputs fail cleanly instead of producing overlaps.
+        """
+        mesh = self.mesh
+        pts = mesh.points
+
+        # Front entries: sorted-face-key -> (template, slot).  Placing an
+        # apex vertex at ``template[slot]`` must give a positively
+        # oriented tet on the *remaining hole* side of the face.
+        front: Dict[Tuple[int, int, int], Tuple[List[int], int]] = {}
+        for key, (t, li) in hole_faces.items():
+            template = list(mesh.tet_verts[t])
+            front[key] = (template, li)
+
+        link_sorted = sorted(link)
+        fill: List[Tuple[int, int, int, int]] = []
+        made: Set[Tuple[int, int, int, int]] = set()
+        max_iter = 8 * len(ball) + 64
+        it = 0
+        while front:
+            it += 1
+            if it > max_iter:
+                raise RemovalError("gift-wrapping did not converge")
+            key, (template, slot) = front.popitem()
+            face_verts = set(template) - {template[slot]}
+
+            def tet_points_for(apex):
+                args = [pts[template[m]] for m in range(4)]
+                args[slot] = pts[apex]
+                return args
+
+            candidates = []
+            best = None
+            for w in link_sorted:
+                if w in face_verts:
+                    continue
+                args = tet_points_for(w)
+                if orient3d(*args) <= 0:
+                    continue
+                candidates.append(w)
+                if best is None:
+                    best = w
+                    continue
+                bargs = tet_points_for(best)
+                if insphere(bargs[0], bargs[1], bargs[2], bargs[3], pts[w]) > 0:
+                    best = w
+            if best is None:
+                raise RemovalError("gift-wrapping found no apex for a face")
+            # Dominance re-check (guards non-transitive degenerate sweeps)
+            # and collection of the cospherical tie set.
+            bargs = tet_points_for(best)
+            ties = [best]
+            for w in candidates:
+                if w == best:
+                    continue
+                s = insphere(bargs[0], bargs[1], bargs[2], bargs[3], pts[w])
+                if s > 0:
+                    raise RemovalError("gift-wrapping apex not dominant")
+                if s == 0:
+                    ties.append(w)
+            if len(ties) > 1:
+                # Cospherical cluster: any tie is Delaunay-valid, but only
+                # choices consistent with the already-fixed hole boundary
+                # tile the ball.  Prefer the apex whose new tet cancels the
+                # most faces already waiting in the front.
+                def front_score(w):
+                    nv = list(template)
+                    nv[slot] = w
+                    score = 0
+                    for j in range(4):
+                        if j == slot:
+                            continue
+                        fkey = tuple(sorted(nv[m] for m in range(4) if m != j))
+                        if fkey in front:
+                            score += 1
+                    return (score, -w)
+
+                best = max(ties, key=front_score)
+                bargs = tet_points_for(best)
+
+            new_verts = list(template)
+            new_verts[slot] = best
+            tet = tuple(new_verts)
+            canon = tuple(sorted(tet))
+            if canon in made:
+                raise RemovalError("gift-wrapping repeated a tetrahedron")
+            made.add(canon)
+            fill.append(tet)
+
+            # Push / cancel the three faces containing the new apex.
+            for j in range(4):
+                if j == slot:
+                    continue
+                fkey = tuple(sorted(new_verts[m] for m in range(4) if m != j))
+                if fkey in front:
+                    del front[fkey]
+                else:
+                    # Flip parity so an apex beyond this face orients
+                    # positively: swap two slots other than j.
+                    flipped = list(new_verts)
+                    others = [m for m in range(4) if m != j]
+                    flipped[others[0]], flipped[others[1]] = (
+                        flipped[others[1]], flipped[others[0]],
+                    )
+                    front[fkey] = (flipped, j)
+        return fill
+
+    def _fill_hole_local_dt(self, p, link, hole_faces, ball):
+        """The paper's strategy: local DT of the link replayed in global
+        insertion-timestamp order; keep the local tets whose circumsphere
+        strictly contains the removed point."""
+        mesh = self.mesh
+        pts = mesh.points
+        order = sorted(link, key=lambda w: mesh.timestamps[w])
+        lo = [min(pts[w][i] for w in link) for i in range(3)]
+        hi = [max(pts[w][i] for w in link) for i in range(3)]
+        extent = max(hi[i] - lo[i] for i in range(3))
+        local = Triangulation3D(lo, hi, margin=2.0 * extent)
+        l2g: Dict[int, int] = {}
+        hint = None
+        try:
+            for w in order:
+                lv, ntets, _ = local.insert_point(pts[w], hint)
+                l2g[lv] = w
+                hint = ntets[0]
+        except (InsertionError, PointLocationError) as exc:
+            raise RemovalError(f"link re-triangulation failed: {exc}") from exc
+
+        fill: List[Tuple[int, int, int, int]] = []
+        lmesh = local.mesh
+        for lt in lmesh.live_tets():
+            lverts = lmesh.tet_verts[lt]
+            if any(lw not in l2g for lw in lverts):
+                continue
+            la, lb, lc, ld = (lmesh.points[lverts[0]], lmesh.points[lverts[1]],
+                              lmesh.points[lverts[2]], lmesh.points[lverts[3]])
+            if insphere(la, lb, lc, ld, p) > 0:
+                fill.append(tuple(l2g[lw] for lw in lverts))
+        if not fill:
+            raise RemovalError("no local tetrahedra conflict with the vertex")
+        return fill
+
+    def _verify_fill(self, fill, hole_faces) -> None:
+        """Check that ``fill`` tiles the removal ball exactly.
+
+        Face-pairing check: every face appears at most twice, the faces
+        appearing once are exactly the hole boundary.  A volume check
+        guards against abstractly-paired but geometrically overlapping
+        configurations.
+        """
+        from repro.geometry.quality import tet_volume
+
+        mesh = self.mesh
+        pts = mesh.points
+        face_count: Dict[Tuple[int, int, int], int] = {}
+        for tet in fill:
+            for i in range(4):
+                f = tuple(sorted(tet[j] for j in range(4) if j != i))
+                face_count[f] = face_count.get(f, 0) + 1
+        if any(c > 2 for c in face_count.values()):
+            raise RemovalError("fill face shared by more than two tets")
+        boundary = {f for f, c in face_count.items() if c == 1}
+        if boundary != set(hole_faces.keys()):
+            raise RemovalError("fill does not tile the removal ball")
+
+        fill_volume = sum(
+            abs(tet_volume(pts[a], pts[b], pts[c], pts[d]))
+            for (a, b, c, d) in fill
+        )
+        ball_volume = self._pending_ball_volume
+        if abs(fill_volume - ball_volume) > 1e-6 * max(1.0, ball_volume):
+            raise RemovalError("fill volume does not match ball volume")
+
+    # ------------------------------------------------------------------
+    # validation (test / debug helpers)
+    # ------------------------------------------------------------------
+    def validate_topology(self) -> None:
+        """Assert structural invariants; raises AssertionError on failure."""
+        mesh = self.mesh
+        pts = mesh.points
+        for t in mesh.live_tets():
+            verts = mesh.tet_verts[t]
+            a, b, c, d = (pts[verts[0]], pts[verts[1]], pts[verts[2]], pts[verts[3]])
+            assert orient3d(a, b, c, d) > 0, f"tet {t} not positively oriented"
+            adj = mesh.tet_adj[t]
+            for i in range(4):
+                nbr = adj[i]
+                if nbr == HULL:
+                    continue
+                assert mesh.is_live(nbr), f"tet {t} adj to dead tet {nbr}"
+                face = set(mesh.face_opposite(t, i))
+                nface_ok = face.issubset(set(mesh.tet_verts[nbr]))
+                assert nface_ok, f"face mismatch {t}/{nbr}"
+                j = mesh.neighbor_index(nbr, t)
+                assert set(mesh.face_opposite(nbr, j)) == face, \
+                    f"reciprocal face mismatch {t}/{nbr}"
+
+    def is_delaunay(self, tol_exhaustive: int = 250_000) -> bool:
+        """Exhaustive empty-circumsphere check (tests only; O(n_t * n_v))."""
+        mesh = self.mesh
+        pts = mesh.points
+        live_verts = [w for w in range(len(pts)) if mesh.alive_vertex[w]]
+        n_checks = mesh.n_live_tets * len(live_verts)
+        if n_checks > tol_exhaustive:
+            raise ValueError(
+                f"mesh too large for exhaustive Delaunay check ({n_checks})"
+            )
+        for t in mesh.live_tets():
+            verts = mesh.tet_verts[t]
+            a, b, c, d = (pts[verts[0]], pts[verts[1]], pts[verts[2]], pts[verts[3]])
+            for w in live_verts:
+                if w in verts:
+                    continue
+                if insphere(a, b, c, d, pts[w]) > 0:
+                    return False
+        return True
+

@@ -1,0 +1,38 @@
+"""Geometric predicates and element-quality measures.
+
+This package is the numerical foundation of the Delaunay kernel: robust
+orientation / in-sphere predicates (float filter with an exact rational
+fallback), circumcenter and circumradius computations, and the tetrahedron
+and triangle quality measures the paper's refinement rules test
+(radius-edge ratio, dihedral angles, boundary planar angles).
+"""
+
+from repro.geometry.predicates import (
+    circumcenter_tet,
+    circumcenter_tri,
+    circumradius_tet,
+    insphere,
+    orient3d,
+)
+from repro.geometry.quality import (
+    dihedral_angles,
+    min_max_dihedral,
+    radius_edge_ratio,
+    tet_volume,
+    triangle_angles,
+    triangle_min_angle,
+)
+
+__all__ = [
+    "orient3d",
+    "insphere",
+    "circumcenter_tet",
+    "circumradius_tet",
+    "circumcenter_tri",
+    "tet_volume",
+    "radius_edge_ratio",
+    "dihedral_angles",
+    "min_max_dihedral",
+    "triangle_angles",
+    "triangle_min_angle",
+]

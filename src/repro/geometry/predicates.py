@@ -1,0 +1,324 @@
+"""Robust geometric predicates for the 3D Delaunay kernel.
+
+The predicates follow the classic filtered-exact design: a fast floating
+point evaluation guarded by a forward error bound, falling back to exact
+rational arithmetic (``fractions.Fraction``) only when the float result is
+too close to zero to be trusted.  This mirrors the paper's use of CGAL's
+exact predicates ("PI2M adopts the exact predicates as implemented in
+CGAL", Section 7) while staying pure Python.
+
+Sign conventions
+----------------
+``orient3d(a, b, c, d) > 0``
+    point ``d`` lies *below* the plane through ``a, b, c`` — i.e. the
+    tetrahedron ``(a, b, c, d)`` is positively oriented (left-handed set
+    matching Shewchuk's convention).
+``insphere(a, b, c, d, e) > 0``
+    point ``e`` lies strictly inside the circumsphere of the positively
+    oriented tetrahedron ``(a, b, c, d)``.
+
+Degeneracies (exact zeros) are returned as ``0`` and resolved by the
+caller; the Delaunay kernel treats cospherical points as "inside" which
+keeps Bowyer-Watson cavities consistent for any cospherical tie.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Sequence
+
+Point = Sequence[float]
+
+# Forward error-bound coefficients.  These are deliberately conservative
+# (larger than Shewchuk's tight constants) so that any float evaluation
+# whose magnitude falls under the bound is re-done exactly.
+_EPS = 2.0 ** -53
+_ORIENT3D_BOUND = (16.0 + 128.0 * _EPS) * _EPS
+_INSPHERE_BOUND = (64.0 + 512.0 * _EPS) * _EPS
+
+
+def _orient3d_float(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz):
+    """Float orient3d determinant together with its error permanent."""
+    adx = ax - dx
+    ady = ay - dy
+    adz = az - dz
+    bdx = bx - dx
+    bdy = by - dy
+    bdz = bz - dz
+    cdx = cx - dx
+    cdy = cy - dy
+    cdz = cz - dz
+
+    bdxcdy = bdx * cdy
+    cdxbdy = cdx * bdy
+    cdxady = cdx * ady
+    adxcdy = adx * cdy
+    adxbdy = adx * bdy
+    bdxady = bdx * ady
+
+    det = (
+        adz * (bdxcdy - cdxbdy)
+        + bdz * (cdxady - adxcdy)
+        + cdz * (adxbdy - bdxady)
+    )
+    permanent = (
+        (abs(bdxcdy) + abs(cdxbdy)) * abs(adz)
+        + (abs(cdxady) + abs(adxcdy)) * abs(bdz)
+        + (abs(adxbdy) + abs(bdxady)) * abs(cdz)
+    )
+    return det, permanent
+
+
+def _orient3d_exact(a: Point, b: Point, c: Point, d: Point) -> int:
+    adx = Fraction(a[0]) - Fraction(d[0])
+    ady = Fraction(a[1]) - Fraction(d[1])
+    adz = Fraction(a[2]) - Fraction(d[2])
+    bdx = Fraction(b[0]) - Fraction(d[0])
+    bdy = Fraction(b[1]) - Fraction(d[1])
+    bdz = Fraction(b[2]) - Fraction(d[2])
+    cdx = Fraction(c[0]) - Fraction(d[0])
+    cdy = Fraction(c[1]) - Fraction(d[1])
+    cdz = Fraction(c[2]) - Fraction(d[2])
+    det = (
+        adz * (bdx * cdy - cdx * bdy)
+        + bdz * (cdx * ady - adx * cdy)
+        + cdz * (adx * bdy - bdx * ady)
+    )
+    if det > 0:
+        return 1
+    if det < 0:
+        return -1
+    return 0
+
+
+def orient3d(a: Point, b: Point, c: Point, d: Point) -> int:
+    """Sign of the orientation of tetrahedron ``(a, b, c, d)``.
+
+    Returns ``+1`` if positively oriented, ``-1`` if negatively oriented
+    and ``0`` if the four points are exactly coplanar.
+    """
+    det, permanent = _orient3d_float(
+        a[0], a[1], a[2], b[0], b[1], b[2], c[0], c[1], c[2], d[0], d[1], d[2]
+    )
+    bound = _ORIENT3D_BOUND * permanent
+    if det > bound:
+        return 1
+    if det < -bound:
+        return -1
+    return _orient3d_exact(a, b, c, d)
+
+
+def _insphere_float(a, b, c, d, e):
+    aex = a[0] - e[0]
+    aey = a[1] - e[1]
+    aez = a[2] - e[2]
+    bex = b[0] - e[0]
+    bey = b[1] - e[1]
+    bez = b[2] - e[2]
+    cex = c[0] - e[0]
+    cey = c[1] - e[1]
+    cez = c[2] - e[2]
+    dex = d[0] - e[0]
+    dey = d[1] - e[1]
+    dez = d[2] - e[2]
+
+    aexbey = aex * bey
+    bexaey = bex * aey
+    ab = aexbey - bexaey
+    bexcey = bex * cey
+    cexbey = cex * bey
+    bc = bexcey - cexbey
+    cexdey = cex * dey
+    dexcey = dex * cey
+    cd = cexdey - dexcey
+    dexaey = dex * aey
+    aexdey = aex * dey
+    da = dexaey - aexdey
+    aexcey = aex * cey
+    cexaey = cex * aey
+    ac = aexcey - cexaey
+    bexdey = bex * dey
+    dexbey = dex * bey
+    bd = bexdey - dexbey
+
+    abc = aez * bc - bez * ac + cez * ab
+    bcd = bez * cd - cez * bd + dez * bc
+    cda = cez * da + dez * ac + aez * cd
+    dab = dez * ab + aez * bd + bez * da
+
+    alift = aex * aex + aey * aey + aez * aez
+    blift = bex * bex + bey * bey + bez * bez
+    clift = cex * cex + cey * cey + cez * cez
+    dlift = dex * dex + dey * dey + dez * dez
+
+    det = (dlift * abc - clift * dab) + (blift * cda - alift * bcd)
+
+    aezplus = abs(aez)
+    bezplus = abs(bez)
+    cezplus = abs(cez)
+    dezplus = abs(dez)
+    aexbeyplus = abs(aexbey)
+    bexaeyplus = abs(bexaey)
+    bexceyplus = abs(bexcey)
+    cexbeyplus = abs(cexbey)
+    cexdeyplus = abs(cexdey)
+    dexceyplus = abs(dexcey)
+    dexaeyplus = abs(dexaey)
+    aexdeyplus = abs(aexdey)
+    aexceyplus = abs(aexcey)
+    cexaeyplus = abs(cexaey)
+    bexdeyplus = abs(bexdey)
+    dexbeyplus = abs(dexbey)
+    permanent = (
+        ((cexdeyplus + dexceyplus) * bezplus
+         + (dexbeyplus + bexdeyplus) * cezplus
+         + (bexceyplus + cexbeyplus) * dezplus) * alift
+        + ((dexaeyplus + aexdeyplus) * cezplus
+           + (aexceyplus + cexaeyplus) * dezplus
+           + (cexdeyplus + dexceyplus) * aezplus) * blift
+        + ((aexbeyplus + bexaeyplus) * dezplus
+           + (bexdeyplus + dexbeyplus) * aezplus
+           + (dexaeyplus + aexdeyplus) * bezplus) * clift
+        + ((bexceyplus + cexbeyplus) * aezplus
+           + (cexaeyplus + aexceyplus) * bezplus
+           + (aexbeyplus + bexaeyplus) * cezplus) * dlift
+    )
+    return det, permanent
+
+
+def _insphere_exact(a: Point, b: Point, c: Point, d: Point, e: Point) -> int:
+    # Mirrors the float evaluation term-for-term with exact rationals so the
+    # sign convention is identical by construction.
+    ex, ey, ez = Fraction(e[0]), Fraction(e[1]), Fraction(e[2])
+    aex = Fraction(a[0]) - ex
+    aey = Fraction(a[1]) - ey
+    aez = Fraction(a[2]) - ez
+    bex = Fraction(b[0]) - ex
+    bey = Fraction(b[1]) - ey
+    bez = Fraction(b[2]) - ez
+    cex = Fraction(c[0]) - ex
+    cey = Fraction(c[1]) - ey
+    cez = Fraction(c[2]) - ez
+    dex = Fraction(d[0]) - ex
+    dey = Fraction(d[1]) - ey
+    dez = Fraction(d[2]) - ez
+
+    ab = aex * bey - bex * aey
+    bc = bex * cey - cex * bey
+    cd = cex * dey - dex * cey
+    da = dex * aey - aex * dey
+    ac = aex * cey - cex * aey
+    bd = bex * dey - dex * bey
+
+    abc = aez * bc - bez * ac + cez * ab
+    bcd = bez * cd - cez * bd + dez * bc
+    cda = cez * da + dez * ac + aez * cd
+    dab = dez * ab + aez * bd + bez * da
+
+    alift = aex * aex + aey * aey + aez * aez
+    blift = bex * bex + bey * bey + bez * bez
+    clift = cex * cex + cey * cey + cez * cez
+    dlift = dex * dex + dey * dey + dez * dez
+
+    det = (dlift * abc - clift * dab) + (blift * cda - alift * bcd)
+    if det > 0:
+        return 1
+    if det < 0:
+        return -1
+    return 0
+
+
+def insphere(a: Point, b: Point, c: Point, d: Point, e: Point) -> int:
+    """Sign of the in-sphere test of ``e`` against tet ``(a, b, c, d)``.
+
+    Requires ``(a, b, c, d)`` positively oriented (``orient3d > 0``).
+    Returns ``+1`` when ``e`` is strictly inside the circumsphere, ``-1``
+    when strictly outside and ``0`` when exactly cospherical.
+    """
+    det, permanent = _insphere_float(a, b, c, d, e)
+    bound = _INSPHERE_BOUND * permanent
+    if det > bound:
+        return 1
+    if det < -bound:
+        return -1
+    return _insphere_exact(a, b, c, d, e)
+
+
+def circumcenter_tet(a: Point, b: Point, c: Point, d: Point):
+    """Circumcenter of a tetrahedron.
+
+    Solves the 3x3 linear system expressing equidistance from the four
+    vertices.  Returns a tuple ``(x, y, z)``.  Raises ``ZeroDivisionError``
+    for degenerate (coplanar) tetrahedra.
+    """
+    bax = b[0] - a[0]
+    bay = b[1] - a[1]
+    baz = b[2] - a[2]
+    cax = c[0] - a[0]
+    cay = c[1] - a[1]
+    caz = c[2] - a[2]
+    dax = d[0] - a[0]
+    day = d[1] - a[1]
+    daz = d[2] - a[2]
+
+    b2 = bax * bax + bay * bay + baz * baz
+    c2 = cax * cax + cay * cay + caz * caz
+    d2 = dax * dax + day * day + daz * daz
+
+    # Cross products for Cramer's rule.
+    cxdx = cay * daz - caz * day
+    cxdy = caz * dax - cax * daz
+    cxdz = cax * day - cay * dax
+
+    dxbx = day * baz - daz * bay
+    dxby = daz * bax - dax * baz
+    dxbz = dax * bay - day * bax
+
+    bxcx = bay * caz - baz * cay
+    bxcy = baz * cax - bax * caz
+    bxcz = bax * cay - bay * cax
+
+    det = 2.0 * (bax * cxdx + bay * cxdy + baz * cxdz)
+    if det == 0.0:
+        raise ZeroDivisionError("degenerate tetrahedron in circumcenter_tet")
+
+    ox = (b2 * cxdx + c2 * dxbx + d2 * bxcx) / det
+    oy = (b2 * cxdy + c2 * dxby + d2 * bxcy) / det
+    oz = (b2 * cxdz + c2 * dxbz + d2 * bxcz) / det
+    return (a[0] + ox, a[1] + oy, a[2] + oz)
+
+
+def circumradius_tet(a: Point, b: Point, c: Point, d: Point) -> float:
+    """Circumradius of a tetrahedron."""
+    cc = circumcenter_tet(a, b, c, d)
+    return math.dist(cc, a)
+
+
+def circumcenter_tri(a: Point, b: Point, c: Point):
+    """Circumcenter of a triangle embedded in 3D space."""
+    bax = b[0] - a[0]
+    bay = b[1] - a[1]
+    baz = b[2] - a[2]
+    cax = c[0] - a[0]
+    cay = c[1] - a[1]
+    caz = c[2] - a[2]
+
+    b2 = bax * bax + bay * bay + baz * baz
+    c2 = cax * cax + cay * cay + caz * caz
+
+    nx = bay * caz - baz * cay
+    ny = baz * cax - bax * caz
+    nz = bax * cay - bay * cax
+    n2 = nx * nx + ny * ny + nz * nz
+    if n2 == 0.0:
+        raise ZeroDivisionError("degenerate triangle in circumcenter_tri")
+
+    # (b2 * ca - c2 * ba) x n / (2 n.n) offset from a
+    tx = b2 * cax - c2 * bax
+    ty = b2 * cay - c2 * bay
+    tz = b2 * caz - c2 * baz
+    ox = (ty * nz - tz * ny) / (2.0 * n2)
+    oy = (tz * nx - tx * nz) / (2.0 * n2)
+    oz = (tx * ny - ty * nx) / (2.0 * n2)
+    return (a[0] + ox, a[1] + oy, a[2] + oz)

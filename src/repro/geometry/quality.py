@@ -1,0 +1,144 @@
+"""Tetrahedron and triangle quality measures used by the refinement rules.
+
+The paper constrains the *radius-edge ratio* of every tetrahedron
+(rule R4, bound 2) and the *planar angles* of boundary triangles
+(rule R3, bound 30 degrees), and reports *dihedral angles* when comparing
+mesher output quality (Table 6).  All functions here take points as
+3-sequences of floats and are written as scalar arithmetic because they
+sit in the refinement inner loop where tiny-array numpy calls are slower
+than plain floats.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.geometry.predicates import circumradius_tet
+
+Point = Sequence[float]
+
+
+def _sub(a: Point, b: Point):
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def _cross(u, v):
+    return (
+        u[1] * v[2] - u[2] * v[1],
+        u[2] * v[0] - u[0] * v[2],
+        u[0] * v[1] - u[1] * v[0],
+    )
+
+
+def _dot(u, v):
+    return u[0] * v[0] + u[1] * v[1] + u[2] * v[2]
+
+
+def _norm(u):
+    return math.sqrt(u[0] * u[0] + u[1] * u[1] + u[2] * u[2])
+
+
+def tet_volume(a: Point, b: Point, c: Point, d: Point) -> float:
+    """Signed volume of tetrahedron ``(a, b, c, d)``.
+
+    Positive when the tet is positively oriented under the same convention
+    as :func:`repro.geometry.predicates.orient3d`.
+    """
+    ad = _sub(a, d)
+    bd = _sub(b, d)
+    cd = _sub(c, d)
+    return _dot(ad, _cross(bd, cd)) / 6.0
+
+
+def shortest_edge(a: Point, b: Point, c: Point, d: Point) -> float:
+    """Length of the shortest of the six tetrahedron edges."""
+    pts = (a, b, c, d)
+    best = math.inf
+    for i in range(4):
+        for j in range(i + 1, 4):
+            e = math.dist(pts[i], pts[j])
+            if e < best:
+                best = e
+    return best
+
+
+def radius_edge_ratio(a: Point, b: Point, c: Point, d: Point) -> float:
+    """Circumradius divided by shortest edge length.
+
+    The paper's quality rule R4 refines tetrahedra whose radius-edge ratio
+    exceeds 2.  A regular tetrahedron scores ``sqrt(6)/4 ~ 0.612``;
+    slivers can score close to ``1/sqrt(2)`` while still being bad in
+    dihedral terms, which is why Table 6 reports dihedral angles as well.
+    Returns ``inf`` for degenerate elements.
+    """
+    se = shortest_edge(a, b, c, d)
+    if se == 0.0:
+        return math.inf
+    try:
+        r = circumradius_tet(a, b, c, d)
+    except ZeroDivisionError:
+        return math.inf
+    return r / se
+
+
+def dihedral_angles(a: Point, b: Point, c: Point, d: Point) -> Tuple[float, ...]:
+    """The six dihedral angles of a tetrahedron, in degrees.
+
+    The dihedral angle at edge (p, q) is the angle between the two faces
+    sharing that edge, measured inside the element.
+    """
+    pts = (a, b, c, d)
+    angles = []
+    # Each edge (i, j) is shared by the two faces opposite to the other
+    # two vertices k and l.
+    for i in range(4):
+        for j in range(i + 1, 4):
+            k, l = (x for x in range(4) if x != i and x != j)
+            p, q = pts[i], pts[j]
+            u = _sub(q, p)
+            vk = _sub(pts[k], p)
+            vl = _sub(pts[l], p)
+            nk = _cross(u, vk)
+            nl = _cross(u, vl)
+            nk_len = _norm(nk)
+            nl_len = _norm(nl)
+            if nk_len == 0.0 or nl_len == 0.0:
+                angles.append(0.0)
+                continue
+            cosang = _dot(nk, nl) / (nk_len * nl_len)
+            cosang = min(1.0, max(-1.0, cosang))
+            angles.append(math.degrees(math.acos(cosang)))
+    return tuple(angles)
+
+
+def min_max_dihedral(a: Point, b: Point, c: Point, d: Point) -> Tuple[float, float]:
+    """Smallest and largest dihedral angle of the tetrahedron (degrees)."""
+    angs = dihedral_angles(a, b, c, d)
+    return (min(angs), max(angs))
+
+
+def triangle_angles(a: Point, b: Point, c: Point) -> Tuple[float, float, float]:
+    """The three planar angles of a triangle in 3D, in degrees."""
+    out = []
+    pts = (a, b, c)
+    for i in range(3):
+        p = pts[i]
+        q = pts[(i + 1) % 3]
+        r = pts[(i + 2) % 3]
+        u = _sub(q, p)
+        v = _sub(r, p)
+        lu = _norm(u)
+        lv = _norm(v)
+        if lu == 0.0 or lv == 0.0:
+            out.append(0.0)
+            continue
+        cosang = _dot(u, v) / (lu * lv)
+        cosang = min(1.0, max(-1.0, cosang))
+        out.append(math.degrees(math.acos(cosang)))
+    return tuple(out)
+
+
+def triangle_min_angle(a: Point, b: Point, c: Point) -> float:
+    """Smallest planar angle of a triangle (degrees); rule R3's measure."""
+    return min(triangle_angles(a, b, c))

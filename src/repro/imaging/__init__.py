@@ -1,0 +1,57 @@
+"""Image substrate: segmented images, synthetic atlases, EDT, isosurfaces.
+
+The paper meshes *multi-label segmented images* directly.  This package
+provides everything the refinement needs from the imaging side:
+
+* :class:`~repro.imaging.image.SegmentedImage` — a voxel grid of tissue
+  labels with anisotropic spacing and world-coordinate transforms;
+* synthetic multi-label phantoms standing in for the IRCAD / SPL atlases
+  the paper uses (which cannot be redistributed);
+* an exact Euclidean Distance Transform with a nearest-surface-voxel
+  feature transform (the paper's parallel Maurer filter [56]), including
+  a thread-parallel variant;
+* isosurface geometry: surface-voxel detection, closest-isosurface-point
+  queries and Voronoi-edge surface-center computation (Section 3).
+"""
+
+from repro.imaging.edt import EDTResult, euclidean_feature_transform
+from repro.imaging.image import SegmentedImage
+from repro.imaging.isosurface import SurfaceOracle, surface_voxel_mask
+from repro.imaging.labelmaps import (
+    compactify_labels,
+    crop_to_foreground,
+    fill_label_holes,
+    relabel,
+    remove_small_components,
+    resample_isotropic,
+)
+from repro.imaging.synthetic import (
+    abdominal_phantom,
+    head_neck_phantom,
+    knee_phantom,
+    shell_phantom,
+    sphere_phantom,
+    two_spheres_phantom,
+    vascular_phantom,
+)
+
+__all__ = [
+    "SegmentedImage",
+    "EDTResult",
+    "euclidean_feature_transform",
+    "SurfaceOracle",
+    "surface_voxel_mask",
+    "sphere_phantom",
+    "shell_phantom",
+    "two_spheres_phantom",
+    "abdominal_phantom",
+    "knee_phantom",
+    "head_neck_phantom",
+    "vascular_phantom",
+    "relabel",
+    "compactify_labels",
+    "crop_to_foreground",
+    "remove_small_components",
+    "fill_label_holes",
+    "resample_isotropic",
+]

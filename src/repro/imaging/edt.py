@@ -1,0 +1,188 @@
+"""Exact Euclidean distance transform with a feature transform.
+
+The refinement needs, for any point, the *surface voxel closest to it*
+(Section 3: "the EDT returns the surface voxel q which is closest to
+p").  The paper uses the parallel Maurer filter of Staubs et al. [56];
+we implement the same dimension-by-dimension exact-EDT family using the
+Felzenszwalb-Huttenlocher lower-envelope scan per axis, extended to
+carry the argmin voxel index (the feature transform) and to support
+anisotropic voxel spacing.
+
+Two drivers are provided:
+
+* :func:`euclidean_feature_transform` — sequential;
+* :func:`euclidean_feature_transform_parallel` — the same passes with the
+  independent 1D scans distributed over a thread pool, matching the
+  row-parallel structure of the Maurer filter (each pass is
+  embarrassingly parallel across lines).  CPython threads only overlap
+  in numpy kernels, so the speedup is modest; the *structure* is what
+  the paper's pre-processing step prescribes, and the simulator charges
+  it as the linearly-scaling phase the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+_INF = math.inf
+
+
+@dataclass
+class EDTResult:
+    """Squared distances and nearest-site indices for every voxel.
+
+    ``feature[i, j, k]`` is the flat index (C order) of the nearest site
+    voxel; ``dist2`` is the squared anisotropic Euclidean distance
+    between voxel centers.  ``shape`` and ``spacing`` echo the input.
+    """
+
+    dist2: np.ndarray
+    feature: np.ndarray
+    shape: Tuple[int, int, int]
+    spacing: Tuple[float, float, float]
+
+    def nearest_site_index(self, idx: Sequence[int]) -> Tuple[int, int, int]:
+        """Nearest site voxel (3-index) for voxel ``idx``."""
+        flat = int(self.feature[tuple(idx)])
+        return tuple(int(x) for x in np.unravel_index(flat, self.shape))
+
+
+def _scan_line(f: np.ndarray, feat: np.ndarray, w2: float) -> None:
+    """One 1D lower-envelope pass, in place.
+
+    ``f`` holds the current squared distances along the line, ``feat``
+    the carried feature ids.  After the call, ``f[i]`` is
+    ``min_j (i-j)^2 * w2 + f_in[j]`` and ``feat[i]`` the feature of the
+    minimising ``j``.  Classic Felzenszwalb-Huttenlocher parabolas.
+    """
+    n = f.shape[0]
+    # Work on plain Python lists: elementwise numpy indexing boxes a
+    # scalar per access and dominates the runtime of this hot loop.
+    f_in = f.tolist()
+    feat_in = feat.tolist()
+    finite = [q for q in range(n) if f_in[q] != _INF]
+    if not finite:
+        return  # no sites reach this line yet; distances stay infinite
+
+    m = len(finite)
+    v = [0] * m          # parabola vertex positions
+    z = [0.0] * (m + 1)  # envelope breakpoints
+    k = 0
+    v[0] = finite[0]
+    z[0] = -_INF
+    z[1] = _INF
+    inv2w2 = 1.0 / (2.0 * w2)
+    for qi in range(1, m):
+        q = finite[qi]
+        fq_lift = f_in[q] + q * q * w2
+        while True:
+            p = v[k]
+            s = (fq_lift - (f_in[p] + p * p * w2)) * inv2w2 / (q - p)
+            if s <= z[k]:
+                k -= 1
+            else:
+                break
+        k += 1
+        v[k] = q
+        z[k] = s
+        z[k + 1] = _INF
+
+    out_f = [0.0] * n
+    out_feat = [0] * n
+    k = 0
+    for q in range(n):
+        while z[k + 1] < q:
+            k += 1
+        p = v[k]
+        out_f[q] = (q - p) * (q - p) * w2 + f_in[p]
+        out_feat[q] = feat_in[p]
+    f[:] = out_f
+    feat[:] = out_feat
+
+
+def _pass_axis(dist2: np.ndarray, feat: np.ndarray, axis: int, w: float,
+               pool: Optional[ThreadPoolExecutor]) -> None:
+    """Run the 1D envelope scan over every line along ``axis``."""
+    w2 = w * w
+    # Basic slicing keeps views for any axis (a moveaxis+reshape would
+    # silently copy for non-last axes and the pass would mutate the copy).
+    other = [a for a in range(3) if a != axis]
+    shape = dist2.shape
+    indexers = []
+    for u in range(shape[other[0]]):
+        for v in range(shape[other[1]]):
+            key = [slice(None)] * 3
+            key[other[0]] = u
+            key[other[1]] = v
+            indexers.append(tuple(key))
+    n_lines = len(indexers)
+
+    def run(lo: int, hi: int) -> None:
+        for r in range(lo, hi):
+            key = indexers[r]
+            line_d = dist2[key]
+            line_f = feat[key]
+            _scan_line(line_d, line_f, w2)
+
+    if pool is None:
+        run(0, n_lines)
+    else:
+        n_chunks = pool._max_workers * 4
+        step = max(1, (n_lines + n_chunks - 1) // n_chunks)
+        futures = [
+            pool.submit(run, lo, min(lo + step, n_lines))
+            for lo in range(0, n_lines, step)
+        ]
+        for fut in futures:
+            fut.result()
+
+
+def _feature_transform(sites: np.ndarray, spacing, pool) -> EDTResult:
+    sites = np.asarray(sites, dtype=bool)
+    if sites.ndim != 3:
+        raise ValueError("sites mask must be 3D")
+    shape = sites.shape
+    dist2 = np.where(sites, 0.0, _INF)
+    feat = np.where(
+        sites, np.arange(sites.size, dtype=np.int64).reshape(shape), -1
+    )
+    for axis in range(3):
+        _pass_axis(dist2, feat, axis, float(spacing[axis]), pool)
+    return EDTResult(
+        dist2=dist2,
+        feature=feat,
+        shape=tuple(shape),
+        spacing=tuple(float(s) for s in spacing),
+    )
+
+
+def euclidean_feature_transform(
+    sites: np.ndarray, spacing: Sequence[float] = (1.0, 1.0, 1.0)
+) -> EDTResult:
+    """Exact anisotropic EDT + feature transform of a boolean site mask.
+
+    Raises ``ValueError`` when the mask contains no sites.
+    """
+    if not np.any(sites):
+        raise ValueError("feature transform of an empty site mask")
+    return _feature_transform(sites, spacing, pool=None)
+
+
+def euclidean_feature_transform_parallel(
+    sites: np.ndarray,
+    spacing: Sequence[float] = (1.0, 1.0, 1.0),
+    n_workers: int = 4,
+) -> EDTResult:
+    """Thread-parallel variant: each axis pass fans its independent 1D
+    scans out over ``n_workers`` threads (the Maurer-filter structure)."""
+    if not np.any(sites):
+        raise ValueError("feature transform of an empty site mask")
+    if n_workers <= 1:
+        return _feature_transform(sites, spacing, pool=None)
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        return _feature_transform(sites, spacing, pool)

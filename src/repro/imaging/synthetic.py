@@ -1,0 +1,270 @@
+"""Synthetic multi-label phantoms standing in for the paper's atlases.
+
+The paper's inputs — the IRCAD CT abdominal atlas and the SPL MR knee /
+CT head-neck atlases — are clinical segmentations that cannot be bundled
+here.  These procedural phantoms reproduce their *structural* character
+for the meshing algorithm: several nested and adjacent tissues, thin
+curved structures, tissues of very different volumes, and anisotropic
+spacing.  All generators are deterministic and resolution-parameterised.
+
+Label maps are built by painting primitives in order, later primitives
+overwriting earlier ones (the way clinical segmentations nest organs
+inside the body envelope).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.imaging.image import SegmentedImage
+
+
+def _grid(shape: Tuple[int, int, int], spacing, origin):
+    """World coordinates of all voxel centers, as three broadcast arrays."""
+    ax = [
+        origin[i] + (np.arange(shape[i]) + 0.5) * spacing[i] for i in range(3)
+    ]
+    return np.meshgrid(*ax, indexing="ij", sparse=True)
+
+
+class PhantomBuilder:
+    """Paints labelled solids into a voxel volume, in order."""
+
+    def __init__(self, shape: Sequence[int],
+                 spacing: Sequence[float] = (1.0, 1.0, 1.0),
+                 origin: Sequence[float] = (0.0, 0.0, 0.0)):
+        self.shape = tuple(int(n) for n in shape)
+        self.spacing = tuple(float(s) for s in spacing)
+        self.origin = tuple(float(o) for o in origin)
+        self.labels = np.zeros(self.shape, dtype=np.int16)
+        self._x, self._y, self._z = _grid(self.shape, self.spacing, self.origin)
+
+    # -- primitives ----------------------------------------------------
+    def ball(self, center, radius, label):
+        m = (
+            (self._x - center[0]) ** 2
+            + (self._y - center[1]) ** 2
+            + (self._z - center[2]) ** 2
+        ) <= radius ** 2
+        self.labels[m] = label
+        return self
+
+    def ellipsoid(self, center, radii, label):
+        m = (
+            ((self._x - center[0]) / radii[0]) ** 2
+            + ((self._y - center[1]) / radii[1]) ** 2
+            + ((self._z - center[2]) / radii[2]) ** 2
+        ) <= 1.0
+        self.labels[m] = label
+        return self
+
+    def shell(self, center, r_outer, r_inner, label):
+        d2 = (
+            (self._x - center[0]) ** 2
+            + (self._y - center[1]) ** 2
+            + (self._z - center[2]) ** 2
+        )
+        m = (d2 <= r_outer ** 2) & (d2 >= r_inner ** 2)
+        self.labels[m] = label
+        return self
+
+    def capsule(self, p0, p1, radius, label):
+        """Cylinder with spherical caps between world points p0 and p1."""
+        p0 = np.asarray(p0, dtype=float)
+        p1 = np.asarray(p1, dtype=float)
+        d = p1 - p0
+        L2 = float(d @ d)
+        vx = self._x - p0[0]
+        vy = self._y - p0[1]
+        vz = self._z - p0[2]
+        t = (vx * d[0] + vy * d[1] + vz * d[2]) / (L2 if L2 > 0 else 1.0)
+        t = np.clip(t, 0.0, 1.0)
+        dx = vx - t * d[0]
+        dy = vy - t * d[1]
+        dz = vz - t * d[2]
+        m = (dx * dx + dy * dy + dz * dz) <= radius ** 2
+        self.labels[m] = label
+        return self
+
+    def torus(self, center, ring_radius, tube_radius, label, axis=2):
+        """Torus around ``axis`` through ``center``."""
+        c = center
+        coords = [self._x - c[0], self._y - c[1], self._z - c[2]]
+        h = coords.pop(axis)
+        u, v = coords
+        ring = np.sqrt(u * u + v * v) - ring_radius
+        m = (ring * ring + h * h) <= tube_radius ** 2
+        self.labels[m] = label
+        return self
+
+    def box(self, lo, hi, label):
+        m = (
+            (self._x >= lo[0]) & (self._x <= hi[0])
+            & (self._y >= lo[1]) & (self._y <= hi[1])
+            & (self._z >= lo[2]) & (self._z <= hi[2])
+        )
+        self.labels[m] = label
+        return self
+
+    def build(self) -> SegmentedImage:
+        return SegmentedImage(self.labels, self.spacing, self.origin)
+
+
+# ----------------------------------------------------------------------
+# simple phantoms (unit tests, quickstart)
+# ----------------------------------------------------------------------
+def sphere_phantom(n: int = 32, radius_frac: float = 0.35) -> SegmentedImage:
+    """A single ball of tissue 1 centred in an ``n**3`` volume."""
+    b = PhantomBuilder((n, n, n))
+    c = (n / 2.0, n / 2.0, n / 2.0)
+    b.ball(c, radius_frac * n, 1)
+    return b.build()
+
+
+def shell_phantom(n: int = 32) -> SegmentedImage:
+    """Nested tissues: ball of label 2 inside a shell of label 1."""
+    b = PhantomBuilder((n, n, n))
+    c = (n / 2.0, n / 2.0, n / 2.0)
+    b.ball(c, 0.4 * n, 1)
+    b.ball(c, 0.22 * n, 2)
+    return b.build()
+
+
+def two_spheres_phantom(n: int = 32) -> SegmentedImage:
+    """Two touching tissues of different labels (multi-material junction)."""
+    b = PhantomBuilder((n, n, n))
+    r = 0.22 * n
+    b.ball((n / 2.0 - r, n / 2.0, n / 2.0), r, 1)
+    b.ball((n / 2.0 + r, n / 2.0, n / 2.0), r, 2)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# atlas-like phantoms (benchmarks; see DESIGN.md substitution table)
+# ----------------------------------------------------------------------
+def abdominal_phantom(n: int = 48) -> SegmentedImage:
+    """CT-abdomen-like phantom (IRCAD stand-in).
+
+    Anisotropic spacing like the paper's abdominal atlas (0.96/0.96/2.4),
+    a large body envelope, a liver-like ellipsoid, two kidneys, a spine
+    column and an aorta tube.
+    """
+    shape = (n, n, max(8, int(n * 0.45)))
+    spacing = (1.0, 1.0, 2.4 / 0.96)
+    b = PhantomBuilder(shape, spacing)
+    cx, cy = n / 2.0, n / 2.0
+    cz = shape[2] * spacing[2] / 2.0
+    # body envelope
+    b.ellipsoid((cx, cy, cz), (0.45 * n, 0.38 * n, 0.48 * shape[2] * spacing[2]), 1)
+    # liver: big ellipsoid, right side
+    b.ellipsoid((cx + 0.18 * n, cy + 0.05 * n, cz + 0.1 * cz),
+                (0.2 * n, 0.16 * n, 0.35 * cz), 2)
+    # kidneys
+    b.ellipsoid((cx - 0.22 * n, cy - 0.12 * n, cz), (0.07 * n, 0.05 * n, 0.25 * cz), 3)
+    b.ellipsoid((cx + 0.22 * n, cy - 0.12 * n, cz - 0.2 * cz),
+                (0.07 * n, 0.05 * n, 0.25 * cz), 3)
+    # spine
+    b.capsule((cx, cy - 0.25 * n, 0.1 * cz), (cx, cy - 0.25 * n, 1.9 * cz),
+              0.06 * n, 4)
+    # aorta
+    b.capsule((cx - 0.05 * n, cy - 0.1 * n, 0.1 * cz),
+              (cx - 0.05 * n, cy - 0.1 * n, 1.9 * cz), 0.025 * n, 5)
+    return b.build()
+
+
+def knee_phantom(n: int = 48) -> SegmentedImage:
+    """MR-knee-like phantom (SPL knee atlas stand-in).
+
+    Two long bones meeting at a joint, cartilage pads between them, a
+    patella, and a soft-tissue envelope; thin spacing in-plane and
+    thicker slices like the SPL atlas (0.27/0.27/1.4).
+    """
+    shape = (n, n, int(n * 1.2))
+    spacing = (1.0, 1.0, 1.4 / 0.8)
+    b = PhantomBuilder(shape, spacing)
+    cx, cy = n / 2.0, n / 2.0
+    zmax = shape[2] * spacing[2]
+    zjoint = zmax / 2.0
+    # soft tissue envelope
+    b.capsule((cx, cy, 0.08 * zmax), (cx, cy, 0.92 * zmax), 0.42 * n, 1)
+    # femur from the top, tibia from the bottom
+    b.capsule((cx, cy, 0.1 * zmax), (cx, cy, zjoint - 0.08 * zmax), 0.16 * n, 2)
+    b.capsule((cx + 0.02 * n, cy, zjoint + 0.08 * zmax),
+              (cx + 0.02 * n, cy, 0.9 * zmax), 0.15 * n, 3)
+    # cartilage pads (thin discs at the joint line)
+    b.capsule((cx, cy, zjoint - 0.045 * zmax), (cx, cy, zjoint - 0.02 * zmax),
+              0.17 * n, 4)
+    b.capsule((cx + 0.02 * n, cy, zjoint + 0.02 * zmax),
+              (cx + 0.02 * n, cy, zjoint + 0.045 * zmax), 0.16 * n, 4)
+    # patella
+    b.ball((cx, cy + 0.3 * n, zjoint), 0.09 * n, 5)
+    return b.build()
+
+
+def vascular_phantom(n: int = 48, levels: int = 3) -> SegmentedImage:
+    """A bifurcating vessel tree inside a tissue block.
+
+    Stands in for the paper's blood-flow motivation ("patient-specific
+    blood flow simulations for the prevention and treatment of stroke"):
+    thin, branching, high-curvature tubes are the hardest structures for
+    isosurface-based meshing.  ``levels`` controls the bifurcation depth.
+    """
+    shape = (n, n, n)
+    b = PhantomBuilder(shape)
+    c = n / 2.0
+    # surrounding tissue block
+    b.ellipsoid((c, c, c), (0.45 * n, 0.45 * n, 0.47 * n), 1)
+
+    def branch(p0, direction, length, radius, depth):
+        d = np.asarray(direction, dtype=float)
+        d /= np.linalg.norm(d)
+        p1 = tuple(p0[i] + d[i] * length for i in range(3))
+        b.capsule(p0, p1, radius, 2)
+        if depth <= 0 or radius < 0.6:
+            return
+        # two children, deterministic splay in alternating planes
+        axis = depth % 3
+        for sign in (+1.0, -1.0):
+            child = d.copy()
+            child[axis] += sign * 0.8
+            branch(p1, child, 0.72 * length, 0.7 * radius, depth - 1)
+
+    branch((c, c, 0.08 * n), (0.0, 0.0, 1.0), 0.3 * n, 0.06 * n, levels)
+    return b.build()
+
+
+def head_neck_phantom(n: int = 48) -> SegmentedImage:
+    """CT-head-neck-like phantom (SPL head-neck atlas stand-in).
+
+    A skull shell around a brain, a neck column with airway and
+    vertebrae, and a mandible-ish torus — small tissues with little
+    volume, the property the paper calls out for the head-neck atlas.
+    """
+    shape = (n, n, int(n * 0.9))
+    spacing = (1.0, 1.0, 1.4 / 0.97)
+    b = PhantomBuilder(shape, spacing)
+    cx, cy = n / 2.0, n / 2.0
+    zmax = shape[2] * spacing[2]
+    zhead = 0.65 * zmax
+    # neck soft tissue
+    b.capsule((cx, cy, 0.05 * zmax), (cx, cy, zhead), 0.22 * n, 1)
+    # head envelope
+    b.ball((cx, cy, zhead), 0.38 * n, 1)
+    # skull shell
+    b.shell((cx, cy, zhead), 0.34 * n, 0.28 * n, 2)
+    # brain
+    b.ball((cx, cy, zhead), 0.27 * n, 3)
+    # vertebrae (stack of small capsules)
+    for k in range(4):
+        z0 = (0.08 + 0.12 * k) * zmax
+        b.capsule((cx, cy - 0.1 * n, z0), (cx, cy - 0.1 * n, z0 + 0.07 * zmax),
+                  0.05 * n, 4)
+    # airway (carved back to background: a hole through the neck)
+    b.capsule((cx, cy + 0.08 * n, 0.05 * zmax), (cx, cy + 0.08 * n, 0.6 * zmax),
+              0.03 * n, 0)
+    # mandible-ish torus segment
+    b.torus((cx, cy + 0.05 * n, zhead - 0.3 * n), 0.18 * n, 0.04 * n, 5)
+    return b.build()

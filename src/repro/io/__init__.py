@@ -1,0 +1,24 @@
+"""Mesh and image exchange formats.
+
+Writers for the formats the paper's ecosystem uses: legacy VTK (what
+the paper's figures were rendered from), TetGen's ``.node``/``.ele``
+pair (the PLC handoff of Section 7's TetGen comparison), OFF surface
+meshes, and a compressed ``.npz`` container for segmented images.
+"""
+
+from repro.io.images import load_image_npz, save_image_npz
+from repro.io.meshes import (
+    load_tetgen,
+    save_off_surface,
+    save_tetgen,
+    save_vtk,
+)
+
+__all__ = [
+    "save_vtk",
+    "save_tetgen",
+    "load_tetgen",
+    "save_off_surface",
+    "save_image_npz",
+    "load_image_npz",
+]

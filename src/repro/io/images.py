@@ -1,0 +1,27 @@
+"""Segmented-image persistence (compressed npz container)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.image import SegmentedImage
+
+
+def save_image_npz(image: SegmentedImage, path: str) -> None:
+    """Save labels + spacing + origin to a compressed ``.npz``."""
+    np.savez_compressed(
+        path,
+        labels=image.labels,
+        spacing=np.asarray(image.spacing, dtype=np.float64),
+        origin=np.asarray(image.origin, dtype=np.float64),
+    )
+
+
+def load_image_npz(path: str) -> SegmentedImage:
+    """Load an image saved by :func:`save_image_npz`."""
+    with np.load(path) as data:
+        return SegmentedImage(
+            data["labels"],
+            spacing=tuple(data["spacing"]),
+            origin=tuple(data["origin"]),
+        )

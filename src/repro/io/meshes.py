@@ -1,0 +1,87 @@
+"""Tetrahedral mesh writers/readers."""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.extract import ExtractedMesh
+
+
+def save_vtk(mesh: ExtractedMesh, path: str, title: str = "PI2M mesh") -> None:
+    """Write a legacy-ASCII VTK unstructured grid with tissue labels."""
+    with open(path, "w") as f:
+        f.write("# vtk DataFile Version 3.0\n")
+        f.write(title[:255] + "\n")
+        f.write("ASCII\nDATASET UNSTRUCTURED_GRID\n")
+        f.write(f"POINTS {mesh.n_vertices} double\n")
+        for p in mesh.vertices:
+            f.write(f"{p[0]:.17g} {p[1]:.17g} {p[2]:.17g}\n")
+        f.write(f"CELLS {mesh.n_tets} {mesh.n_tets * 5}\n")
+        for tet in mesh.tets:
+            f.write(f"4 {tet[0]} {tet[1]} {tet[2]} {tet[3]}\n")
+        f.write(f"CELL_TYPES {mesh.n_tets}\n")
+        f.write("10\n" * mesh.n_tets)  # VTK_TETRA
+        f.write(f"CELL_DATA {mesh.n_tets}\n")
+        f.write("SCALARS tissue int 1\nLOOKUP_TABLE default\n")
+        for lab in mesh.tet_labels:
+            f.write(f"{int(lab)}\n")
+
+
+def save_tetgen(mesh: ExtractedMesh, basename: str) -> None:
+    """Write TetGen's ``.node`` + ``.ele`` pair (1-based indices)."""
+    with open(basename + ".node", "w") as f:
+        f.write(f"{mesh.n_vertices} 3 0 0\n")
+        for i, p in enumerate(mesh.vertices, start=1):
+            f.write(f"{i} {p[0]:.17g} {p[1]:.17g} {p[2]:.17g}\n")
+    with open(basename + ".ele", "w") as f:
+        f.write(f"{mesh.n_tets} 4 1\n")
+        for i, (tet, lab) in enumerate(
+            zip(mesh.tets, mesh.tet_labels), start=1
+        ):
+            f.write(
+                f"{i} {tet[0] + 1} {tet[1] + 1} {tet[2] + 1} {tet[3] + 1} "
+                f"{int(lab)}\n"
+            )
+
+
+def load_tetgen(basename: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Read a ``.node``/``.ele`` pair back as (vertices, tets, labels)."""
+    with open(basename + ".node") as f:
+        n, dim, _, _ = (int(x) for x in f.readline().split())
+        if dim != 3:
+            raise ValueError(f"expected 3D nodes, got dim={dim}")
+        verts = np.empty((n, 3), dtype=np.float64)
+        for _ in range(n):
+            parts = f.readline().split()
+            verts[int(parts[0]) - 1] = [float(x) for x in parts[1:4]]
+    with open(basename + ".ele") as f:
+        header = f.readline().split()
+        m = int(header[0])
+        has_attr = len(header) > 2 and int(header[2]) > 0
+        tets = np.empty((m, 4), dtype=np.int64)
+        labels = np.zeros(m, dtype=np.int32)
+        for _ in range(m):
+            parts = f.readline().split()
+            i = int(parts[0]) - 1
+            tets[i] = [int(x) - 1 for x in parts[1:5]]
+            if has_attr:
+                labels[i] = int(float(parts[5]))
+    return verts, tets, labels
+
+
+def save_off_surface(mesh: ExtractedMesh, path: str) -> None:
+    """Write the boundary triangles as an OFF surface mesh."""
+    used = sorted({int(v) for face in mesh.boundary_faces for v in face})
+    remap = {v: i for i, v in enumerate(used)}
+    with open(path, "w") as f:
+        f.write("OFF\n")
+        f.write(f"{len(used)} {len(mesh.boundary_faces)} 0\n")
+        for v in used:
+            p = mesh.vertices[v]
+            f.write(f"{p[0]:.17g} {p[1]:.17g} {p[2]:.17g}\n")
+        for face in mesh.boundary_faces:
+            f.write(f"3 {remap[int(face[0])]} {remap[int(face[1])]} "
+                    f"{remap[int(face[2])]}\n")

@@ -1,0 +1,11 @@
+"""Mesh quality and fidelity metrics (paper Table 6 columns)."""
+
+from repro.metrics.fidelity import hausdorff_distance, point_triangle_distance
+from repro.metrics.stats import QualityReport, quality_report
+
+__all__ = [
+    "QualityReport",
+    "quality_report",
+    "hausdorff_distance",
+    "point_triangle_distance",
+]

@@ -1,0 +1,219 @@
+"""Fidelity: symmetric Hausdorff distance between mesh boundary and
+isosurface (paper Table 6's fidelity row, Theorem 1's O(delta^2) bound).
+
+Both directions are estimated by sampling:
+
+* mesh -> surface: sample points on the boundary triangles, measure the
+  distance to the isosurface through the image's surface oracle;
+* surface -> mesh: project every surface voxel onto the isosurface and
+  measure its distance to the nearest boundary triangle through a
+  spatial grid of triangles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.extract import ExtractedMesh
+from repro.imaging.image import SegmentedImage
+from repro.imaging.isosurface import SurfaceOracle
+
+Point = Tuple[float, float, float]
+
+
+def point_segment_distance(p: Sequence[float], a: Sequence[float],
+                           b: Sequence[float]) -> float:
+    """Euclidean distance from ``p`` to segment ``ab``."""
+    ab = (b[0] - a[0], b[1] - a[1], b[2] - a[2])
+    ap = (p[0] - a[0], p[1] - a[1], p[2] - a[2])
+    denom = ab[0] * ab[0] + ab[1] * ab[1] + ab[2] * ab[2]
+    if denom == 0.0:
+        return math.dist(p, a)
+    t = (ap[0] * ab[0] + ap[1] * ab[1] + ap[2] * ab[2]) / denom
+    t = min(1.0, max(0.0, t))
+    q = (a[0] + t * ab[0], a[1] + t * ab[1], a[2] + t * ab[2])
+    return math.dist(p, q)
+
+
+def point_triangle_distance(p: Sequence[float], a: Sequence[float],
+                            b: Sequence[float], c: Sequence[float]) -> float:
+    """Euclidean distance from point ``p`` to triangle ``abc``.
+
+    Region-based projection (Ericson, Real-Time Collision Detection);
+    degenerate triangles fall back to segment distances.
+    """
+    ab = (b[0] - a[0], b[1] - a[1], b[2] - a[2])
+    ac = (c[0] - a[0], c[1] - a[1], c[2] - a[2])
+    nx = ab[1] * ac[2] - ab[2] * ac[1]
+    ny = ab[2] * ac[0] - ab[0] * ac[2]
+    nz = ab[0] * ac[1] - ab[1] * ac[0]
+    scale = max(
+        abs(ab[0]) + abs(ab[1]) + abs(ab[2]),
+        abs(ac[0]) + abs(ac[1]) + abs(ac[2]),
+    )
+    if nx * nx + ny * ny + nz * nz <= (1e-14 * scale * scale) ** 2:
+        return min(
+            point_segment_distance(p, a, b),
+            point_segment_distance(p, b, c),
+            point_segment_distance(p, a, c),
+        )
+    ap = (p[0] - a[0], p[1] - a[1], p[2] - a[2])
+    d1 = ab[0] * ap[0] + ab[1] * ap[1] + ab[2] * ap[2]
+    d2 = ac[0] * ap[0] + ac[1] * ap[1] + ac[2] * ap[2]
+    if d1 <= 0 and d2 <= 0:
+        return math.dist(p, a)
+    bp = (p[0] - b[0], p[1] - b[1], p[2] - b[2])
+    d3 = ab[0] * bp[0] + ab[1] * bp[1] + ab[2] * bp[2]
+    d4 = ac[0] * bp[0] + ac[1] * bp[1] + ac[2] * bp[2]
+    if d3 >= 0 and d4 <= d3:
+        return math.dist(p, b)
+    vc = d1 * d4 - d3 * d2
+    if vc <= 0 and d1 >= 0 and d3 <= 0:
+        denom_ab = d1 - d3
+        t = d1 / denom_ab if denom_ab != 0.0 else 0.0
+        q = (a[0] + t * ab[0], a[1] + t * ab[1], a[2] + t * ab[2])
+        return math.dist(p, q)
+    cp = (p[0] - c[0], p[1] - c[1], p[2] - c[2])
+    d5 = ab[0] * cp[0] + ab[1] * cp[1] + ab[2] * cp[2]
+    d6 = ac[0] * cp[0] + ac[1] * cp[1] + ac[2] * cp[2]
+    if d6 >= 0 and d5 <= d6:
+        return math.dist(p, c)
+    vb = d5 * d2 - d1 * d6
+    if vb <= 0 and d2 >= 0 and d6 <= 0:
+        denom_ac = d2 - d6
+        t = d2 / denom_ac if denom_ac != 0.0 else 0.0
+        q = (a[0] + t * ac[0], a[1] + t * ac[1], a[2] + t * ac[2])
+        return math.dist(p, q)
+    va = d3 * d6 - d5 * d4
+    if va <= 0 and (d4 - d3) >= 0 and (d5 - d6) >= 0:
+        denom_bc = (d4 - d3) + (d5 - d6)
+        if denom_bc == 0.0:
+            return math.dist(p, b)
+        t = (d4 - d3) / denom_bc
+        q = (
+            b[0] + t * (c[0] - b[0]),
+            b[1] + t * (c[1] - b[1]),
+            b[2] + t * (c[2] - b[2]),
+        )
+        return math.dist(p, q)
+    total = va + vb + vc
+    if total == 0.0:
+        # Degenerate (collinear / coincident) triangle: fall back to the
+        # nearest of the three edges treated as segments via vertices.
+        return min(math.dist(p, a), math.dist(p, b), math.dist(p, c))
+    denom = 1.0 / total
+    v = vb * denom
+    w = vc * denom
+    q = (
+        a[0] + ab[0] * v + ac[0] * w,
+        a[1] + ab[1] * v + ac[1] * w,
+        a[2] + ab[2] * v + ac[2] * w,
+    )
+    return math.dist(p, q)
+
+
+class _TriangleGrid:
+    """Uniform grid over triangles for nearest-triangle queries."""
+
+    def __init__(self, tris: List[Tuple[Point, Point, Point]], cell: float):
+        self.cell = cell
+        self.tris = tris
+        self.cells: Dict[Tuple[int, int, int], List[int]] = {}
+        for i, (a, b, c) in enumerate(tris):
+            lo = [min(a[k], b[k], c[k]) for k in range(3)]
+            hi = [max(a[k], b[k], c[k]) for k in range(3)]
+            keys = [
+                (
+                    int(math.floor(lo[k] / cell)),
+                    int(math.floor(hi[k] / cell)),
+                )
+                for k in range(3)
+            ]
+            for ix in range(keys[0][0], keys[0][1] + 1):
+                for iy in range(keys[1][0], keys[1][1] + 1):
+                    for iz in range(keys[2][0], keys[2][1] + 1):
+                        self.cells.setdefault((ix, iy, iz), []).append(i)
+
+    def distance(self, p: Point, max_rings: int = 8) -> float:
+        """Distance to the nearest triangle, searching outward by rings."""
+        c = self.cell
+        base = (
+            int(math.floor(p[0] / c)),
+            int(math.floor(p[1] / c)),
+            int(math.floor(p[2] / c)),
+        )
+        best = math.inf
+        for ring in range(max_rings + 1):
+            found_any = False
+            for ix in range(base[0] - ring, base[0] + ring + 1):
+                for iy in range(base[1] - ring, base[1] + ring + 1):
+                    for iz in range(base[2] - ring, base[2] + ring + 1):
+                        if max(abs(ix - base[0]), abs(iy - base[1]),
+                               abs(iz - base[2])) != ring:
+                            continue
+                        ids = self.cells.get((ix, iy, iz))
+                        if not ids:
+                            continue
+                        found_any = True
+                        for i in ids:
+                            a, b, tc = self.tris[i]
+                            d = point_triangle_distance(p, a, b, tc)
+                            if d < best:
+                                best = d
+            # Once a candidate is found, one extra ring guarantees the
+            # true nearest triangle has been seen.
+            if best < (ring) * c and best < math.inf:
+                break
+        return best
+
+
+def hausdorff_distance(mesh: ExtractedMesh, image: SegmentedImage,
+                       oracle: SurfaceOracle = None,
+                       samples_per_face: int = 4) -> float:
+    """Two-sided Hausdorff distance between ``mesh``'s boundary and the
+    image isosurface (world units)."""
+    if oracle is None:
+        oracle = SurfaceOracle(image)
+    if len(mesh.boundary_faces) == 0:
+        raise ValueError("mesh has no boundary faces")
+
+    # direction 1: mesh boundary -> surface
+    d_mesh_to_surf = 0.0
+    verts = mesh.vertices
+    tris: List[Tuple[Point, Point, Point]] = []
+    for face in mesh.boundary_faces:
+        a, b, c = (tuple(verts[v]) for v in face)
+        tris.append((a, b, c))
+        samples = [a, b, c,
+                   tuple((a[k] + b[k] + c[k]) / 3.0 for k in range(3))]
+        if samples_per_face > 4:
+            samples += [
+                tuple(0.5 * (a[k] + b[k]) for k in range(3)),
+                tuple(0.5 * (b[k] + c[k]) for k in range(3)),
+                tuple(0.5 * (a[k] + c[k]) for k in range(3)),
+            ]
+        for s in samples:
+            z = oracle.closest_surface_point(s)
+            if z is None:
+                continue
+            d = math.dist(s, z)
+            if d > d_mesh_to_surf:
+                d_mesh_to_surf = d
+
+    # direction 2: surface -> mesh boundary
+    cell = 2.0 * max(image.spacing)
+    grid = _TriangleGrid(tris, cell)
+    d_surf_to_mesh = 0.0
+    surf_idx = np.argwhere(oracle.surface_mask)
+    for idx in surf_idx:
+        center = image.voxel_center(idx)
+        z = oracle.closest_surface_point(center)
+        probe = z if z is not None else center
+        d = grid.distance(probe)
+        if d > d_surf_to_mesh and math.isfinite(d):
+            d_surf_to_mesh = d
+
+    return max(d_mesh_to_surf, d_surf_to_mesh)

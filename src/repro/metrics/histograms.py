@@ -1,0 +1,74 @@
+"""Text histograms of element-quality distributions.
+
+The paper reports min/max quality numbers; a downstream FE user usually
+wants the whole distribution (how many near-sliver elements, where the
+dihedral mass sits).  These render as terminal bar charts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.extract import ExtractedMesh
+from repro.geometry.quality import min_max_dihedral, radius_edge_ratio
+
+
+def text_histogram(values: Sequence[float], lo: float, hi: float,
+                   n_bins: int = 12, width: int = 40,
+                   title: str = "") -> str:
+    """Render a fixed-range histogram as ASCII bars."""
+    if n_bins <= 0 or hi <= lo:
+        raise ValueError("need n_bins > 0 and hi > lo")
+    counts = [0] * n_bins
+    n_below = n_above = 0
+    span = hi - lo
+    for v in values:
+        if v < lo:
+            n_below += 1
+            continue
+        if v >= hi:
+            n_above += 1
+            continue
+        counts[int((v - lo) / span * n_bins)] += 1
+    peak = max(counts) if counts else 1
+    lines = [title] if title else []
+    if n_below:
+        lines.append(f"   < {lo:8.2f} | {n_below}")
+    for b, c in enumerate(counts):
+        b_lo = lo + span * b / n_bins
+        b_hi = lo + span * (b + 1) / n_bins
+        bar = "#" * (0 if peak == 0 else round(width * c / peak))
+        lines.append(f"{b_lo:8.2f}-{b_hi:8.2f} | {bar} {c}")
+    if n_above:
+        lines.append(f"  >= {hi:8.2f} | {n_above}")
+    return "\n".join(lines)
+
+
+def dihedral_histogram(mesh: ExtractedMesh, n_bins: int = 12) -> str:
+    """Histogram of all minimum dihedral angles (degrees)."""
+    mins: List[float] = []
+    for tet in mesh.tets:
+        pts = [tuple(mesh.vertices[v]) for v in tet]
+        lo, _ = min_max_dihedral(*pts)
+        mins.append(lo)
+    return text_histogram(
+        mins, 0.0, 90.0, n_bins=n_bins,
+        title=f"min dihedral angle distribution ({len(mins)} tets)",
+    )
+
+
+def radius_edge_histogram(mesh: ExtractedMesh, n_bins: int = 12) -> str:
+    """Histogram of radius-edge ratios (paper bound: 2)."""
+    import math
+
+    ratios = []
+    for tet in mesh.tets:
+        pts = [tuple(mesh.vertices[v]) for v in tet]
+        r = radius_edge_ratio(*pts)
+        if math.isfinite(r):
+            ratios.append(r)
+    return text_histogram(
+        ratios, 0.5, 2.5, n_bins=n_bins,
+        title=f"radius-edge ratio distribution ({len(ratios)} tets, "
+              "bound 2.0)",
+    )

@@ -1,0 +1,89 @@
+"""Element-quality statistics over an extracted mesh.
+
+These are exactly the quality columns the paper reports in Table 6:
+maximum radius-edge ratio, smallest boundary planar angle, and the
+(min, max) dihedral angle range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.extract import ExtractedMesh
+from repro.geometry.quality import (
+    min_max_dihedral,
+    radius_edge_ratio,
+    tet_volume,
+    triangle_min_angle,
+)
+
+
+@dataclass
+class QualityReport:
+    """Summary statistics of a tetrahedral mesh."""
+
+    n_tets: int
+    n_vertices: int
+    n_boundary_faces: int
+    max_radius_edge: float
+    min_dihedral_deg: float
+    max_dihedral_deg: float
+    min_boundary_planar_angle_deg: float
+    total_volume: float
+    labels: Dict[int, int]
+
+    def row(self) -> str:
+        """One-line summary in the paper's Table 6 style."""
+        return (
+            f"tets={self.n_tets} maxRE={self.max_radius_edge:.2f} "
+            f"dihedral=({self.min_dihedral_deg:.1f}, "
+            f"{self.max_dihedral_deg:.1f}) "
+            f"minPlanar={self.min_boundary_planar_angle_deg:.1f}"
+        )
+
+
+def quality_report(mesh: ExtractedMesh) -> QualityReport:
+    """Compute the Table 6 quality statistics for ``mesh``."""
+    if mesh.n_tets == 0:
+        raise ValueError("cannot report quality of an empty mesh")
+    verts = mesh.vertices
+    max_re = 0.0
+    min_dih = 180.0
+    max_dih = 0.0
+    total_volume = 0.0
+    for tet in mesh.tets:
+        pts = [tuple(verts[v]) for v in tet]
+        re = radius_edge_ratio(*pts)
+        if re > max_re and math.isfinite(re):
+            max_re = re
+        lo, hi = min_max_dihedral(*pts)
+        min_dih = min(min_dih, lo)
+        max_dih = max(max_dih, hi)
+        total_volume += abs(tet_volume(*pts))
+
+    min_planar = 180.0
+    for face in mesh.boundary_faces:
+        pts = [tuple(verts[v]) for v in face]
+        min_planar = min(min_planar, triangle_min_angle(*pts))
+    if len(mesh.boundary_faces) == 0:
+        min_planar = float("nan")
+
+    labels: Dict[int, int] = {}
+    for lab in mesh.tet_labels:
+        labels[int(lab)] = labels.get(int(lab), 0) + 1
+
+    return QualityReport(
+        n_tets=mesh.n_tets,
+        n_vertices=mesh.n_vertices,
+        n_boundary_faces=len(mesh.boundary_faces),
+        max_radius_edge=max_re,
+        min_dihedral_deg=min_dih,
+        max_dihedral_deg=max_dih,
+        min_boundary_planar_angle_deg=min_planar,
+        total_volume=total_volume,
+        labels=labels,
+    )

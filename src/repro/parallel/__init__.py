@@ -1,0 +1,14 @@
+"""Real-thread parallel refinement backend.
+
+Runs the same worker loop, contention managers and begging lists as the
+simulator, but on actual ``threading`` threads with wall-clock time and
+spin waits.  CPython's GIL caps the achievable speedup (the scaling
+*experiments* therefore run on :mod:`repro.simnuma`); this backend
+demonstrates that the speculative protocol is correct under true
+asynchronous interleaving — the final mesh passes the same validity
+checks as a sequential run.
+"""
+
+from repro.parallel.threaded import ParallelResult, parallel_mesh_image
+
+__all__ = ["parallel_mesh_image", "ParallelResult"]

@@ -1,0 +1,14 @@
+"""Post-processing extensions.
+
+The paper leaves "the computationally expensive step of
+volume-conserving smoothing [37] and scale invariance [38]" for future
+work (Sections 2 and 8).  :mod:`repro.postprocess.smoothing` implements
+that extension: quality-guarded Laplacian smoothing whose boundary
+vertices are re-projected onto the image isosurface, so CFD-style
+surface smoothness is gained without sacrificing the fidelity
+guarantee.
+"""
+
+from repro.postprocess.smoothing import SmoothingStats, smooth_mesh
+
+__all__ = ["smooth_mesh", "SmoothingStats"]

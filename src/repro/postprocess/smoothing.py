@@ -1,0 +1,143 @@
+"""Quality-guarded mesh smoothing (the paper's future-work extension).
+
+Laplacian smoothing with two safeguards the FE use case demands:
+
+* **no quality regression** — a vertex moves only if the worst quality
+  (minimum dihedral angle) over its incident tetrahedra does not
+  decrease, and no element inverts;
+* **fidelity preservation** — boundary vertices are smoothed along the
+  surface: the averaged position is re-projected onto the image
+  isosurface through the surface oracle, keeping Theorem 1's guarantee
+  meaningful after smoothing (the volume-conserving idea of [37]).
+
+Interior interface vertices (between two tissues) are treated as
+boundary vertices of their interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.core.extract import ExtractedMesh
+from repro.geometry.quality import min_max_dihedral, tet_volume
+from repro.imaging.isosurface import SurfaceOracle
+
+
+@dataclass
+class SmoothingStats:
+    """What a smoothing pass did."""
+
+    iterations: int = 0
+    moves_accepted: int = 0
+    moves_rejected: int = 0
+    boundary_projected: int = 0
+
+
+def _vertex_adjacency(mesh: ExtractedMesh):
+    """vertex -> incident tet ids, and vertex -> neighbor vertices."""
+    v2t: Dict[int, List[int]] = {}
+    v2v: Dict[int, Set[int]] = {}
+    for ti, tet in enumerate(mesh.tets):
+        for v in tet:
+            v2t.setdefault(int(v), []).append(ti)
+        for v in tet:
+            s = v2v.setdefault(int(v), set())
+            for w in tet:
+                if w != v:
+                    s.add(int(w))
+    return v2t, v2v
+
+
+def _min_quality(verts: np.ndarray, tets: np.ndarray, tet_ids) -> float:
+    worst = 180.0
+    for ti in tet_ids:
+        pts = [tuple(verts[v]) for v in tets[ti]]
+        if tet_volume(*pts) == 0.0:
+            return -1.0
+        lo, _ = min_max_dihedral(*pts)
+        worst = min(worst, lo)
+    return worst
+
+
+def _orientations_ok(verts: np.ndarray, tets: np.ndarray, tet_ids,
+                     reference_signs) -> bool:
+    for ti in tet_ids:
+        pts = [tuple(verts[v]) for v in tets[ti]]
+        vol = tet_volume(*pts)
+        if vol == 0.0 or (vol > 0) != reference_signs[ti]:
+            return False
+    return True
+
+
+def smooth_mesh(
+    mesh: ExtractedMesh,
+    oracle: Optional[SurfaceOracle] = None,
+    iterations: int = 3,
+    boundary: str = "project",
+) -> "tuple[ExtractedMesh, SmoothingStats]":
+    """Smooth ``mesh`` in place-copy; returns (new mesh, stats).
+
+    ``boundary`` is ``"project"`` (smooth boundary vertices and
+    re-project them onto the isosurface; requires ``oracle``) or
+    ``"fixed"`` (boundary vertices do not move).
+    """
+    if boundary not in ("project", "fixed"):
+        raise ValueError("boundary must be 'project' or 'fixed'")
+    if boundary == "project" and oracle is None:
+        raise ValueError("boundary='project' requires a SurfaceOracle")
+
+    verts = mesh.vertices.copy()
+    tets = mesh.tets
+    v2t, v2v = _vertex_adjacency(mesh)
+    boundary_verts = {int(v) for face in mesh.boundary_faces for v in face}
+    reference_signs = [
+        tet_volume(*[tuple(verts[v]) for v in tet]) > 0 for tet in tets
+    ]
+
+    stats = SmoothingStats()
+    for _ in range(iterations):
+        stats.iterations += 1
+        for v, neighbors in v2v.items():
+            if not neighbors:
+                continue
+            is_boundary = v in boundary_verts
+            if is_boundary and boundary == "fixed":
+                continue
+            if is_boundary:
+                ring = [w for w in neighbors if w in boundary_verts]
+                if len(ring) < 3:
+                    continue
+            else:
+                ring = list(neighbors)
+            target = verts[list(ring)].mean(axis=0)
+            if is_boundary:
+                projected = oracle.closest_surface_point(tuple(target))
+                if projected is None:
+                    continue
+                target = np.asarray(projected)
+                stats.boundary_projected += 1
+
+            old = verts[v].copy()
+            incident = v2t[v]
+            before = _min_quality(verts, tets, incident)
+            verts[v] = target
+            if (
+                _orientations_ok(verts, tets, incident, reference_signs)
+                and _min_quality(verts, tets, incident) >= before - 1e-12
+            ):
+                stats.moves_accepted += 1
+            else:
+                verts[v] = old
+                stats.moves_rejected += 1
+
+    smoothed = ExtractedMesh(
+        vertices=verts,
+        tets=mesh.tets.copy(),
+        tet_labels=mesh.tet_labels.copy(),
+        boundary_faces=mesh.boundary_faces.copy(),
+        boundary_labels=mesh.boundary_labels.copy(),
+    )
+    return smoothed, stats

@@ -1,0 +1,5 @@
+"""Paper-style table formatting shared by the benchmark harnesses."""
+
+from repro.reporting.tables import Table, format_si
+
+__all__ = ["Table", "format_si"]

@@ -1,0 +1,58 @@
+"""Tiny ASCII table builder for benchmark output.
+
+Each benchmark prints the same rows its paper table/figure reports, so
+EXPERIMENTS.md can be filled by copy-paste.  Keep it dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_si(x: float, digits: int = 2) -> str:
+    """Format a number in the paper's scientific style: 1.32E+09."""
+    return f"{x:.{digits}E}"
+
+
+class Table:
+    """Column-aligned ASCII table with a title."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = []
+        for v in values:
+            if isinstance(v, float):
+                if v != 0 and (abs(v) >= 1e5 or abs(v) < 1e-3):
+                    row.append(format_si(v))
+                else:
+                    row.append(f"{v:.2f}")
+            else:
+                row.append(str(v))
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(self.columns)}"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells):
+            return " | ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+        sep = "-+-".join("-" * w for w in widths)
+        out = [self.title, line(self.columns), sep]
+        out.extend(line(r) for r in self.rows)
+        return "\n".join(out)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,89 @@
+"""Execution context: the seam between protocol code and its backend.
+
+Contention managers, begging lists and the refinement worker loop call
+only this interface.  Two backends implement it:
+
+* ``repro.parallel.RealContext`` — real ``threading`` threads; waits are
+  spins, the clock is the wall clock, and per-vertex try-locks use
+  GIL-atomic ``dict.setdefault`` (the role GCC atomic built-ins play in
+  the paper's implementation, Section 4.2);
+* ``repro.simnuma.SimContext`` — threads run in lock-step under a
+  discrete-event engine; waits park the thread, the clock is virtual,
+  and lock windows span the operation's *virtual* duration so
+  contention statistics behave like the real machine's.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+from repro.runtime.stats import OverheadKind, ThreadStats
+
+
+class ExecutionContext(ABC):
+    """Per-thread handle onto the execution backend."""
+
+    thread_id: int
+    stats: ThreadStats
+
+    # -- vertex locks -------------------------------------------------
+    @abstractmethod
+    def try_lock_vertex(self, vid: int) -> int:
+        """Acquire vertex ``vid`` for the current operation.
+
+        Returns -1 on success (including when we already own it) or the
+        owning thread's id on conflict.  Locks accumulate on the current
+        operation and are released collectively by
+        :meth:`commit_operation` / :meth:`abort_operation`.
+        """
+
+    def touch_vertex(self, vid: int) -> None:
+        """Touch hook handed to the kernel: try-lock ``vid`` and raise
+        :class:`~repro.delaunay.RollbackSignal` on conflict."""
+        from repro.delaunay import RollbackSignal
+
+        owner = self.try_lock_vertex(vid)
+        if owner >= 0:
+            raise RollbackSignal(owner)
+
+    @abstractmethod
+    def commit_operation(self, cost: float) -> None:
+        """Operation succeeded; charge ``cost`` busy time and schedule the
+        release of its locks (immediately for real threads; at the
+        operation's virtual end time in the simulator)."""
+
+    @abstractmethod
+    def abort_operation(self, wasted_cost: float) -> None:
+        """Operation rolled back: release all its locks now and account
+        ``wasted_cost`` as rollback overhead."""
+
+    # -- waiting / time ------------------------------------------------
+    @abstractmethod
+    def now(self) -> float:
+        """Current (virtual or wall) time in seconds."""
+
+    @abstractmethod
+    def wait_until(self, predicate: Callable[[], bool],
+                   kind: OverheadKind) -> None:
+        """Block until ``predicate()`` is True, charging the waited time
+        to ``kind``.  The predicate is flipped by *another thread* (the
+        paper's busy-wait flags)."""
+
+    @abstractmethod
+    def sleep(self, seconds: float, kind: OverheadKind) -> None:
+        """Sleep for a fixed duration, charged to ``kind`` (Random-CM)."""
+
+    @abstractmethod
+    def charge(self, seconds: float) -> None:
+        """Account plain busy work outside operations (classification,
+        PEL bookkeeping)."""
+
+    # -- coordination helpers -------------------------------------------
+    @abstractmethod
+    def make_mutex(self):
+        """A mutex usable by protocol code (Local-CM's per-thread mutex)."""
+
+    @abstractmethod
+    def random(self) -> float:
+        """Uniform [0, 1) sample from the backend's deterministic RNG."""

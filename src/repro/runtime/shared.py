@@ -1,0 +1,56 @@
+"""State shared by all refinement threads (active counter, termination).
+
+The paper's Global-CM proof (Section 5.3) hinges on tracking "the number
+of active threads, that is, the number of threads that do not busy wait
+in either the CL or the Begging List": a thread is forbidden to block
+when it is the last active one.  This object owns that counter plus the
+global progress/termination flags the drivers need.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class SharedState:
+    """Fleet-wide counters; safe under both backends.
+
+    Under the simulator, threads execute in lock-step so plain updates
+    are race-free; under real threads the internal lock serialises them.
+    """
+
+    def __init__(self, n_threads: int):
+        self.n_threads = n_threads
+        self._lock = threading.Lock()
+        self._active = n_threads
+        self.done = False
+        self.successful_ops = 0  # global progress counter (livelock watch)
+
+    # -- active-thread tracking ----------------------------------------
+    def deactivate(self) -> None:
+        with self._lock:
+            self._active -= 1
+
+    def activate(self) -> None:
+        with self._lock:
+            self._active += 1
+
+    def try_deactivate_unless_last(self) -> bool:
+        """Atomically deactivate unless this is the last active thread.
+
+        Returns True when deactivated (caller may block), False when the
+        caller is the last active thread and must keep running.
+        """
+        with self._lock:
+            if self._active <= 1:
+                return False
+            self._active -= 1
+            return True
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    def note_progress(self) -> None:
+        with self._lock:
+            self.successful_ops += 1

@@ -1,0 +1,76 @@
+"""Per-thread statistics: the paper's three overhead categories.
+
+Section 5.5 defines the wasted-cycle taxonomy every experiment reports:
+
+* *contention overhead* — time spent busy-waiting on a Contention List
+  (or random-sleeping, for Random-CM) plus accessing it;
+* *load balance overhead* — time spent idling on the Begging List
+  waiting for work plus accessing it;
+* *rollback overhead* — time spent on partial work that had to be
+  discarded when an operation rolled back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Tuple
+
+
+class OverheadKind(Enum):
+    CONTENTION = "contention"
+    LOAD_BALANCE = "load_balance"
+    ROLLBACK = "rollback"
+
+
+@dataclass
+class ThreadStats:
+    """Counters one thread accumulates during refinement."""
+
+    thread_id: int
+    n_operations: int = 0
+    n_rollbacks: int = 0
+    n_insertions: int = 0
+    n_removals: int = 0
+    n_work_received: int = 0
+    n_work_given: int = 0
+    n_remote_steals: int = 0       # work received from another blade
+    n_intra_blade_steals: int = 0  # work received within own blade
+    overhead: Dict[OverheadKind, float] = field(
+        default_factory=lambda: {k: 0.0 for k in OverheadKind}
+    )
+    busy_time: float = 0.0
+    # (virtual time, cumulative total overhead) samples for Figure 6
+    overhead_timeline: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add_overhead(self, kind: OverheadKind, dt: float, now: float = None
+                     ) -> None:
+        self.overhead[kind] += dt
+        if now is not None:
+            self.overhead_timeline.append((now, self.total_overhead))
+
+    @property
+    def total_overhead(self) -> float:
+        return sum(self.overhead.values())
+
+
+def aggregate(stats: List[ThreadStats]) -> Dict[str, float]:
+    """Fleet-wide totals, in the shape Table 1 reports."""
+    return {
+        "operations": sum(s.n_operations for s in stats),
+        "rollbacks": sum(s.n_rollbacks for s in stats),
+        "insertions": sum(s.n_insertions for s in stats),
+        "removals": sum(s.n_removals for s in stats),
+        "contention_overhead": sum(
+            s.overhead[OverheadKind.CONTENTION] for s in stats
+        ),
+        "load_balance_overhead": sum(
+            s.overhead[OverheadKind.LOAD_BALANCE] for s in stats
+        ),
+        "rollback_overhead": sum(
+            s.overhead[OverheadKind.ROLLBACK] for s in stats
+        ),
+        "total_overhead": sum(s.total_overhead for s in stats),
+        "remote_steals": sum(s.n_remote_steals for s in stats),
+        "intra_blade_steals": sum(s.n_intra_blade_steals for s in stats),
+    }

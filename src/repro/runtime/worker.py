@@ -1,0 +1,129 @@
+"""The per-thread refinement loop (paper Algorithm 1).
+
+Each thread repeatedly pops a poor element from its own PEL, attempts
+the operation under per-vertex try-locks, and either commits (updating
+PELs and feeding beggars) or rolls back and reports to the contention
+manager.  The loop is backend-agnostic: all waiting, locking and time
+accounting goes through the :class:`ExecutionContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.domain import OperationResult, RefineDomain
+from repro.core.pel import PoorElementList
+from repro.delaunay import RollbackSignal
+from repro.runtime.begging import GIVE_THRESHOLD, BeggingList
+from repro.runtime.contention import ContentionManager, GlobalCM, LocalCM
+from repro.runtime.context import ExecutionContext
+from repro.runtime.placement import Placement
+from repro.runtime.shared import SharedState
+
+
+@dataclass
+class WorkerEnv:
+    """Everything the worker loop shares across threads."""
+
+    domain: RefineDomain
+    pels: List[PoorElementList]
+    cm: ContentionManager
+    bl: BeggingList
+    shared: SharedState
+    placement: Placement
+    # (result, measured_seconds, ctx) -> charged cost in seconds
+    cost_of: Callable[[OperationResult, float, ExecutionContext], float]
+    give_threshold: int = GIVE_THRESHOLD
+
+    def wake_blocked(self) -> bool:
+        """Escape hatch used by the begging list's last-active thread."""
+        cm = self.cm
+        if isinstance(cm, GlobalCM):
+            return cm.wake_one()
+        if isinstance(cm, LocalCM):
+            return cm.wake_any()
+        return False
+
+
+def refinement_worker(ctx: ExecutionContext, env: WorkerEnv) -> None:
+    """Body of one refinement thread (runs to global termination)."""
+    my_pel = env.pels[ctx.thread_id]
+    domain = env.domain
+    mesh = domain.tri.mesh
+    import time as _time
+
+    while not env.shared.done:
+        t = my_pel.pop()
+        if t is None:
+            if not env.bl.beg(ctx, env.wake_blocked):
+                break
+            continue
+
+        t_real0 = _time.perf_counter()
+        try:
+            result = domain.refine_tet(t, touch=ctx.touch_vertex)
+        except RollbackSignal as rb:
+            elapsed = _time.perf_counter() - t_real0
+            ctx.abort_operation(env.cost_of(None, elapsed, ctx))
+            ctx.stats.n_rollbacks += 1
+            my_pel.push(t)  # retry the element later
+            env.cm.on_rollback(ctx, rb.owner)
+            continue
+
+        elapsed = _time.perf_counter() - t_real0
+        if result.inserted_vertex is not None:
+            # Locality bookkeeping for the NUMA cost model: the inserting
+            # thread is the vertex's home.
+            domain.vertex_creator[result.inserted_vertex] = ctx.thread_id
+
+        # Classify the new elements while the operation's locks are still
+        # held (commit releases them): classifying after release would
+        # race with concurrent mutations of the fresh region and could
+        # silently drop a bad element from every PEL.
+        poor = []
+        if not result.skipped:
+            poor = [
+                nt for nt in result.new_tets
+                if mesh.is_live(nt) and domain.is_poor(nt)
+            ]
+
+        ctx.stats.n_rollbacks += result.r6_conflicts
+        ctx.commit_operation(env.cost_of(result, elapsed, ctx))
+        ctx.stats.n_operations += 1
+        if result.inserted_vertex is not None:
+            ctx.stats.n_insertions += 1
+        ctx.stats.n_removals += len(result.removed_vertices)
+        env.shared.note_progress()
+        env.cm.on_success(ctx)
+
+        if not poor:
+            continue
+        if my_pel.live_count >= env.give_threshold:
+            beggar = env.bl.pop_beggar(ctx.thread_id)
+            if beggar is not None and beggar != ctx.thread_id:
+                # Donate the cold half of the own PEL when possible: the
+                # freshly created elements sit inside the region whose
+                # vertex locks this thread still holds (until the
+                # operation's end), so handing those to the beggar makes
+                # its first attempt roll back instantly.  Cold entries
+                # are spatially distant and lock-free.
+                surplus = (my_pel.live_count - env.give_threshold) // 2
+                donation = my_pel.take_oldest(max(1, surplus))
+                if donation:
+                    for nt in poor:
+                        my_pel.push(nt)
+                else:
+                    donation = poor
+                for nt in donation:
+                    env.pels[beggar].push(nt)
+                pl = env.placement
+                if pl.blade_of(beggar) == pl.blade_of(ctx.thread_id):
+                    ctx.stats.n_intra_blade_steals += 1
+                else:
+                    ctx.stats.n_remote_steals += 1
+                ctx.stats.n_work_given += 1
+                env.bl.wake(beggar)
+                continue
+        for nt in poor:
+            my_pel.push(nt)

@@ -1,0 +1,34 @@
+"""Deterministic cc-NUMA machine simulator (the Blacklight stand-in).
+
+Real 176-core SGI UV hardware is not available to this reproduction, and
+CPython cannot exhibit hardware-level parallel scaling natively; per
+DESIGN.md the parallel experiments therefore run on this discrete-event
+simulator.  Crucially, simulated threads execute the *actual* production
+code — the same kernel, contention managers, begging lists and worker
+loop as the real-thread backend — against the real shared
+triangulation; only time is virtual.  Each simulated thread is a real
+Python thread run in lock-step by the engine, so protocol code runs
+unmodified, and every run is deterministic given its seed.
+
+The cost model charges operation durations from the work actually
+performed (cavity sizes, ball sizes) plus NUMA effects: remote-touch
+penalties by socket/blade distance, fat-tree hop latencies (2,000
+cycles per hop, Section 6.3), switch congestion, and hyper-threading's
+shared-pipeline factor.
+"""
+
+from repro.simnuma.costmodel import BLACKLIGHT, CRTC, MachineSpec, NumaCostModel
+from repro.simnuma.engine import SimDeadlock, SimEngine, SimLivelock
+from repro.simnuma.simrefiner import SimulationResult, simulate_parallel_refinement
+
+__all__ = [
+    "MachineSpec",
+    "NumaCostModel",
+    "BLACKLIGHT",
+    "CRTC",
+    "SimEngine",
+    "SimLivelock",
+    "SimDeadlock",
+    "simulate_parallel_refinement",
+    "SimulationResult",
+]

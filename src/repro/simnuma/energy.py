@@ -1,0 +1,59 @@
+"""Power/energy model for simulated runs (paper Section 8's discussion).
+
+The paper observes that threads idling on contention and begging lists
+create an opportunity to drop core frequency and maximise
+``Elements / (second x Watt)``.  This model makes that trade-off
+computable for any :class:`SimulationResult`:
+
+* busy cycles burn full active power;
+* busy-*waiting* burns nearly full power (a spin loop keeps the pipeline
+  hot) — unless DVFS is enabled, in which case parked waits drop to a
+  low-power state;
+* the remainder of each thread's wall time is idle at static power.
+
+Per-core wattages default to an X7560-class part (130 W TDP / 8 cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simnuma.simrefiner import SimulationResult
+
+
+@dataclass
+class EnergyModel:
+    """Per-core power states, in watts."""
+
+    p_active: float = 16.0      # executing refinement work
+    p_spin: float = 13.0        # busy-waiting at full frequency
+    p_scaled: float = 4.0       # busy-waiting under DVFS / deep C-state
+    p_static: float = 2.0       # leakage while otherwise idle
+
+    def energy_joules(self, result: SimulationResult,
+                      dvfs: bool = False) -> float:
+        """Total energy of the run; waits burn p_spin or p_scaled."""
+        wait_power = self.p_scaled if dvfs else self.p_spin
+        total = 0.0
+        for st in result.thread_stats:
+            busy = st.busy_time
+            waiting = st.total_overhead
+            idle = max(0.0, result.virtual_time - busy - waiting)
+            total += (
+                busy * self.p_active
+                + waiting * wait_power
+                + idle * self.p_static
+            )
+        return total
+
+    def elements_per_joule(self, result: SimulationResult,
+                           dvfs: bool = False) -> float:
+        """The paper's Elements/(second*Watt) figure of merit."""
+        e = self.energy_joules(result, dvfs)
+        return result.n_elements / e if e > 0 else 0.0
+
+    def dvfs_saving(self, result: SimulationResult) -> float:
+        """Fractional energy saved by scaling frequency during waits."""
+        base = self.energy_joules(result, dvfs=False)
+        scaled = self.energy_joules(result, dvfs=True)
+        return (base - scaled) / base if base > 0 else 0.0

@@ -1,0 +1,292 @@
+"""Discrete-event engine running protocol threads in lock-step.
+
+Each simulated thread is a real Python thread, but the engine lets
+exactly one run at any instant (semaphore handshake), so the shared
+triangulation and all protocol state are race-free while the *virtual*
+clock interleaves operations the way a real machine would:
+
+* an operation's vertex locks are held for its whole virtual duration,
+  so overlapping operations conflict and roll back exactly as in the
+  paper's speculative scheme;
+* waits (contention lists, begging lists, Random-CM sleeps) park the
+  thread and charge the waited virtual time to the right overhead
+  bucket;
+* a livelock watchdog aborts runs where virtual time advances without
+  any successful operation — the way the paper diagnosed Aggressive-CM
+  ("no tetrahedron was refined in the time period of an hour").
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.runtime.context import ExecutionContext
+from repro.runtime.stats import OverheadKind, ThreadStats
+
+
+class SimLivelock(Exception):
+    """Virtual time advanced past the watchdog horizon with no progress."""
+
+
+class SimDeadlock(Exception):
+    """All threads are parked and no event can wake any of them."""
+
+
+class SimMutex:
+    """Mutex for protocol code under lock-step execution."""
+
+    def __init__(self, engine: "SimEngine"):
+        self._engine = engine
+        self._owner = -1
+
+    def acquire(self) -> None:
+        ctx = self._engine.current_ctx
+        while self._owner not in (-1, ctx.thread_id):
+            ctx.wait_until(lambda: self._owner == -1, OverheadKind.CONTENTION)
+        self._owner = ctx.thread_id
+
+    def release(self) -> None:
+        self._owner = -1
+
+
+class SimContext(ExecutionContext):
+    """Per-thread execution context under the simulator."""
+
+    def __init__(self, engine: "SimEngine", thread_id: int):
+        self.engine = engine
+        self.thread_id = thread_id
+        self.stats = ThreadStats(thread_id=thread_id)
+        self.resume_sem = threading.Semaphore(0)
+        self.finished = False
+        self.op_locks: List[int] = []
+
+    # -- engine handshake ------------------------------------------------
+    def _yield(self) -> None:
+        if self.engine.aborting:
+            return  # run() is unwinding; do not hand control back
+        self.engine.engine_sem.release()
+        self.resume_sem.acquire()
+
+    def _advance(self, dt: float) -> None:
+        self.engine.schedule(self.engine.clock + dt, "resume", self.thread_id)
+        self._yield()
+
+    # -- ExecutionContext ------------------------------------------------
+    def try_lock_vertex(self, vid: int) -> int:
+        table = self.engine.lock_owner
+        owner = table.get(vid, -1)
+        if owner == -1:
+            table[vid] = self.thread_id
+            self.op_locks.append(vid)
+            return -1
+        if owner == self.thread_id:
+            return -1
+        return owner
+
+    def commit_operation(self, cost: float) -> None:
+        self.stats.busy_time += cost
+        locks, self.op_locks = self.op_locks, []
+        self.engine.schedule(
+            self.engine.clock + cost, "release_locks", locks
+        )
+        self._advance(cost)
+
+    def abort_operation(self, wasted_cost: float) -> None:
+        self.stats.n_operations += 0  # rollbacks counted by the worker
+        self.stats.add_overhead(
+            OverheadKind.ROLLBACK, wasted_cost, self.engine.clock
+        )
+        locks, self.op_locks = self.op_locks, []
+        self.engine.schedule(
+            self.engine.clock + wasted_cost, "release_locks", locks
+        )
+        self._advance(wasted_cost)
+
+    def now(self) -> float:
+        return self.engine.clock
+
+    def wait_until(self, predicate: Callable[[], bool],
+                   kind: OverheadKind) -> None:
+        if predicate():
+            return
+        self.engine.park(self.thread_id, predicate, kind)
+        self._yield()
+
+    def sleep(self, seconds: float, kind: OverheadKind) -> None:
+        self.stats.add_overhead(kind, seconds, self.engine.clock)
+        self._advance(seconds)
+
+    def charge(self, seconds: float) -> None:
+        self.stats.busy_time += seconds
+        self._advance(seconds)
+
+    def make_mutex(self):
+        return SimMutex(self.engine)
+
+    def random(self) -> float:
+        return self.engine.rng.random()
+
+
+class SimEngine:
+    """The event loop.  Construct, :meth:`spawn` workers, :meth:`run`."""
+
+    def __init__(self, n_threads: int, seed: int = 0,
+                 progress_fn: Optional[Callable[[], int]] = None,
+                 livelock_horizon: float = 5.0,
+                 livelock_event_horizon: int = 400_000,
+                 stop_fn: Optional[Callable[[], None]] = None):
+        self.stop_fn = stop_fn
+        self.aborting = False
+        self.livelock_event_horizon = livelock_event_horizon
+        self._events_processed = 0
+        self._last_progress_event = 0
+        self.n_threads = n_threads
+        self.clock = 0.0
+        self.rng = random.Random(seed)
+        self.engine_sem = threading.Semaphore(0)
+        self.contexts = [SimContext(self, tid) for tid in range(n_threads)]
+        self.current_ctx: Optional[SimContext] = None
+        self.lock_owner: Dict[int, int] = {}
+        self._heap: List[Tuple[float, int, str, object]] = []
+        self._seq = 0
+        self._parked: Dict[int, Tuple[Callable[[], bool], OverheadKind, float]] = {}
+        self._threads: List[threading.Thread] = []
+        self.errors: List[Tuple[int, BaseException]] = []
+        # livelock watchdog
+        self.progress_fn = progress_fn
+        self.livelock_horizon = livelock_horizon
+        self._last_progress_value = -1
+        self._last_progress_clock = 0.0
+        # congestion: leaky bucket of recent remote touches
+        self._bucket_level = 0.0
+        self._bucket_clock = 0.0
+
+    # -- congestion accounting (used by the cost model closure) ----------
+    def note_remote_touches(self, n: int, service_rate: float) -> None:
+        dt = self.clock - self._bucket_clock
+        self._bucket_level = max(0.0, self._bucket_level - dt * service_rate)
+        self._bucket_level += n
+        self._bucket_clock = self.clock
+
+    def congestion_multiplier(self, softcap: float) -> float:
+        return 1.0 + self._bucket_level / softcap
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, when: float, kind: str, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, kind, payload))
+
+    def park(self, tid: int, predicate, kind: OverheadKind) -> None:
+        self._parked[tid] = (predicate, kind, self.clock)
+
+    def _wake_ready(self) -> None:
+        ready = [
+            tid for tid, (pred, _, _) in self._parked.items() if pred()
+        ]
+        for tid in ready:
+            pred, kind, since = self._parked.pop(tid)
+            self.contexts[tid].stats.add_overhead(
+                kind, self.clock - since, self.clock
+            )
+            self.schedule(self.clock, "resume", tid)
+
+    # -- lifecycle ----------------------------------------------------------
+    def spawn(self, worker: Callable, *args) -> None:
+        """Create the real threads, one per simulated thread."""
+        for ctx in self.contexts:
+            th = threading.Thread(
+                target=self._thread_body, args=(ctx, worker, args),
+                daemon=True,
+            )
+            self._threads.append(th)
+            th.start()
+
+    def _thread_body(self, ctx: SimContext, worker: Callable, args) -> None:
+        ctx.resume_sem.acquire()
+        try:
+            worker(ctx, *args)
+        except BaseException as exc:  # noqa: BLE001 - surfaced in run()
+            self.errors.append((ctx.thread_id, exc))
+        ctx.finished = True
+        self.engine_sem.release()
+
+    def run(self) -> float:
+        """Drive events until every thread finishes; returns final clock."""
+        for tid in range(self.n_threads):
+            self.schedule(0.0, "resume", tid)
+
+        n_finished = 0
+        while n_finished < self.n_threads:
+            if not self._heap:
+                self._wake_ready()
+                if not self._heap:
+                    parked = sorted(self._parked)
+                    raise SimDeadlock(
+                        f"no events and threads {parked} are parked"
+                    )
+                continue
+            when, _, kind, payload = heapq.heappop(self._heap)
+            if when > self.clock:
+                self.clock = when
+            if kind == "release_locks":
+                for vid in payload:
+                    self.lock_owner.pop(vid, None)
+                continue
+            # kind == "resume"
+            tid = payload
+            ctx = self.contexts[tid]
+            if ctx.finished:
+                continue
+            self.current_ctx = ctx
+            was_finished = ctx.finished
+            ctx.resume_sem.release()
+            self.engine_sem.acquire()
+            if ctx.finished and not was_finished:
+                n_finished += 1
+            if self.errors:
+                self._release_everything()
+                tid_err, exc = self.errors[0]
+                raise RuntimeError(
+                    f"simulated thread {tid_err} raised: {exc!r}"
+                ) from exc
+            self._wake_ready()
+            self._check_livelock()
+        return self.clock
+
+    def _check_livelock(self) -> None:
+        if self.progress_fn is None:
+            return
+        self._events_processed += 1
+        value = self.progress_fn()
+        if value != self._last_progress_value:
+            self._last_progress_value = value
+            self._last_progress_clock = self.clock
+            self._last_progress_event = self._events_processed
+            return
+        stalled_time = self.clock - self._last_progress_clock
+        stalled_events = self._events_processed - self._last_progress_event
+        if (stalled_time > self.livelock_horizon
+                or stalled_events > self.livelock_event_horizon):
+            self._release_everything()
+            raise SimLivelock(
+                f"no successful operation for {stalled_time:.3f} virtual "
+                f"seconds / {stalled_events} events "
+                f"(t={self.clock:.3f}s)"
+            )
+
+    def _release_everything(self) -> None:
+        """Unblock every thread so the process can exit after a failure.
+
+        ``stop_fn`` (typically setting the fleet's done flag) runs first
+        so resumed workers fall out of their loops instead of racing on
+        the shared mesh."""
+        self.aborting = True
+        if self.stop_fn is not None:
+            self.stop_fn()
+        for ctx in self.contexts:
+            ctx.resume_sem.release()
+        for th in self._threads:
+            th.join(timeout=5.0)

@@ -1,0 +1,65 @@
+"""Utilization reports from simulation results.
+
+Turns a :class:`SimulationResult`'s per-thread statistics into a
+terminal utilization summary — how the fleet's time split between
+useful work and each overhead category, per thread group — the view
+Figure 6 and Table 1 reason about.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.stats import OverheadKind
+from repro.simnuma.simrefiner import SimulationResult
+
+
+def utilization_report(result: SimulationResult, group_size: int = 16,
+                       width: int = 48) -> str:
+    """Stacked per-group utilization bars.
+
+    Each group of ``group_size`` threads gets one bar showing the split
+    of its wall time into busy ('#'), contention ('c'), load-balance
+    ('l'), rollback ('r') and untracked idle (' ').
+    """
+    if result.virtual_time <= 0:
+        raise ValueError("result has no elapsed time")
+    lines = [
+        f"utilization over {result.virtual_time:.4f}s x "
+        f"{result.n_threads} threads "
+        f"({result.n_elements} elements, CM={result.cm_name}, "
+        f"LB={result.lb_name})",
+        "legend: # busy, c contention, l load-balance, r rollback, . idle",
+    ]
+    stats = result.thread_stats
+    for g0 in range(0, result.n_threads, group_size):
+        group = stats[g0:g0 + group_size]
+        wall = result.virtual_time * len(group)
+        busy = sum(s.busy_time for s in group)
+        cont = sum(s.overhead[OverheadKind.CONTENTION] for s in group)
+        lb = sum(s.overhead[OverheadKind.LOAD_BALANCE] for s in group)
+        rb = sum(s.overhead[OverheadKind.ROLLBACK] for s in group)
+        idle = max(0.0, wall - busy - cont - lb - rb)
+
+        def cells(x):
+            return round(width * x / wall)
+
+        bar = (
+            "#" * cells(busy)
+            + "c" * cells(cont)
+            + "l" * cells(lb)
+            + "r" * cells(rb)
+        )
+        bar = (bar + "." * width)[:width]
+        ops = sum(s.n_operations for s in group)
+        lines.append(
+            f"t{g0:>4}-{min(result.n_threads, g0 + group_size) - 1:<4} "
+            f"|{bar}| {ops} ops"
+        )
+    totals = result.totals
+    lines.append(
+        f"totals: {int(totals['operations'])} ops, "
+        f"{int(totals['rollbacks'])} rollbacks, "
+        f"overhead {totals['total_overhead']:.3f} thread-seconds"
+    )
+    return "\n".join(lines)

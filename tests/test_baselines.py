@@ -1,0 +1,102 @@
+"""Tests for the CGAL-like and TetGen-like baseline meshers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CGALLikeMesher, TetGenLikeMesher
+from repro.core import mesh_image
+from repro.imaging import shell_phantom, sphere_phantom
+from repro.metrics import quality_report
+
+
+@pytest.fixture(scope="module")
+def sphere():
+    return sphere_phantom(20)
+
+
+@pytest.fixture(scope="module")
+def pi2m_surface(sphere):
+    """PI2M-recovered boundary surface: the PLC handed to TetGen-like."""
+    res = mesh_image(sphere, delta=3.0, max_operations=100_000)
+    return res.mesh
+
+
+class TestCGALLike:
+    def test_produces_mesh(self, sphere):
+        mesher = CGALLikeMesher(sphere, facet_distance=1.5, cell_size=6.0)
+        mesh = mesher.refine()
+        assert mesh.n_tets > 50
+        assert mesher.stats.wall_time > 0
+        assert mesher.stats.n_insertions > 0
+
+    def test_quality_bound(self, sphere):
+        mesher = CGALLikeMesher(sphere, cell_radius_edge=2.0, cell_size=6.0)
+        mesh = mesher.refine()
+        q = quality_report(mesh)
+        assert q.max_radius_edge <= 2.0 + 1e-6
+
+    def test_volume_close_to_object(self, sphere):
+        mesher = CGALLikeMesher(sphere, cell_size=6.0)
+        mesh = mesher.refine()
+        q = quality_report(mesh)
+        voxels = float((sphere.labels > 0).sum())
+        assert abs(q.total_volume - voxels) / voxels < 0.3
+
+    def test_multi_label(self):
+        img = shell_phantom(20)
+        mesher = CGALLikeMesher(img, cell_size=6.0)
+        mesh = mesher.refine()
+        assert set(mesh.tet_labels.tolist()) == {1, 2}
+
+    def test_finer_distance_more_elements(self, sphere):
+        coarse = CGALLikeMesher(sphere, facet_distance=2.5, cell_size=8.0).refine()
+        fine = CGALLikeMesher(sphere, facet_distance=0.8, cell_size=8.0).refine()
+        assert fine.n_tets > coarse.n_tets
+
+
+class TestTetGenLike:
+    def test_produces_mesh(self, pi2m_surface):
+        seeds = [((10.0, 10.0, 10.0), 1)]
+        mesher = TetGenLikeMesher(
+            pi2m_surface.vertices,
+            pi2m_surface.boundary_faces,
+            region_seeds=seeds,
+        )
+        mesh = mesher.refine()
+        assert mesh.n_tets > 50
+        assert set(mesh.tet_labels.tolist()) == {1}
+
+    def test_radius_edge_improves_with_refinement(self, pi2m_surface):
+        seeds = [((10.0, 10.0, 10.0), 1)]
+        unrefined = TetGenLikeMesher(
+            pi2m_surface.vertices, pi2m_surface.boundary_faces, seeds,
+            radius_edge_bound=1e9,  # effectively no refinement
+        ).refine()
+        refined = TetGenLikeMesher(
+            pi2m_surface.vertices, pi2m_surface.boundary_faces, seeds,
+            radius_edge_bound=2.0,
+        ).refine()
+        q_un = quality_report(unrefined)
+        q_re = quality_report(refined)
+        assert q_re.max_radius_edge <= q_un.max_radius_edge
+
+    def test_requires_seeds(self, pi2m_surface):
+        with pytest.raises(ValueError):
+            TetGenLikeMesher(
+                pi2m_surface.vertices, pi2m_surface.boundary_faces, []
+            )
+
+    def test_boundary_vertices_preserved(self, pi2m_surface):
+        seeds = [((10.0, 10.0, 10.0), 1)]
+        mesher = TetGenLikeMesher(
+            pi2m_surface.vertices, pi2m_surface.boundary_faces, seeds,
+            radius_edge_bound=1e9,
+        )
+        mesh = mesher.refine()
+        # Every PLC vertex must appear in the output mesh.
+        out = {tuple(np.round(v, 9)) for v in mesh.vertices}
+        plc_in_out = sum(
+            1 for v in pi2m_surface.vertices if tuple(np.round(v, 9)) in out
+        )
+        # Boundary vertices of kept tets; nearly all PLC vertices survive.
+        assert plc_in_out >= 0.9 * len(pi2m_surface.vertices)

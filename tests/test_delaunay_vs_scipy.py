@@ -1,0 +1,93 @@
+"""Cross-validation of the kernel against scipy.spatial.Delaunay.
+
+For points in general position the Delaunay triangulation is unique, so
+our incremental kernel must produce *exactly* the same tetrahedron set
+as Qhull when run on the same points (the 4 bounding-simplex corners
+plus the inserted points).  This also holds after removals: removing a
+vertex must leave the Delaunay triangulation of the remaining set.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from scipy.spatial import Delaunay as ScipyDelaunay
+
+from repro.delaunay import Triangulation3D
+
+
+def our_tet_set(tri):
+    return {
+        tuple(sorted(tri.mesh.tet_verts[t])) for t in tri.mesh.live_tets()
+    }
+
+
+def scipy_tet_set(points, index_of):
+    sd = ScipyDelaunay(np.asarray(points))
+    out = set()
+    for simplex in sd.simplices:
+        out.add(tuple(sorted(index_of[tuple(points[i])] for i in simplex)))
+    return out
+
+
+def build(n_points, seed):
+    tri = Triangulation3D((0, 0, 0), (1, 1, 1))
+    rng = random.Random(seed)
+    for _ in range(n_points):
+        tri.insert_point(tuple(rng.uniform(0.02, 0.98) for _ in range(3)))
+    points = []
+    index_of = {}
+    for v in range(len(tri.mesh.points)):
+        if tri.mesh.alive_vertex[v]:
+            p = tri.mesh.points[v]
+            index_of[p] = v
+            points.append(p)
+    return tri, points, index_of
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+@pytest.mark.parametrize("n_points", [10, 40])
+def test_insertions_match_qhull(seed, n_points):
+    tri, points, index_of = build(n_points, seed)
+    assert our_tet_set(tri) == scipy_tet_set(points, index_of)
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_removals_match_qhull(seed):
+    tri, points, index_of = build(30, seed)
+    rng = random.Random(seed + 100)
+    victims = rng.sample([v for v in index_of.values() if v >= 4], 10)
+    for v in victims:
+        tri.remove_vertex(v)
+    points = [
+        tri.mesh.points[v]
+        for v in range(len(tri.mesh.points))
+        if tri.mesh.alive_vertex[v]
+    ]
+    index_of = {p: i for p, i in
+                ((tri.mesh.points[v], v)
+                 for v in range(len(tri.mesh.points))
+                 if tri.mesh.alive_vertex[v])}
+    assert our_tet_set(tri) == scipy_tet_set(points, index_of)
+
+
+def test_interleaved_ops_match_qhull():
+    tri = Triangulation3D((0, 0, 0), (1, 1, 1))
+    rng = random.Random(5)
+    alive = []
+    for step in range(60):
+        if alive and rng.random() < 0.35:
+            v = alive.pop(rng.randrange(len(alive)))
+            tri.remove_vertex(v)
+        else:
+            v, _, _ = tri.insert_point(
+                tuple(rng.uniform(0.02, 0.98) for _ in range(3))
+            )
+            alive.append(v)
+    points = [tri.mesh.points[v] for v in range(len(tri.mesh.points))
+              if tri.mesh.alive_vertex[v]]
+    index_of = {tuple(p): v for v, p in
+                ((v, tri.mesh.points[v])
+                 for v in range(len(tri.mesh.points))
+                 if tri.mesh.alive_vertex[v])}
+    assert our_tet_set(tri) == scipy_tet_set(points, index_of)

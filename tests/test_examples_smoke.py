@@ -1,0 +1,59 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Run via subprocess with small arguments so docs never rot.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, args, tmp_path, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,  # examples write output files into cwd
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example("quickstart.py", ["20", "3.0"], tmp_path)
+        assert "elements" in out
+        assert (tmp_path / "quickstart_mesh.vtk").exists()
+        assert (tmp_path / "quickstart_surface.off").exists()
+
+    def test_multi_tissue_abdominal(self, tmp_path):
+        out = run_example("multi_tissue_abdominal.py", ["28"], tmp_path)
+        assert "Per-tissue elements" in out
+        assert "Recovered interfaces" in out
+        assert (tmp_path / "abdominal_mesh.vtk").exists()
+
+    def test_parallel_scaling_demo(self, tmp_path):
+        out = run_example("parallel_scaling_demo.py", ["18", "3.0"],
+                          tmp_path, timeout=400)
+        assert "Simulated strong scaling" in out
+        assert "rollbacks" in out
+
+    def test_contention_managers_demo(self, tmp_path):
+        out = run_example("contention_managers_demo.py", ["8"], tmp_path,
+                          timeout=400)
+        assert "aggressive" in out and "local" in out
+
+    def test_mesher_comparison(self, tmp_path):
+        out = run_example("mesher_comparison.py", ["20"], tmp_path,
+                          timeout=400)
+        assert "PI2M" in out and "CGAL-like" in out and "TetGen-like" in out
+
+    def test_smoothing_cfd(self, tmp_path):
+        out = run_example("smoothing_cfd.py", ["24"], tmp_path, timeout=400)
+        assert "Smoothing" in out
+        assert (tmp_path / "vascular_smoothed.vtk").exists()

@@ -1,0 +1,204 @@
+"""Unit and property tests for the robust geometric predicates."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.predicates import (
+    circumcenter_tet,
+    circumcenter_tri,
+    circumradius_tet,
+    insphere,
+    orient3d,
+)
+
+A = (0.0, 0.0, 0.0)
+B = (1.0, 0.0, 0.0)
+C = (0.0, 1.0, 0.0)
+D = (0.0, 0.0, 1.0)
+
+
+class TestOrient3d:
+    def test_positive_orientation(self):
+        assert orient3d(A, B, C, (0.0, 0.0, -1.0)) > 0
+
+    def test_negative_orientation(self):
+        assert orient3d(A, B, C, D) < 0
+
+    def test_coplanar_exact_zero(self):
+        assert orient3d(A, B, C, (0.25, 0.25, 0.0)) == 0
+
+    def test_swap_changes_sign(self):
+        s1 = orient3d(A, B, C, D)
+        s2 = orient3d(B, A, C, D)
+        assert s1 == -s2 != 0
+
+    def test_near_coplanar_exact_fallback(self):
+        # Point displaced by far less than float error in the naive
+        # evaluation of a badly-scaled determinant.
+        base = (1e8, 1e8, 0.0)
+        a = (0.0, 0.0, 0.0)
+        b = (1e8, 0.0, 0.0)
+        c = (0.0, 1e8, 0.0)
+        d_above = (base[0], base[1], 1e-9)
+        d_below = (base[0], base[1], -1e-9)
+        assert orient3d(a, b, c, d_above) != orient3d(a, b, c, d_below)
+
+    def test_translation_invariance_of_sign(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            pts = [
+                tuple(rng.uniform(-1, 1) for _ in range(3)) for _ in range(4)
+            ]
+            s0 = orient3d(*pts)
+            shift = tuple(rng.uniform(-5, 5) for _ in range(3))
+            moved = [tuple(p[i] + shift[i] for i in range(3)) for p in pts]
+            assert orient3d(*moved) == s0
+
+
+class TestInsphere:
+    def tet(self):
+        # Positively oriented unit tet: orient3d(a,b,c,d) > 0.
+        a, b, c, d = A, B, C, (0.0, 0.0, -1.0)
+        assert orient3d(a, b, c, d) > 0
+        return a, b, c, d
+
+    def test_center_inside(self):
+        a, b, c, d = self.tet()
+        cc = circumcenter_tet(a, b, c, d)
+        assert insphere(a, b, c, d, cc) > 0
+
+    def test_far_point_outside(self):
+        a, b, c, d = self.tet()
+        assert insphere(a, b, c, d, (100.0, 100.0, 100.0)) < 0
+
+    def test_vertex_on_sphere_is_zero(self):
+        a, b, c, d = self.tet()
+        assert insphere(a, b, c, d, a) == 0
+
+    def test_cospherical_exact_zero(self):
+        # Fifth point of a cube lies on the circumsphere of the other four.
+        a = (0.0, 0.0, 0.0)
+        b = (1.0, 0.0, 0.0)
+        c = (0.0, 1.0, 0.0)
+        d = (0.0, 0.0, 1.0)
+        if orient3d(a, b, c, d) < 0:
+            a, b = b, a
+        e = (1.0, 1.0, 1.0)  # antipode of origin on the cube's circumsphere
+        assert insphere(a, b, c, d, e) == 0
+
+    def test_orientation_requirement(self):
+        # Flipping the tet's orientation flips the insphere sign.
+        a, b, c, d = self.tet()
+        inside = circumcenter_tet(a, b, c, d)
+        assert insphere(b, a, c, d, inside) < 0
+
+    def test_near_sphere_exact_fallback(self):
+        a, b, c, d = self.tet()
+        cc = circumcenter_tet(a, b, c, d)
+        r = circumradius_tet(a, b, c, d)
+        # Points just inside / outside along +x from the center.
+        just_in = (cc[0] + (r - 1e-12), cc[1], cc[2])
+        just_out = (cc[0] + (r + 1e-12), cc[1], cc[2])
+        assert insphere(a, b, c, d, just_in) >= 0
+        assert insphere(a, b, c, d, just_out) <= 0
+        assert insphere(a, b, c, d, just_in) != insphere(a, b, c, d, just_out)
+
+
+coords = st.floats(
+    min_value=-100.0,
+    max_value=100.0,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+)
+points = st.tuples(coords, coords, coords)
+
+
+@settings(max_examples=200, deadline=None)
+@given(points, points, points, points, points)
+def test_insphere_consistent_with_distance(a, b, c, d, e):
+    """On well-conditioned tets the predicate agrees with explicit distances."""
+    from repro.geometry.quality import shortest_edge, tet_volume
+
+    if orient3d(a, b, c, d) <= 0:
+        a, b = b, a
+    if orient3d(a, b, c, d) <= 0:
+        return  # degenerate configuration; predicate correctness covered elsewhere
+    # Require a reasonably conditioned tet: volume not vanishing relative
+    # to its edge lengths, otherwise float circumcenters are meaningless
+    # and only the exact predicate (tested elsewhere) is trustworthy.
+    se = shortest_edge(a, b, c, d)
+    if se <= 1e-6 or abs(tet_volume(a, b, c, d)) < 1e-9 * se ** 3:
+        return
+    try:
+        cc = circumcenter_tet(a, b, c, d)
+        r = circumradius_tet(a, b, c, d)
+    except ZeroDivisionError:
+        return
+    if not all(map(math.isfinite, cc)) or not math.isfinite(r) or r > 1e6:
+        return
+    dist = math.dist(cc, e)
+    margin = 1e-6 * max(1.0, r)
+    if dist < r - margin:
+        assert insphere(a, b, c, d, e) > 0
+    elif dist > r + margin:
+        assert insphere(a, b, c, d, e) < 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(points, points, points, points)
+def test_orient3d_antisymmetry(a, b, c, d):
+    assert orient3d(a, b, c, d) == -orient3d(a, c, b, d)
+
+
+class TestCircumcenter:
+    def test_equidistant(self):
+        rng = random.Random(3)
+        for _ in range(25):
+            pts = [
+                tuple(rng.uniform(-1, 1) for _ in range(3)) for _ in range(4)
+            ]
+            if orient3d(*pts) == 0:
+                continue
+            cc = circumcenter_tet(*pts)
+            dists = [math.dist(cc, p) for p in pts]
+            assert max(dists) - min(dists) < 1e-8 * max(1.0, max(dists))
+
+    def test_regular_tet_radius(self):
+        # Regular tetrahedron with edge sqrt(2) inscribed in unit-ish cube.
+        a = (1.0, 1.0, 1.0)
+        b = (1.0, -1.0, -1.0)
+        c = (-1.0, 1.0, -1.0)
+        d = (-1.0, -1.0, 1.0)
+        r = circumradius_tet(a, b, c, d)
+        assert r == pytest.approx(math.sqrt(3.0))
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            circumcenter_tet(A, B, C, (0.5, 0.5, 0.0))
+
+    def test_triangle_circumcenter_equidistant(self):
+        rng = random.Random(11)
+        for _ in range(25):
+            pts = [
+                tuple(rng.uniform(-2, 2) for _ in range(3)) for _ in range(3)
+            ]
+            area2 = np.linalg.norm(
+                np.cross(
+                    np.subtract(pts[1], pts[0]), np.subtract(pts[2], pts[0])
+                )
+            )
+            if area2 < 1e-9:
+                continue
+            cc = circumcenter_tri(*pts)
+            dists = [math.dist(cc, p) for p in pts]
+            assert max(dists) - min(dists) < 1e-8 * max(1.0, max(dists))
+
+    def test_triangle_degenerate_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            circumcenter_tri(A, B, (2.0, 0.0, 0.0))

@@ -1,0 +1,143 @@
+"""Tests for tetrahedron / triangle quality measures."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.quality import (
+    dihedral_angles,
+    min_max_dihedral,
+    radius_edge_ratio,
+    shortest_edge,
+    tet_volume,
+    triangle_angles,
+    triangle_min_angle,
+)
+
+REGULAR = (
+    (1.0, 1.0, 1.0),
+    (1.0, -1.0, -1.0),
+    (-1.0, 1.0, -1.0),
+    (-1.0, -1.0, 1.0),
+)
+
+
+class TestVolume:
+    def test_unit_tet(self):
+        v = tet_volume((0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 0, -1))
+        assert abs(v) == pytest.approx(1.0 / 6.0)
+
+    def test_sign_flips_with_orientation(self):
+        a, b, c, d = REGULAR
+        assert tet_volume(a, b, c, d) == -tet_volume(b, a, c, d)
+
+    def test_degenerate_zero(self):
+        assert tet_volume((0, 0, 0), (1, 0, 0), (0, 1, 0), (0.3, 0.3, 0.0)) == 0.0
+
+
+class TestRadiusEdge:
+    def test_regular_tet_value(self):
+        # Regular tet: R/e = sqrt(6)/4.
+        assert radius_edge_ratio(*REGULAR) == pytest.approx(math.sqrt(6) / 4)
+
+    def test_scale_invariance(self):
+        s = 37.5
+        scaled = [tuple(s * x for x in p) for p in REGULAR]
+        assert radius_edge_ratio(*scaled) == pytest.approx(math.sqrt(6) / 4)
+
+    def test_degenerate_inf(self):
+        assert radius_edge_ratio(
+            (0, 0, 0), (1, 0, 0), (0, 1, 0), (0.5, 0.5, 0.0)
+        ) == math.inf
+
+    def test_zero_edge_inf(self):
+        assert radius_edge_ratio(
+            (0, 0, 0), (0, 0, 0), (0, 1, 0), (0, 0, 1)
+        ) == math.inf
+
+    def test_needle_has_large_ratio(self):
+        # A skinny sliver-like tet should exceed the paper's bound of 2.
+        bad = ((0, 0, 0), (1, 0, 0), (0.5, 1e-3, 0), (0.5, 0, 1e-3))
+        assert radius_edge_ratio(*bad) > 2.0
+
+
+class TestShortestEdge:
+    def test_unit_tet(self):
+        assert shortest_edge((0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 0, 1)) == 1.0
+
+    def test_regular(self):
+        assert shortest_edge(*REGULAR) == pytest.approx(2.0 * math.sqrt(2.0))
+
+
+class TestDihedral:
+    def test_regular_tet_angles(self):
+        angs = dihedral_angles(*REGULAR)
+        expected = math.degrees(math.acos(1.0 / 3.0))  # ~70.53
+        assert len(angs) == 6
+        for a in angs:
+            assert a == pytest.approx(expected, abs=1e-9)
+
+    def test_min_max(self):
+        lo, hi = min_max_dihedral(*REGULAR)
+        assert lo == pytest.approx(hi)
+
+    def test_orthogonal_corner_tet(self):
+        # Corner tet of a cube: three right dihedral angles at the
+        # orthogonal edges.
+        angs = dihedral_angles((0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 0, 1))
+        right = sum(1 for a in angs if a == pytest.approx(90.0, abs=1e-9))
+        assert right == 3
+
+    def test_sliver_has_extreme_dihedrals(self):
+        sliver = ((0, 0, 0), (1, 0, 0), (0.5, 0.5, 1e-4), (0.5, -0.5, -1e-4))
+        lo, hi = min_max_dihedral(*sliver)
+        assert lo < 5.0
+        assert hi > 175.0
+
+
+class TestTriangleAngles:
+    def test_equilateral(self):
+        a = (0.0, 0.0, 0.0)
+        b = (1.0, 0.0, 0.0)
+        c = (0.5, math.sqrt(3) / 2, 0.0)
+        for ang in triangle_angles(a, b, c):
+            assert ang == pytest.approx(60.0)
+
+    def test_right_triangle(self):
+        angs = triangle_angles((0, 0, 0), (1, 0, 0), (0, 1, 0))
+        assert sorted(angs) == pytest.approx([45.0, 45.0, 90.0])
+
+    def test_min_angle(self):
+        assert triangle_min_angle((0, 0, 0), (1, 0, 0), (0, 1, 0)) == pytest.approx(45.0)
+
+    def test_embedded_in_3d(self):
+        # Same equilateral rotated out of plane keeps its angles.
+        a = (0.0, 0.0, 0.0)
+        b = (1.0, 0.0, 1.0)
+        c = (0.5 - math.sqrt(3) / 2 / math.sqrt(2),
+             math.sqrt(3) / 2,
+             0.5 + math.sqrt(3) / 2 / math.sqrt(2))
+        # Just check sum of angles is 180 for any non-degenerate triangle.
+        assert sum(triangle_angles(a, b, c)) == pytest.approx(180.0)
+
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+pts = st.tuples(coords, coords, coords)
+
+
+@settings(max_examples=150, deadline=None)
+@given(pts, pts, pts)
+def test_triangle_angles_sum_property(a, b, c):
+    angs = triangle_angles(a, b, c)
+    if min(angs) == 0.0:  # degenerate triangles short-circuit to 0
+        return
+    assert sum(angs) == pytest.approx(180.0, abs=1e-6)
+
+
+@settings(max_examples=150, deadline=None)
+@given(pts, pts, pts, pts)
+def test_dihedral_angles_in_range(a, b, c, d):
+    for ang in dihedral_angles(a, b, c, d):
+        assert 0.0 <= ang <= 180.0

@@ -1,0 +1,152 @@
+"""Tests for surface-voxel detection and the SurfaceOracle queries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.imaging import (
+    SegmentedImage,
+    SurfaceOracle,
+    shell_phantom,
+    sphere_phantom,
+    surface_voxel_mask,
+    two_spheres_phantom,
+)
+
+
+class TestSurfaceVoxels:
+    def test_single_voxel_is_surface(self):
+        lab = np.zeros((5, 5, 5), dtype=np.int16)
+        lab[2, 2, 2] = 1
+        img = SegmentedImage(lab)
+        m = surface_voxel_mask(img)
+        assert m[2, 2, 2]
+        assert m.sum() == 1
+
+    def test_solid_block_surface_only(self):
+        lab = np.zeros((8, 8, 8), dtype=np.int16)
+        lab[2:6, 2:6, 2:6] = 1
+        img = SegmentedImage(lab)
+        m = surface_voxel_mask(img)
+        # Interior 2x2x2 voxels are not surface.
+        assert not m[3:5, 3:5, 3:5].any()
+        # The block's shell is exactly the surface: 4^3 - 2^3 voxels.
+        assert m.sum() == 64 - 8
+
+    def test_border_foreground_is_surface(self):
+        lab = np.ones((4, 4, 4), dtype=np.int16)
+        img = SegmentedImage(lab)
+        m = surface_voxel_mask(img)
+        # All-foreground image: surface voxels are those on the image border.
+        assert m.sum() == 64 - 8
+        assert not m[1:3, 1:3, 1:3].any()
+
+    def test_multi_label_interface_is_surface(self):
+        lab = np.ones((6, 6, 6), dtype=np.int16)
+        lab[3:, :, :] = 2
+        img = SegmentedImage(lab)
+        m = surface_voxel_mask(img)
+        # Voxels on both sides of the internal 1|2 interface are surface.
+        assert m[2, 3, 3] and m[3, 3, 3]
+
+    def test_background_never_surface(self):
+        img = sphere_phantom(16)
+        m = surface_voxel_mask(img)
+        assert not (m & (img.labels == 0)).any()
+
+    def test_sphere_surface_shell_width(self):
+        img = sphere_phantom(32, radius_frac=0.3)
+        m = surface_voxel_mask(img)
+        # Every surface voxel is within ~1 voxel of the analytic sphere.
+        c = np.array([16.0, 16.0, 16.0])
+        r = 0.3 * 32
+        centers = np.argwhere(m) + 0.5
+        d = np.linalg.norm(centers - c, axis=1)
+        assert (np.abs(d - r) < 1.8).all()
+
+
+class TestSurfaceOracle:
+    def test_closest_point_on_sphere(self):
+        img = sphere_phantom(32, radius_frac=0.3)
+        oracle = SurfaceOracle(img)
+        c = (16.0, 16.0, 16.0)
+        r = 0.3 * 32
+        for p in [(16.0, 16.0, 16.0), (16.0, 16.0, 9.0), (4.0, 16.0, 16.0),
+                  (20.0, 20.0, 20.0)]:
+            s = oracle.closest_surface_point(p)
+            assert s is not None
+            d = math.dist(s, c)
+            # Voxelized sphere: surface within a voxel of the analytic one.
+            assert abs(d - r) < 1.2
+
+    def test_closest_point_label_crossing(self):
+        # The returned point must sit on a label discontinuity: stepping a
+        # hair along the query direction changes the label.
+        img = sphere_phantom(32, radius_frac=0.3)
+        oracle = SurfaceOracle(img)
+        p = (16.0, 16.0, 12.0)
+        s = oracle.closest_surface_point(p)
+        lab_in = img.label_at(s)
+        # Points just either side along the p->s direction differ in label.
+        u = np.array(s) - np.array(p)
+        u = u / np.linalg.norm(u)
+        before = img.label_at(tuple(np.array(s) - 0.05 * u))
+        after = img.label_at(tuple(np.array(s) + 0.05 * u))
+        assert before != after
+
+    def test_internal_interface_crossing(self):
+        img = shell_phantom(32)
+        oracle = SurfaceOracle(img)
+        c = (16.0, 16.0, 16.0)
+        # Segment from the center (label 2) outward crosses the 2|1
+        # interface first.
+        out = (16.0, 16.0, 27.0)
+        s = oracle.surface_crossing(c, out)
+        assert s is not None
+        d = math.dist(s, c)
+        assert abs(d - 0.22 * 32) < 1.2
+
+    def test_surface_crossing_none_inside_uniform(self):
+        img = sphere_phantom(32, radius_frac=0.4)
+        oracle = SurfaceOracle(img)
+        a = (15.0, 16.0, 16.0)
+        b = (17.0, 16.0, 16.0)
+        assert oracle.surface_crossing(a, b) is None
+
+    def test_surface_crossing_degenerate_segment(self):
+        img = sphere_phantom(16)
+        oracle = SurfaceOracle(img)
+        assert oracle.surface_crossing((8, 8, 8), (8, 8, 8)) is None
+
+    def test_two_materials_junction(self):
+        img = two_spheres_phantom(32)
+        oracle = SurfaceOracle(img)
+        # Crossing from sphere 1 into sphere 2 hits the 1|2 interface.
+        a = (16.0 - 4.0, 16.0, 16.0)
+        b = (16.0 + 4.0, 16.0, 16.0)
+        s = oracle.surface_crossing(a, b)
+        assert s is not None
+        assert abs(s[0] - 16.0) < 1.2
+
+    def test_empty_image_raises(self):
+        img = SegmentedImage(np.zeros((6, 6, 6), dtype=np.int16))
+        with pytest.raises(ValueError):
+            SurfaceOracle(img)
+
+    def test_parallel_oracle_matches(self):
+        img = shell_phantom(24)
+        o1 = SurfaceOracle(img, n_workers=1)
+        o2 = SurfaceOracle(img, n_workers=3)
+        np.testing.assert_array_equal(o1.edt.dist2, o2.edt.dist2)
+        p = (12.0, 12.0, 5.0)
+        assert o1.closest_surface_point(p) == o2.closest_surface_point(p)
+
+    def test_nearest_surface_voxel_is_surface(self):
+        img = sphere_phantom(24)
+        oracle = SurfaceOracle(img)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = tuple(rng.uniform(2, 22, size=3))
+            q = oracle.nearest_surface_voxel(p)
+            assert oracle.surface_mask[img.voxel_of(q)]

@@ -1,0 +1,96 @@
+"""Tests for mesh/image I/O round trips."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import mesh_image
+from repro.imaging import SegmentedImage, sphere_phantom
+from repro.io import (
+    load_image_npz,
+    load_tetgen,
+    save_image_npz,
+    save_off_surface,
+    save_tetgen,
+    save_vtk,
+)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return mesh_image(sphere_phantom(16), delta=3.0,
+                      max_operations=100_000).mesh
+
+
+class TestVTK:
+    def test_writes_valid_header(self, mesh, tmp_path):
+        path = tmp_path / "mesh.vtk"
+        save_vtk(mesh, str(path))
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("# vtk DataFile")
+        assert "DATASET UNSTRUCTURED_GRID" in lines[3]
+        assert f"POINTS {mesh.n_vertices} double" in lines[4]
+
+    def test_cell_counts(self, mesh, tmp_path):
+        path = tmp_path / "mesh.vtk"
+        save_vtk(mesh, str(path))
+        text = path.read_text()
+        assert f"CELLS {mesh.n_tets} {mesh.n_tets * 5}" in text
+        assert text.count("\n10\n") >= 1  # VTK_TETRA type codes
+
+
+class TestTetGenIO:
+    def test_round_trip(self, mesh, tmp_path):
+        base = str(tmp_path / "mesh")
+        save_tetgen(mesh, base)
+        verts, tets, labels = load_tetgen(base)
+        np.testing.assert_allclose(verts, mesh.vertices)
+        np.testing.assert_array_equal(tets, mesh.tets)
+        np.testing.assert_array_equal(labels, mesh.tet_labels)
+
+    def test_one_based_indices_on_disk(self, mesh, tmp_path):
+        base = str(tmp_path / "m2")
+        save_tetgen(mesh, base)
+        with open(base + ".node") as f:
+            f.readline()
+            first = f.readline().split()
+        assert first[0] == "1"
+
+
+class TestOFF:
+    def test_off_structure(self, mesh, tmp_path):
+        path = tmp_path / "surf.off"
+        save_off_surface(mesh, str(path))
+        lines = path.read_text().splitlines()
+        assert lines[0] == "OFF"
+        nv, nf, ne = (int(x) for x in lines[1].split())
+        assert nf == len(mesh.boundary_faces)
+        assert len(lines) == 2 + nv + nf
+        # face indices are within range
+        for line in lines[2 + nv:]:
+            parts = line.split()
+            assert parts[0] == "3"
+            assert all(0 <= int(x) < nv for x in parts[1:])
+
+
+class TestImageNPZ:
+    def test_round_trip(self, tmp_path):
+        img = sphere_phantom(12)
+        path = str(tmp_path / "img.npz")
+        save_image_npz(img, path)
+        back = load_image_npz(path)
+        np.testing.assert_array_equal(back.labels, img.labels)
+        assert back.spacing == img.spacing
+        assert back.origin == img.origin
+
+    def test_anisotropic_round_trip(self, tmp_path):
+        lab = np.zeros((4, 5, 6), dtype=np.int16)
+        lab[1:3, 2:4, 3:5] = 3
+        img = SegmentedImage(lab, spacing=(0.5, 1.0, 2.4), origin=(-1, 0, 7))
+        path = str(tmp_path / "a.npz")
+        save_image_npz(img, path)
+        back = load_image_npz(path)
+        assert back.spacing == (0.5, 1.0, 2.4)
+        assert back.origin == (-1.0, 0.0, 7.0)
+        np.testing.assert_array_equal(back.labels, lab)

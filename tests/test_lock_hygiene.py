@@ -1,0 +1,60 @@
+"""Lock-hygiene invariants: no operation leaks vertex locks."""
+
+import pytest
+
+from repro.imaging import sphere_phantom
+from repro.parallel import parallel_mesh_image
+from repro.simnuma import SimEngine, simulate_parallel_refinement
+
+
+class TestSimulatorLockHygiene:
+    def test_lock_table_empty_after_run(self):
+        from repro.core.domain import RefineDomain
+        from repro.core.pel import PoorElementList
+        from repro.runtime.begging import HierarchicalBeggingList
+        from repro.runtime.contention import make_contention_manager
+        from repro.runtime.shared import SharedState
+        from repro.runtime.worker import WorkerEnv, refinement_worker
+        from repro.simnuma.costmodel import BLACKLIGHT, NumaCostModel
+
+        img = sphere_phantom(16)
+        domain = RefineDomain(img, delta=3.0)
+        n = 6
+        machine = BLACKLIGHT
+        model = NumaCostModel()
+        placement = machine.placement(n)
+        shared = SharedState(n)
+        cm = make_contention_manager("local", n, shared)
+        bl = HierarchicalBeggingList(n, shared, placement)
+        pels = [PoorElementList(domain.tri.mesh) for _ in range(n)]
+        for t in domain.tri.mesh.live_tets():
+            if domain.is_poor(t):
+                pels[0].push(t)
+        engine = SimEngine(n, progress_fn=lambda: shared.successful_ops,
+                           stop_fn=lambda: setattr(shared, "done", True))
+        env = WorkerEnv(
+            domain=domain, pels=pels, cm=cm, bl=bl, shared=shared,
+            placement=placement,
+            cost_of=lambda r, e, ctx: model.seconds(
+                model.compute_cycles(r, False)
+            ),
+        )
+        engine.spawn(refinement_worker, env)
+        engine.run()
+        # Every lock was released by its operation's release event.
+        assert engine.lock_owner == {}
+        # No thread still holds per-op lock lists.
+        assert all(not ctx.op_locks for ctx in engine.contexts)
+
+    def test_real_threads_lock_table_empty(self):
+        img = sphere_phantom(16)
+        res = parallel_mesh_image(img, n_threads=3, delta=3.0, timeout=240.0)
+        # The driver's lock table is internal; verify through a fresh
+        # run's success and the absence of leaked ops in stats.
+        assert res.totals["operations"] > 0
+        # The domain is still operable afterwards (no stuck locks):
+        from repro.core.refiner import SequentialRefiner
+
+        extra = SequentialRefiner(res.domain, max_operations=50_000)
+        extra.refine()  # completes without deadlock
+        res.domain.tri.validate_topology()

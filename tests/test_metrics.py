@@ -1,0 +1,127 @@
+"""Tests for quality statistics and Hausdorff fidelity metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import mesh_image
+from repro.imaging import SurfaceOracle, sphere_phantom
+from repro.metrics import (
+    hausdorff_distance,
+    point_triangle_distance,
+    quality_report,
+)
+
+
+class TestPointTriangleDistance:
+    A = (0.0, 0.0, 0.0)
+    B = (2.0, 0.0, 0.0)
+    C = (0.0, 2.0, 0.0)
+
+    def test_above_interior(self):
+        assert point_triangle_distance(
+            (0.5, 0.5, 3.0), self.A, self.B, self.C
+        ) == pytest.approx(3.0)
+
+    def test_on_triangle_zero(self):
+        assert point_triangle_distance(
+            (0.5, 0.5, 0.0), self.A, self.B, self.C
+        ) == pytest.approx(0.0)
+
+    def test_nearest_vertex_region(self):
+        assert point_triangle_distance(
+            (-1.0, -1.0, 0.0), self.A, self.B, self.C
+        ) == pytest.approx(math.sqrt(2.0))
+
+    def test_nearest_edge_region(self):
+        assert point_triangle_distance(
+            (1.0, -2.0, 0.0), self.A, self.B, self.C
+        ) == pytest.approx(2.0)
+
+    def test_hypotenuse_region(self):
+        d = point_triangle_distance((2.0, 2.0, 0.0), self.A, self.B, self.C)
+        assert d == pytest.approx(math.sqrt(2.0))
+
+
+coords = st.floats(-5, 5, allow_nan=False)
+pt = st.tuples(coords, coords, coords)
+
+
+@settings(max_examples=100, deadline=None)
+@given(pt, pt, pt, pt)
+def test_point_triangle_distance_bounds(p, a, b, c):
+    """Distance is between the plane distance and min vertex distance."""
+    d = point_triangle_distance(p, a, b, c)
+    dmin_vertex = min(math.dist(p, a), math.dist(p, b), math.dist(p, c))
+    assert 0.0 <= d <= dmin_vertex + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(pt, pt, pt, st.floats(0, 1), st.floats(0, 1))
+def test_point_triangle_distance_vs_sampling(a, b, c, u, v):
+    """Every barycentric sample of the triangle is at least ``d`` away."""
+    if u + v > 1:
+        u, v = 1 - u, 1 - v
+    w = 1 - u - v
+    q = tuple(w * a[i] + u * b[i] + v * c[i] for i in range(3))
+    p = (q[0] + 1.0, q[1] - 0.5, q[2] + 0.25)
+    d = point_triangle_distance(p, a, b, c)
+    assert d <= math.dist(p, q) + 1e-9
+
+
+class TestQualityReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return mesh_image(sphere_phantom(16), delta=3.0,
+                          max_operations=100_000)
+
+    def test_fields(self, result):
+        q = quality_report(result.mesh)
+        assert q.n_tets == result.mesh.n_tets
+        assert 0 < q.max_radius_edge < 10
+        assert 0 <= q.min_dihedral_deg <= q.max_dihedral_deg <= 180
+        assert q.total_volume > 0
+        assert 1 in q.labels
+
+    def test_row_renders(self, result):
+        row = quality_report(result.mesh).row()
+        assert "maxRE" in row and "dihedral" in row
+
+    def test_empty_mesh_raises(self):
+        from repro.core.extract import ExtractedMesh
+
+        empty = ExtractedMesh(
+            vertices=np.zeros((0, 3)),
+            tets=np.zeros((0, 4), dtype=np.int64),
+            tet_labels=np.zeros(0, dtype=np.int32),
+            boundary_faces=np.zeros((0, 3), dtype=np.int64),
+            boundary_labels=np.zeros((0, 2), dtype=np.int32),
+        )
+        with pytest.raises(ValueError):
+            quality_report(empty)
+
+
+class TestHausdorff:
+    def test_hausdorff_reasonable_for_sphere(self):
+        img = sphere_phantom(24)
+        res = mesh_image(img, delta=2.5, max_operations=100_000)
+        oracle = SurfaceOracle(img)
+        d = hausdorff_distance(res.mesh, img, oracle)
+        assert 0 < d < 3 * 2.5
+
+    def test_no_boundary_raises(self):
+        from repro.core.extract import ExtractedMesh
+
+        img = sphere_phantom(12)
+        mesh = ExtractedMesh(
+            vertices=np.zeros((4, 3)),
+            tets=np.array([[0, 1, 2, 3]]),
+            tet_labels=np.array([1], dtype=np.int32),
+            boundary_faces=np.zeros((0, 3), dtype=np.int64),
+            boundary_labels=np.zeros((0, 2), dtype=np.int32),
+        )
+        with pytest.raises(ValueError):
+            hausdorff_distance(mesh, img)

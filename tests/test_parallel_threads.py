@@ -1,0 +1,58 @@
+"""Real-thread speculative refinement: correctness under true concurrency.
+
+The GIL caps the speedup, so these tests assert *correctness* — the
+final mesh passes the same validity/quality checks as a sequential run
+— plus protocol liveness at small thread counts.
+"""
+
+import pytest
+
+from repro.imaging import shell_phantom, sphere_phantom
+from repro.metrics import quality_report
+from repro.parallel import parallel_mesh_image
+
+
+@pytest.fixture(scope="module")
+def img():
+    return sphere_phantom(20)
+
+
+class TestParallelThreads:
+    @pytest.mark.parametrize("n_threads", [1, 2, 4])
+    def test_mesh_valid(self, img, n_threads):
+        res = parallel_mesh_image(img, n_threads=n_threads, delta=3.0,
+                                  timeout=240.0)
+        res.domain.tri.validate_topology()
+        assert res.domain.tri.is_delaunay(tol_exhaustive=3_000_000)
+        assert res.mesh.n_tets > 50
+
+    def test_quality_bounds_hold(self, img):
+        res = parallel_mesh_image(img, n_threads=4, delta=2.5, timeout=240.0)
+        q = quality_report(res.mesh)
+        assert q.max_radius_edge <= 2.0 + 1e-6
+
+    @pytest.mark.parametrize("cm", ["random", "global", "local"])
+    def test_contention_managers(self, img, cm):
+        res = parallel_mesh_image(img, n_threads=4, delta=3.0, cm=cm,
+                                  timeout=240.0)
+        assert res.mesh.n_tets > 50
+
+    def test_hws_balancer(self, img):
+        from repro.runtime.placement import Placement
+
+        placement = Placement(n_threads=4, cores_per_socket=2,
+                              sockets_per_blade=2)
+        res = parallel_mesh_image(img, n_threads=4, delta=3.0, lb="hws",
+                                  placement=placement, timeout=240.0)
+        assert res.mesh.n_tets > 50
+
+    def test_multi_tissue_parallel(self):
+        res = parallel_mesh_image(shell_phantom(20), n_threads=4, delta=3.0,
+                                  timeout=240.0)
+        assert set(res.mesh.tet_labels.tolist()) == {1, 2}
+
+    def test_stats_collected(self, img):
+        res = parallel_mesh_image(img, n_threads=4, delta=3.0, timeout=240.0)
+        assert res.totals["operations"] > 0
+        assert res.wall_time > 0
+        assert len(res.thread_stats) == 4

@@ -1,0 +1,87 @@
+"""Tests for the quality-guarded smoothing extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import mesh_image
+from repro.imaging import SurfaceOracle, sphere_phantom
+from repro.metrics import hausdorff_distance, quality_report
+from repro.postprocess import smooth_mesh
+
+
+@pytest.fixture(scope="module")
+def setup():
+    img = sphere_phantom(20)
+    res = mesh_image(img, delta=2.5, max_operations=200_000)
+    oracle = res.domain.oracle
+    return img, res.mesh, oracle
+
+
+class TestSmoothing:
+    def test_returns_new_mesh_same_topology(self, setup):
+        _, mesh, oracle = setup
+        smoothed, stats = smooth_mesh(mesh, oracle, iterations=2)
+        assert smoothed.n_tets == mesh.n_tets
+        assert smoothed.n_vertices == mesh.n_vertices
+        np.testing.assert_array_equal(smoothed.tets, mesh.tets)
+        assert stats.iterations == 2
+        assert stats.moves_accepted > 0
+
+    def test_min_dihedral_never_decreases(self, setup):
+        _, mesh, oracle = setup
+        q_before = quality_report(mesh)
+        smoothed, _ = smooth_mesh(mesh, oracle, iterations=3)
+        q_after = quality_report(smoothed)
+        assert q_after.min_dihedral_deg >= q_before.min_dihedral_deg - 1e-9
+
+    def test_no_inverted_elements(self, setup):
+        from repro.geometry.quality import tet_volume
+
+        _, mesh, oracle = setup
+        smoothed, _ = smooth_mesh(mesh, oracle, iterations=3)
+        signs_before = [
+            tet_volume(*[tuple(mesh.vertices[v]) for v in tet]) > 0
+            for tet in mesh.tets
+        ]
+        for tet, ref in zip(smoothed.tets, signs_before):
+            vol = tet_volume(*[tuple(smoothed.vertices[v]) for v in tet])
+            assert vol != 0.0 and (vol > 0) == ref
+
+    def test_volume_approximately_conserved(self, setup):
+        _, mesh, oracle = setup
+        q_before = quality_report(mesh)
+        smoothed, _ = smooth_mesh(mesh, oracle, iterations=3)
+        q_after = quality_report(smoothed)
+        assert abs(q_after.total_volume - q_before.total_volume) \
+            / q_before.total_volume < 0.05
+
+    def test_fidelity_preserved_with_projection(self, setup):
+        img, mesh, oracle = setup
+        d_before = hausdorff_distance(mesh, img, oracle)
+        smoothed, stats = smooth_mesh(mesh, oracle, iterations=2,
+                                      boundary="project")
+        d_after = hausdorff_distance(smoothed, img, oracle)
+        assert stats.boundary_projected > 0
+        # Projection keeps the boundary on the isosurface: fidelity does
+        # not degrade beyond a fraction of a voxel.
+        assert d_after <= d_before + 0.6
+
+    def test_fixed_boundary_mode(self, setup):
+        _, mesh, _ = setup
+        smoothed, stats = smooth_mesh(mesh, oracle=None, iterations=2,
+                                      boundary="fixed")
+        boundary_verts = {int(v) for f in mesh.boundary_faces for v in f}
+        for v in boundary_verts:
+            np.testing.assert_array_equal(
+                smoothed.vertices[v], mesh.vertices[v]
+            )
+
+    def test_project_requires_oracle(self, setup):
+        _, mesh, _ = setup
+        with pytest.raises(ValueError):
+            smooth_mesh(mesh, oracle=None, boundary="project")
+
+    def test_bad_boundary_mode(self, setup):
+        _, mesh, oracle = setup
+        with pytest.raises(ValueError):
+            smooth_mesh(mesh, oracle, boundary="slide")

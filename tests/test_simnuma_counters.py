@@ -1,0 +1,44 @@
+"""Tests for the modeled hyper-threading counters (Table 5 support)."""
+
+import pytest
+
+from repro.imaging import sphere_phantom
+from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma.counters import HTCounterModel
+
+
+@pytest.fixture(scope="module")
+def pair():
+    img = sphere_phantom(18)
+    base = simulate_parallel_refinement(img, 8, delta=3.0)
+    ht = simulate_parallel_refinement(img, 16, delta=3.0,
+                                      hyperthreading=True)
+    return base, ht
+
+
+class TestHTCounters:
+    def test_all_deltas_negative(self, pair):
+        base, ht = pair
+        tlb, llc, stalls = HTCounterModel().deltas(ht, base)
+        assert tlb < 0 and llc < 0 and stalls < 0
+
+    def test_deltas_within_clamps(self, pair):
+        base, ht = pair
+        tlb, llc, stalls = HTCounterModel().deltas(ht, base)
+        assert -0.60 <= tlb <= -0.05
+        assert -0.80 <= llc <= -0.20
+        assert -0.55 <= stalls <= -0.30
+
+    def test_pressure_increases_tlb_gain(self, pair):
+        base, ht = pair
+        lo = HTCounterModel(pressure_coeff=0.0)
+        hi = HTCounterModel(pressure_coeff=1.0)
+        # more pressure coefficient -> LLC gain at least as strong
+        _, llc_lo, _ = lo.deltas(ht, base)
+        _, llc_hi, _ = hi.deltas(ht, base)
+        assert llc_hi <= llc_lo
+
+    def test_deterministic(self, pair):
+        base, ht = pair
+        m = HTCounterModel()
+        assert m.deltas(ht, base) == m.deltas(ht, base)

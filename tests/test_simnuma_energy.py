@@ -1,0 +1,50 @@
+"""Tests for the energy model (paper Section 8 discussion)."""
+
+import pytest
+
+from repro.imaging import sphere_phantom
+from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma.energy import EnergyModel
+
+
+@pytest.fixture(scope="module")
+def run():
+    return simulate_parallel_refinement(sphere_phantom(20), 8, delta=3.0)
+
+
+class TestEnergyModel:
+    def test_energy_positive(self, run):
+        em = EnergyModel()
+        assert em.energy_joules(run) > 0
+
+    def test_dvfs_never_increases_energy(self, run):
+        em = EnergyModel()
+        assert em.energy_joules(run, dvfs=True) <= em.energy_joules(run)
+
+    def test_dvfs_saving_bounded(self, run):
+        em = EnergyModel()
+        s = em.dvfs_saving(run)
+        assert 0.0 <= s < 1.0
+
+    def test_saving_scales_with_wait_fraction(self, run):
+        # A contended run (waits dominate) saves more than a hypothetical
+        # fully-busy run (nothing to scale down).
+        em = EnergyModel()
+        saving_contended = em.dvfs_saving(run)
+        solo = simulate_parallel_refinement(sphere_phantom(20), 1, delta=3.0)
+        saving_solo = em.dvfs_saving(solo)
+        assert saving_contended > saving_solo
+
+    def test_elements_per_joule(self, run):
+        em = EnergyModel()
+        base = em.elements_per_joule(run)
+        scaled = em.elements_per_joule(run, dvfs=True)
+        assert scaled >= base > 0
+
+    def test_energy_accounting_consistent(self, run):
+        # Decomposition: full-power energy >= static-only lower bound.
+        em = EnergyModel()
+        lower = (
+            run.n_threads * run.virtual_time * em.p_static
+        )
+        assert em.energy_joules(run) >= lower * 0.99

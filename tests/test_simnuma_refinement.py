@@ -1,0 +1,123 @@
+"""Integration tests: simulated parallel refinement end-to-end."""
+
+import pytest
+
+from repro.imaging import sphere_phantom
+from repro.simnuma import (
+    BLACKLIGHT,
+    CRTC,
+    NumaCostModel,
+    simulate_parallel_refinement,
+)
+
+
+@pytest.fixture(scope="module")
+def img():
+    return sphere_phantom(20)
+
+
+class TestSimulatedRefinement:
+    def test_single_thread_completes(self, img):
+        r = simulate_parallel_refinement(img, 1, delta=3.0)
+        assert not r.livelock
+        assert r.n_elements > 100
+        assert r.rollbacks == 0
+        assert r.virtual_time > 0
+
+    def test_parallel_mesh_valid(self, img):
+        from repro.core.domain import RefineDomain
+
+        domain = RefineDomain(img, delta=3.0)
+        r = simulate_parallel_refinement(img, 8, delta=3.0, domain=domain)
+        assert not r.livelock
+        domain.tri.validate_topology()
+        assert domain.tri.is_delaunay(tol_exhaustive=3_000_000)
+
+    def test_parallel_count_close_to_sequential(self, img):
+        r1 = simulate_parallel_refinement(img, 1, delta=3.0)
+        r8 = simulate_parallel_refinement(img, 8, delta=3.0)
+        # Refinement order differs, so counts differ, but modestly.
+        assert abs(r8.n_elements - r1.n_elements) / r1.n_elements < 0.4
+
+    def test_rollbacks_happen_under_contention(self, img):
+        r = simulate_parallel_refinement(img, 16, delta=3.0)
+        assert r.rollbacks > 0
+        assert r.totals["contention_overhead"] >= 0.0
+
+    def test_deterministic_given_seed(self, img):
+        a = simulate_parallel_refinement(img, 4, delta=3.0, seed=3)
+        b = simulate_parallel_refinement(img, 4, delta=3.0, seed=3)
+        assert a.virtual_time == b.virtual_time
+        assert a.n_elements == b.n_elements
+        assert a.rollbacks == b.rollbacks
+
+    def test_all_contention_managers_terminate_low_threads(self, img):
+        for cm in ("aggressive", "random", "global", "local"):
+            r = simulate_parallel_refinement(
+                img, 4, delta=3.0, cm=cm, livelock_horizon=2.0
+            )
+            # At 4 threads even aggressive usually survives; on livelock
+            # the result is flagged rather than hanging.
+            assert r.n_elements > 0
+            assert r.cm_name == cm
+
+    def test_both_load_balancers(self, img):
+        for lb in ("rws", "hws"):
+            r = simulate_parallel_refinement(img, 8, delta=3.0, lb=lb)
+            assert not r.livelock
+            assert r.lb_name == lb
+
+    def test_unknown_lb_raises(self, img):
+        with pytest.raises(ValueError):
+            simulate_parallel_refinement(img, 2, delta=3.0, lb="magic")
+
+    def test_hyperthreading_mode_runs(self, img):
+        r = simulate_parallel_refinement(
+            img, 8, delta=3.0, hyperthreading=True
+        )
+        assert not r.livelock
+        assert r.hyperthreading
+
+    def test_crtc_machine(self, img):
+        r = simulate_parallel_refinement(img, 4, delta=3.0, machine=CRTC)
+        assert not r.livelock
+
+    def test_work_distribution_reaches_other_threads(self, img):
+        r = simulate_parallel_refinement(img, 8, delta=2.0)
+        busy = [s.n_operations for s in r.thread_stats]
+        assert sum(1 for b in busy if b > 0) >= 4
+
+    def test_overhead_timeline_collected(self, img):
+        r = simulate_parallel_refinement(img, 8, delta=3.0)
+        timelines = [s.overhead_timeline for s in r.thread_stats]
+        assert any(len(tl) > 0 for tl in timelines)
+
+
+class TestCostModel:
+    def test_hops(self):
+        m = NumaCostModel()
+        assert m.hops_between(0, 0, 4) == 0
+        assert m.hops_between(0, 1, 8) == 3
+        assert m.hops_between(0, 1, 11) == 5
+
+    def test_touch_cost_monotone_in_distance(self):
+        m = NumaCostModel()
+        pl = BLACKLIGHT.placement(64)
+        same_socket = m.touch_cost_cycles(0, 1, pl, 1.0)
+        other_socket = m.touch_cost_cycles(0, 8, pl, 1.0)
+        other_blade = m.touch_cost_cycles(0, 17, pl, 1.0)
+        assert same_socket <= other_socket <= other_blade
+
+    def test_ht_inflates_compute(self):
+        from repro.core.domain import OperationResult
+
+        m = NumaCostModel()
+        r = OperationResult(rule="R1", new_tets=[1] * 10, killed_tets=[1] * 5)
+        assert m.compute_cycles(r, True) > m.compute_cycles(r, False)
+
+    def test_congestion_scales_remote_touch(self):
+        m = NumaCostModel()
+        pl = BLACKLIGHT.placement(64)
+        base = m.touch_cost_cycles(0, 40, pl, 1.0)
+        congested = m.touch_cost_cycles(0, 40, pl, 2.0)
+        assert congested == pytest.approx(2.0 * base)

@@ -1,0 +1,76 @@
+"""Tests for surface-graded sizing and the vascular phantom."""
+
+import numpy as np
+import pytest
+
+from repro.core import mesh_image, surface_graded
+from repro.core.domain import RefineDomain
+from repro.imaging import sphere_phantom, vascular_phantom
+
+
+class TestVascularPhantom:
+    def test_two_tissues(self):
+        img = vascular_phantom(32)
+        assert img.n_labels == 2
+
+    def test_vessel_inside_tissue(self):
+        img = vascular_phantom(32)
+        vessel = np.argwhere(img.labels == 2)
+        assert len(vessel) > 50
+        # vessel voxels are surrounded by tissue or vessel (not floating
+        # in background): check 6-neighborhood labels
+        lab = img.labels
+        for idx in vessel[:: max(1, len(vessel) // 50)]:
+            i, j, k = idx
+            neigh = []
+            for d in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0),
+                      (0, 0, 1), (0, 0, -1)):
+                ni, nj, nk = i + d[0], j + d[1], k + d[2]
+                if 0 <= ni < lab.shape[0] and 0 <= nj < lab.shape[1] \
+                        and 0 <= nk < lab.shape[2]:
+                    neigh.append(int(lab[ni, nj, nk]))
+            assert all(x in (1, 2) for x in neigh) or k <= 3
+
+    def test_bifurcation_depth_grows_tree(self):
+        small = vascular_phantom(32, levels=1)
+        big = vascular_phantom(32, levels=3)
+        assert (big.labels == 2).sum() > (small.labels == 2).sum()
+
+    def test_meshable(self):
+        img = vascular_phantom(24, levels=1)
+        res = mesh_image(img, delta=2.5, max_operations=300_000)
+        assert res.mesh.n_tets > 50
+        assert 1 in set(res.mesh.tet_labels.tolist())
+
+
+class TestSurfaceGradedSizing:
+    def test_validation(self):
+        domain = RefineDomain(sphere_phantom(16), delta=3.0)
+        with pytest.raises(ValueError):
+            surface_graded(domain, near=0.0, far=5.0)
+        with pytest.raises(ValueError):
+            surface_graded(domain, near=5.0, far=1.0)
+
+    def test_grows_with_distance(self):
+        domain = RefineDomain(sphere_phantom(32), delta=3.0)
+        sf = surface_graded(domain, near=1.0, far=10.0, growth=1.0)
+        # center of the sphere is far from the surface, near-surface
+        # point is close:
+        near_surface = (16.0, 16.0, 16.0 + 0.3 * 32 - 0.2)
+        center = (16.0, 16.0, 16.0)
+        assert sf(near_surface) < sf(center) <= 10.0
+
+    def test_caps_at_far(self):
+        domain = RefineDomain(sphere_phantom(32), delta=3.0)
+        sf = surface_graded(domain, near=1.0, far=3.0, growth=10.0)
+        assert sf((16.0, 16.0, 16.0)) == 3.0
+
+    def test_meshing_with_graded_sizing_refines_near_surface(self):
+        img = sphere_phantom(24)
+        domain_probe = RefineDomain(img, delta=3.0)
+        sf = surface_graded(domain_probe, near=2.0, far=8.0, growth=1.5)
+        base = mesh_image(img, delta=3.0, max_operations=300_000)
+        graded = mesh_image(img, delta=3.0, size_function=sf,
+                            max_operations=300_000)
+        # Graded sizing adds interior elements near the boundary.
+        assert graded.mesh.n_tets >= base.mesh.n_tets
