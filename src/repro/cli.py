@@ -3,17 +3,29 @@
 Commands
 --------
 ``phantom``   generate a synthetic segmented image (.npz)
-``mesh``      image-to-mesh conversion (sequential or real threads)
+``mesh``      image-to-mesh conversion (any mesher, via ``repro.api``)
 ``simulate``  parallel refinement on the simulated cc-NUMA machine
 ``report``    quality/fidelity report of a stored image + parameters
+``show``      ASCII view of an image slice
+
+Every meshing command runs through the unified :mod:`repro.api` path
+and accepts ``--trace-out`` (Chrome-trace JSON, loadable in
+``chrome://tracing`` / Perfetto) and ``--metrics-out`` (flat metrics
+JSON) flags.
+
+Exit codes: 0 success, 1 empty/invalid mesh (or simulated livelock),
+2 bad arguments.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
+
+EXIT_OK = 0
+EXIT_INVALID_MESH = 1
+EXIT_BAD_ARGS = 2
 
 PHANTOMS = {
     "sphere": "sphere_phantom",
@@ -24,6 +36,9 @@ PHANTOMS = {
     "head-neck": "head_neck_phantom",
     "vascular": "vascular_phantom",
 }
+
+MESHER_CHOICES = ["auto", "sequential", "threaded", "cgal-like",
+                  "tetgen-like"]
 
 
 def _cmd_phantom(args: argparse.Namespace) -> int:
@@ -36,7 +51,7 @@ def _cmd_phantom(args: argparse.Namespace) -> int:
     print(f"wrote {args.output}: shape={image.shape} "
           f"spacing={tuple(round(s, 3) for s in image.spacing)} "
           f"tissues={image.n_labels}")
-    return 0
+    return EXIT_OK
 
 
 def _load_image(path: str):
@@ -45,66 +60,100 @@ def _load_image(path: str):
     return load_image_npz(path)
 
 
+def _build_request(args: argparse.Namespace, image, mesher: str):
+    from repro.api import MeshRequest
+    from repro.observability import ObservabilityConfig
+
+    return MeshRequest(
+        image=image,
+        mesher=mesher,
+        delta=args.delta,
+        n_threads=getattr(args, "threads", 1),
+        cm=getattr(args, "cm", "local"),
+        lb=getattr(args, "lb", "hws"),
+        hyperthreading=getattr(args, "hyperthreading", False),
+        seed=getattr(args, "seed", 0),
+        observability=ObservabilityConfig(
+            tracing=bool(getattr(args, "trace_out", None)),
+        ),
+    )
+
+
+def _export_observability(result, args: argparse.Namespace) -> None:
+    obs = result.observability
+    if obs is None:
+        return
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        obs.write_trace(trace_out, process_name=f"repro-{result.mesher}")
+        print(f"wrote trace {trace_out}")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        obs.write_metrics(metrics_out, extra={
+            "mesher": result.mesher,
+            "stats": {k: v for k, v in result.stats.items()
+                      if not isinstance(v, dict)},
+            "timings": result.timings,
+        })
+        print(f"wrote metrics {metrics_out}")
+
+
+def _empty_mesh_error() -> int:
+    print("error: produced an empty mesh (is the image foreground "
+          "empty or delta far too large?)", file=sys.stderr)
+    return EXIT_INVALID_MESH
+
+
 def _cmd_mesh(args: argparse.Namespace) -> int:
+    from repro.api import mesh
     from repro.metrics import quality_report
 
     image = _load_image(args.image)
-    t0 = time.perf_counter()
-    if args.threads > 1:
-        from repro.parallel import parallel_mesh_image
+    mesher = args.mesher.replace("-", "_")
+    if mesher == "auto" and args.threads > 1:
+        mesher = "threaded"
+    result = mesh(_build_request(args, image, mesher))
+    _export_observability(result, args)
 
-        res = parallel_mesh_image(
-            image, n_threads=args.threads, delta=args.delta, cm=args.cm,
-        )
-        mesh = res.mesh
-        extra = f" rollbacks={res.n_rollbacks}"
+    if result.mesh.n_tets == 0:
+        return _empty_mesh_error()
+    dt = result.timings["wall_seconds"]
+    if result.mesher == "threaded":
+        extra = f" rollbacks={int(result.stats.get('rollbacks', 0))}"
+    elif result.mesher == "sequential":
+        extra = f" rules={result.stats.get('rule_counts', {})}"
     else:
-        from repro.core import mesh_image
-
-        res = mesh_image(image, delta=args.delta)
-        mesh = res.mesh
-        extra = f" rules={res.stats.rule_counts}"
-    dt = time.perf_counter() - t0
-
-    if mesh.n_tets == 0:
-        print("error: produced an empty mesh (is the image foreground "
-              "empty or delta far too large?)", file=sys.stderr)
-        return 1
-    q = quality_report(mesh)
-    print(f"{mesh.n_tets} tets in {dt:.2f}s "
-          f"({mesh.n_tets / dt:,.0f} tets/s){extra}")
+        extra = f" mesher={result.mesher}"
+    q = quality_report(result.mesh)
+    print(f"{result.mesh.n_tets} tets in {dt:.2f}s "
+          f"({result.mesh.n_tets / dt:,.0f} tets/s){extra}")
     print(q.row())
 
     if args.output:
         if args.output.endswith(".vtk"):
             from repro.io import save_vtk
 
-            save_vtk(mesh, args.output)
+            save_vtk(result.mesh, args.output)
         elif args.output.endswith(".off"):
             from repro.io import save_off_surface
 
-            save_off_surface(mesh, args.output)
+            save_off_surface(result.mesh, args.output)
         else:
             from repro.io import save_tetgen
 
-            save_tetgen(mesh, args.output)
+            save_tetgen(result.mesh, args.output)
         print(f"wrote {args.output}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.simnuma import simulate_parallel_refinement
+    from repro.api import mesh
 
     image = _load_image(args.image)
-    r = simulate_parallel_refinement(
-        image,
-        args.threads,
-        delta=args.delta,
-        cm=args.cm,
-        lb=args.lb,
-        hyperthreading=args.hyperthreading,
-        seed=args.seed,
-    )
+    result = mesh(_build_request(args, image, "simulated"))
+    _export_observability(result, args)
+
+    r = result.extras["raw"]
     status = "LIVELOCK" if r.livelock else "ok"
     print(f"[{status}] {r.n_elements} elements in {r.virtual_time:.4f} "
           f"simulated seconds = {r.elements_per_second:,.0f} elements/s")
@@ -117,11 +166,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         print()
         print(utilization_report(r))
-    return 2 if r.livelock else 0
+    if r.livelock or result.mesh.n_tets == 0:
+        if result.mesh.n_tets == 0 and not r.livelock:
+            return _empty_mesh_error()
+        return EXIT_INVALID_MESH
+    return EXIT_OK
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.core import mesh_image
+    from repro.api import mesh
     from repro.metrics import hausdorff_distance, quality_report
     from repro.metrics.histograms import (
         dihedral_histogram,
@@ -130,21 +183,26 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.metrics.validate import validate_extracted_mesh
 
     image = _load_image(args.image)
-    res = mesh_image(image, delta=args.delta)
-    q = quality_report(res.mesh)
-    d = hausdorff_distance(res.mesh, image, res.domain.oracle)
+    result = mesh(_build_request(args, image, "sequential"))
+    _export_observability(result, args)
+    if result.mesh.n_tets == 0:
+        return _empty_mesh_error()
+
+    domain = result.extras["domain"]
+    q = quality_report(result.mesh)
+    d = hausdorff_distance(result.mesh, image, domain.oracle)
     print(q.row())
-    print(f"hausdorff={d:.3f} (delta={res.domain.delta})")
+    print(f"hausdorff={d:.3f} (delta={domain.delta})")
     labels = ", ".join(f"{k}: {v}" for k, v in sorted(q.labels.items()))
     print(f"elements per tissue: {labels}")
-    issues = validate_extracted_mesh(res.mesh)
+    issues = validate_extracted_mesh(result.mesh)
     print("validation: " + ("OK" if not issues else "; ".join(issues)))
     if args.histograms:
         print()
-        print(dihedral_histogram(res.mesh))
+        print(dihedral_histogram(result.mesh))
         print()
-        print(radius_edge_histogram(res.mesh))
-    return 0 if not issues else 1
+        print(radius_edge_histogram(result.mesh))
+    return EXIT_OK if not issues else EXIT_INVALID_MESH
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -152,7 +210,14 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
     image = _load_image(args.image)
     print(render_image_slice(image, k=args.slice, axis=args.axis))
-    return 0
+    return EXIT_OK
+
+
+def _add_observability_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a Chrome-trace JSON of the run")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the run's metrics registry as JSON")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,10 +239,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="surface sampling parameter (default 2 voxels)")
     p.add_argument("--threads", type=int, default=1,
                    help="real threads (1 = sequential)")
+    p.add_argument("--mesher", default="auto", choices=MESHER_CHOICES,
+                   help="which mesher to run (default: sequential, or "
+                        "threaded when --threads > 1)")
     p.add_argument("--cm", default="local",
                    choices=["aggressive", "random", "global", "local"])
     p.add_argument("-o", "--output", default=None,
                    help=".vtk, .off, or TetGen basename")
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_mesh)
 
     p = sub.add_parser("simulate", help="simulated cc-NUMA refinement")
@@ -191,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--utilization", action="store_true",
                    help="print a per-thread-group utilization chart")
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("report", help="mesh quality/fidelity report")
@@ -198,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--delta", type=float, default=None)
     p.add_argument("--histograms", action="store_true",
                    help="print dihedral / radius-edge distributions")
+    _add_observability_flags(p)
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("show", help="ASCII view of an image slice")
@@ -213,13 +284,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_ARGS
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_ARGS
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         try:
             sys.stdout.close()
         except Exception:
             pass
-        return 0
+        return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,6 +15,7 @@ the parallel refiners use them.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -42,6 +43,51 @@ class MeshingResult:
     domain: RefineDomain
 
 
+def _mesh_image(
+    image: SegmentedImage,
+    delta: Optional[float] = None,
+    size_function: Optional[SizeFunction] = None,
+    radius_edge_bound: float = 2.0,
+    planar_angle_bound_deg: float = 30.0,
+    max_operations: Optional[int] = None,
+    obs=None,
+) -> MeshingResult:
+    """Implementation behind :func:`mesh_image` and ``repro.api``.
+
+    ``obs`` is an optional :class:`repro.observability.Observability`
+    bundle; when given, the domain build / refinement / extraction
+    phases are traced and the refiner feeds the metrics registry.
+    """
+    tracer = obs.tracer if obs is not None else None
+    if tracer is not None and tracer.enabled:
+        with tracer.span("domain_init"):
+            domain = _make_domain(image, delta, size_function,
+                                  radius_edge_bound, planar_angle_bound_deg)
+    else:
+        domain = _make_domain(image, delta, size_function,
+                              radius_edge_bound, planar_angle_bound_deg)
+    refiner = SequentialRefiner(domain, max_operations=max_operations,
+                                obs=obs)
+    stats = refiner.refine()
+    if tracer is not None and tracer.enabled:
+        with tracer.span("extract"):
+            mesh = extract_mesh(domain)
+    else:
+        mesh = extract_mesh(domain)
+    return MeshingResult(mesh=mesh, stats=stats, domain=domain)
+
+
+def _make_domain(image, delta, size_function, radius_edge_bound,
+                 planar_angle_bound_deg) -> RefineDomain:
+    return RefineDomain(
+        image,
+        delta=delta,
+        size_function=size_function,
+        radius_edge_bound=radius_edge_bound,
+        planar_angle_bound_deg=planar_angle_bound_deg,
+    )
+
+
 def mesh_image(
     image: SegmentedImage,
     delta: Optional[float] = None,
@@ -52,6 +98,13 @@ def mesh_image(
 ) -> MeshingResult:
     """One-call image-to-mesh conversion (sequential).
 
+    .. deprecated::
+        Use :func:`repro.api.mesh` with a
+        :class:`repro.api.MeshRequest` — it returns a uniform
+        :class:`repro.api.MeshResult` across every mesher and carries
+        the observability configuration.  This shim remains for
+        backward compatibility and forwards unchanged.
+
     Parameters mirror the paper's knobs: ``delta`` controls the surface
     sampling density (fidelity; Theorem 1 gives an O(delta^2) Hausdorff
     bound), ``radius_edge_bound`` the element quality (rule R4, paper
@@ -59,17 +112,20 @@ def mesh_image(
     (rule R3, paper value 30), and ``size_function`` custom element
     density (rule R5).
     """
-    domain = RefineDomain(
+    warnings.warn(
+        "repro.core.mesh_image is deprecated; use repro.api.mesh with a "
+        "MeshRequest (mesher='sequential')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _mesh_image(
         image,
         delta=delta,
         size_function=size_function,
         radius_edge_bound=radius_edge_bound,
         planar_angle_bound_deg=planar_angle_bound_deg,
+        max_operations=max_operations,
     )
-    refiner = SequentialRefiner(domain, max_operations=max_operations)
-    stats = refiner.refine()
-    mesh = extract_mesh(domain)
-    return MeshingResult(mesh=mesh, stats=stats, domain=domain)
 
 
 __all__ = [

@@ -5,6 +5,14 @@ refinement loop: seed a Poor Element List with the virtual bounding
 volume's elements, then repeatedly pop an element, apply the first
 applicable rule (R1-R6 via :meth:`RefineDomain.refine_tet`), and queue
 any newly created poor elements, until no rule applies anywhere.
+
+With an :class:`~repro.observability.Observability` bundle attached the
+refiner feeds the run's metrics registry (operation / rule counters,
+cavity-size histogram, per-operation latency histogram) and, when
+tracing is enabled, emits one complete-span trace event per operation —
+the same event stream the parallel and simulated refiners produce, so
+one Chrome-trace viewer serves every backend.  Without a bundle the
+per-operation cost is a single ``None`` check.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ from typing import Dict, Optional
 
 from repro.core.domain import OperationResult, RefineDomain
 from repro.core.pel import PoorElementList
+from repro.observability import Observability
+from repro.observability.metrics import SIZE_BUCKETS
 
 
 @dataclass
@@ -39,17 +49,39 @@ class SequentialRefiner:
     """Single-threaded PI2M refinement driver."""
 
     def __init__(self, domain: RefineDomain,
-                 max_operations: Optional[int] = None):
+                 max_operations: Optional[int] = None,
+                 obs: Optional[Observability] = None):
         self.domain = domain
         self.pel = PoorElementList(domain.tri.mesh)
         self.max_operations = max_operations
         self.stats = RefineStats()
+        self.obs = obs
 
     def refine(self) -> RefineStats:
         """Run refinement to completion; returns the statistics."""
         domain = self.domain
         pel = self.pel
+        obs = self.obs
         t_start = time.perf_counter()
+
+        # Hoist the instruments out of the loop: the hot path pays one
+        # method call per counter, never a registry lookup.
+        tracer = None
+        ops_counter = rules_counters = cavity_hist = op_hist = None
+        if obs is not None:
+            tracer = obs.tracer
+            reg = obs.registry
+            ops_counter = reg.counter("refine.operations")
+            cavity_hist = reg.histogram(
+                "refine.cavity_size", SIZE_BUCKETS,
+                help="new tets created per operation",
+            )
+            op_hist = reg.histogram(
+                "refine.op_seconds", help="wall time per operation",
+            )
+            rules_counters = {}
+            if tracer.enabled:
+                tracer.begin("refine", 0, 0.0)
 
         for t in domain.tri.mesh.live_tets():
             if domain.is_poor(t):
@@ -60,6 +92,7 @@ class SequentialRefiner:
             t = pel.pop()
             if t is None:
                 break
+            t_op0 = time.perf_counter()
             result = domain.refine_tet(t)
             ops += 1
             if self.max_operations is not None and ops > self.max_operations:
@@ -67,6 +100,22 @@ class SequentialRefiner:
                     f"refinement exceeded {self.max_operations} operations"
                 )
             self._record(result)
+            if obs is not None:
+                dt_op = time.perf_counter() - t_op0
+                ops_counter.inc()
+                op_hist.observe(dt_op)
+                if not result.skipped:
+                    cavity_hist.observe(len(result.new_tets))
+                rc = rules_counters.get(result.rule)
+                if rc is None:
+                    rc = rules_counters[result.rule] = obs.registry.counter(
+                        f"refine.rule.{result.rule}"
+                    )
+                rc.inc()
+                if tracer.enabled:
+                    tracer.complete(
+                        result.rule, t_op0 - t_start, dt_op, 0
+                    )
             if result.skipped:
                 continue
             for nt in result.new_tets:
@@ -79,7 +128,22 @@ class SequentialRefiner:
         self.stats.n_insertions = domain.n_insertions
         self.stats.n_removals = domain.n_removals
         self.stats.n_skipped = domain.n_skipped
+        if obs is not None:
+            if tracer.enabled:
+                tracer.end("refine", 0, self.stats.wall_time)
+            self._publish(obs)
         return self.stats
+
+    def _publish(self, obs: Observability) -> None:
+        reg = obs.registry
+        s = self.stats
+        reg.gauge("run.elements").set(s.final_tets)
+        reg.gauge("run.vertices").set(s.final_vertices)
+        reg.gauge("run.wall_seconds").set(s.wall_time)
+        reg.gauge("run.elements_per_second").set(s.tets_per_second)
+        reg.counter("refine.insertions").inc(s.n_insertions)
+        reg.counter("refine.removals").inc(s.n_removals)
+        reg.counter("refine.skipped").inc(s.n_skipped)
 
     def _record(self, result: OperationResult) -> None:
         self.stats.n_operations += 1

@@ -1,0 +1,162 @@
+"""Structured trace events: ring-buffered spans for any refinement run.
+
+The tracer records *begin/end* span pairs, *instant* markers and
+pre-timed *complete* events into a fixed-capacity ring buffer, so a
+multi-million-operation run keeps the most recent window instead of
+exhausting memory.  Timestamps are supplied by the caller (an
+:class:`~repro.runtime.context.ExecutionContext` clock), which makes the
+same event stream work for real wall-clock threads and for the
+simulator's virtual clock — the property that turns Figure 6's one-off
+overhead timeline into a general capability.
+
+Cost discipline: a disabled tracer is a shared singleton whose methods
+are no-ops, and every hot-path call site additionally guards on
+``tracer.enabled`` so the disabled path costs one attribute load.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, NamedTuple, Optional
+
+#: Chrome-trace phase codes used by :class:`TraceEvent`.
+PH_BEGIN = "B"
+PH_END = "E"
+PH_INSTANT = "i"
+PH_COMPLETE = "X"
+
+
+class TraceEvent(NamedTuple):
+    """One trace record (timestamps in seconds, real or virtual)."""
+
+    ts: float
+    tid: int
+    ph: str
+    name: str
+    dur: float  # only meaningful for PH_COMPLETE events
+    args: Optional[Dict[str, object]]
+
+
+class Tracer:
+    """Fixed-capacity ring buffer of :class:`TraceEvent` records.
+
+    Appends are GIL-atomic list operations, so real threads may emit
+    concurrently without a lock; the buffer wraps by index once
+    ``capacity`` events have been recorded.
+    """
+
+    __slots__ = ("enabled", "capacity", "_events", "_next", "_dropped")
+
+    def __init__(self, enabled: bool = True, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[Optional[TraceEvent]] = []
+        self._next = 0  # ring slot for the next event once wrapped
+        self._dropped = 0
+
+    # -- emission ------------------------------------------------------
+    def _emit(self, ev: TraceEvent) -> None:
+        if len(self._events) < self.capacity:
+            self._events.append(ev)
+            return
+        slot = self._next
+        self._events[slot] = ev
+        self._next = (slot + 1) % self.capacity
+        self._dropped += 1
+
+    def begin(self, name: str, tid: int = 0, ts: Optional[float] = None,
+              **args) -> None:
+        """Open a span named ``name`` on thread ``tid``."""
+        if not self.enabled:
+            return
+        self._emit(TraceEvent(
+            self._now(ts), tid, PH_BEGIN, name, 0.0, args or None
+        ))
+
+    def end(self, name: str, tid: int = 0, ts: Optional[float] = None,
+            **args) -> None:
+        """Close the innermost open span named ``name`` on ``tid``."""
+        if not self.enabled:
+            return
+        self._emit(TraceEvent(
+            self._now(ts), tid, PH_END, name, 0.0, args or None
+        ))
+
+    def instant(self, name: str, tid: int = 0, ts: Optional[float] = None,
+                **args) -> None:
+        """Record a zero-duration marker."""
+        if not self.enabled:
+            return
+        self._emit(TraceEvent(
+            self._now(ts), tid, PH_INSTANT, name, 0.0, args or None
+        ))
+
+    def complete(self, name: str, ts: float, dur: float, tid: int = 0,
+                 **args) -> None:
+        """Record a span whose duration is already known (one event
+        instead of a begin/end pair — half the buffer pressure for the
+        per-operation hot path)."""
+        if not self.enabled:
+            return
+        self._emit(TraceEvent(ts, tid, PH_COMPLETE, name, dur, args or None))
+
+    @contextmanager
+    def span(self, name: str, tid: int = 0, clock=None) -> Iterator[None]:
+        """Context manager emitting a begin/end pair around a block.
+
+        ``clock`` is a zero-argument callable returning seconds;
+        defaults to ``time.perf_counter``.
+        """
+        if not self.enabled:
+            yield
+            return
+        clock = clock or time.perf_counter
+        self.begin(name, tid, clock())
+        try:
+            yield
+        finally:
+            self.end(name, tid, clock())
+
+    @staticmethod
+    def _now(ts: Optional[float]) -> float:
+        return time.perf_counter() if ts is None else ts
+
+    # -- inspection ----------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        """Events in chronological emission order (oldest first)."""
+        if len(self._events) < self.capacity:
+            return list(self._events)
+        return (self._events[self._next:] + self._events[:self._next])  # type: ignore[operator]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def n_dropped(self) -> int:
+        """Events overwritten because the ring wrapped."""
+        return self._dropped
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._next = 0
+        self._dropped = 0
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: every emission is a no-op.
+
+    Shared via :data:`NULL_TRACER` so "observability off" costs one
+    truthiness check at each call site and allocates nothing.
+    """
+
+    def __init__(self):
+        super().__init__(enabled=False, capacity=1)
+
+    def _emit(self, ev: TraceEvent) -> None:  # pragma: no cover - guarded
+        pass
+
+
+NULL_TRACER = NullTracer()

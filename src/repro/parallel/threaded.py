@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -32,9 +33,9 @@ class RealContext(ExecutionContext):
     """Execution context backed by a real OS thread."""
 
     def __init__(self, thread_id: int, lock_table: Dict[int, int],
-                 shared: SharedState, seed: int = 0):
+                 shared: SharedState, seed: int = 0, obs=None):
         self.thread_id = thread_id
-        self.stats = ThreadStats(thread_id=thread_id)
+        self.stats = ThreadStats(thread_id=thread_id, obs=obs)
         self._locks = lock_table
         self._shared = shared
         self._t0 = time.perf_counter()
@@ -114,7 +115,7 @@ class ParallelResult:
         return int(self.totals.get("rollbacks", 0))
 
 
-def parallel_mesh_image(
+def _parallel_mesh_image(
     image: SegmentedImage,
     n_threads: int = 4,
     delta: Optional[float] = None,
@@ -124,16 +125,19 @@ def parallel_mesh_image(
     placement: Optional[Placement] = None,
     seed: int = 0,
     timeout: Optional[float] = None,
+    obs=None,
 ) -> ParallelResult:
-    """Image-to-mesh conversion on real threads (speculative execution).
+    """Implementation behind :func:`parallel_mesh_image` / ``repro.api``.
 
     ``timeout`` (seconds) guards against protocol bugs in CI; expiry
-    raises ``TimeoutError``.
+    raises ``TimeoutError``.  ``obs`` is an optional
+    :class:`repro.observability.Observability` bundle shared by every
+    worker thread (the tracer's ring buffer takes GIL-atomic appends).
     """
     domain = RefineDomain(image, delta=delta, size_function=size_function)
     if placement is None:
         placement = flat_placement(n_threads)
-    shared = SharedState(n_threads)
+    shared = SharedState(n_threads, obs=obs)
     manager = make_contention_manager(cm, n_threads, shared)
     if lb == "hws":
         begging = HierarchicalBeggingList(n_threads, shared, placement)
@@ -148,7 +152,7 @@ def parallel_mesh_image(
 
     lock_table: Dict[int, int] = {}
     contexts = [
-        RealContext(tid, lock_table, shared, seed=seed)
+        RealContext(tid, lock_table, shared, seed=seed, obs=obs)
         for tid in range(n_threads)
     ]
 
@@ -163,6 +167,7 @@ def parallel_mesh_image(
         shared=shared,
         placement=placement,
         cost_of=cost_of,
+        obs=obs,
     )
 
     errors: List[BaseException] = []
@@ -202,11 +207,61 @@ def parallel_mesh_image(
         ) from errors[0]
 
     stats = [c.stats for c in contexts]
+    extracted = extract_mesh(domain)
+    registry = obs.registry if obs is not None else None
+    totals = aggregate(stats, registry=registry)
+    if registry is not None:
+        registry.gauge("run.threads").set(n_threads)
+        registry.gauge("run.elements").set(extracted.n_tets)
+        registry.gauge("run.vertices").set(extracted.n_vertices)
+        registry.gauge("run.wall_seconds").set(wall)
+        registry.gauge("run.elements_per_second").set(
+            extracted.n_tets / wall if wall > 0 else 0.0
+        )
     return ParallelResult(
-        mesh=extract_mesh(domain),
+        mesh=extracted,
         domain=domain,
         n_threads=n_threads,
         wall_time=wall,
         thread_stats=stats,
-        totals=aggregate(stats),
+        totals=totals,
+    )
+
+
+def parallel_mesh_image(
+    image: SegmentedImage,
+    n_threads: int = 4,
+    delta: Optional[float] = None,
+    size_function: Optional[SizeFunction] = None,
+    cm: str = "local",
+    lb: str = "rws",
+    placement: Optional[Placement] = None,
+    seed: int = 0,
+    timeout: Optional[float] = None,
+) -> ParallelResult:
+    """Image-to-mesh conversion on real threads (speculative execution).
+
+    .. deprecated::
+        Use :func:`repro.api.mesh` with a
+        :class:`repro.api.MeshRequest` (``mesher='threaded'``) — the
+        unified entry point returns a :class:`repro.api.MeshResult` and
+        carries the observability configuration.  This shim forwards
+        unchanged.
+    """
+    warnings.warn(
+        "repro.parallel.parallel_mesh_image is deprecated; use "
+        "repro.api.mesh with a MeshRequest (mesher='threaded')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _parallel_mesh_image(
+        image,
+        n_threads=n_threads,
+        delta=delta,
+        size_function=size_function,
+        cm=cm,
+        lb=lb,
+        placement=placement,
+        seed=seed,
+        timeout=timeout,
     )

@@ -69,11 +69,22 @@ class BeggingList:
                 return False
         self._got_work[i] = False
         self._enqueue(i)
+        obs = self.shared.obs
+        traced = obs is not None and obs.tracer.enabled
+        if obs is not None:
+            obs.registry.counter("lb.begs").inc()
+        if traced:
+            obs.tracer.begin("beg", i, ctx.now())
         ctx.wait_until(
             lambda: self._got_work[i] or self.shared.done,
             OverheadKind.LOAD_BALANCE,
         )
-        return self._got_work[i] or not self.shared.done
+        if traced:
+            obs.tracer.end("beg", i, ctx.now())
+        got = self._got_work[i]
+        if got and obs is not None:
+            obs.registry.counter("lb.work_received").inc()
+        return got or not self.shared.done
 
     def describe(self) -> str:
         return self.name

@@ -54,6 +54,21 @@ class ContentionManager(ABC):
     def on_success(self, ctx: ExecutionContext) -> None:
         ...
 
+    # -- observability hooks -------------------------------------------
+    def _blocked_wait(self, ctx: ExecutionContext, predicate) -> None:
+        """Park ``ctx`` on a contention list, tracing the blocked span
+        and counting the block so the metrics registry sees every CM
+        decision (not just the waited seconds)."""
+        obs = self.shared.obs
+        traced = obs is not None and obs.tracer.enabled
+        if obs is not None:
+            obs.registry.counter("cm.blocks").inc()
+        if traced:
+            obs.tracer.begin("cm.blocked", ctx.thread_id, ctx.now())
+        ctx.wait_until(predicate, OverheadKind.CONTENTION)
+        if traced:
+            obs.tracer.end("cm.blocked", ctx.thread_id, ctx.now())
+
 
 class AggressiveCM(ContentionManager):
     """Brute force: discard the changes and immediately retry.
@@ -91,6 +106,12 @@ class RandomCM(ContentionManager):
         self._consecutive[i] += 1
         if self._consecutive[i] > self.r_plus:
             millis = 1.0 + ctx.random() * (self.r_plus - 1)
+            obs = self.shared.obs
+            if obs is not None:
+                obs.registry.counter("cm.backoffs").inc()
+                if obs.tracer.enabled:
+                    obs.tracer.instant("cm.backoff", i, ctx.now(),
+                                       millis=millis)
             ctx.sleep(millis * 1e-3, OverheadKind.CONTENTION)
 
     def on_success(self, ctx: ExecutionContext) -> None:
@@ -121,8 +142,7 @@ class GlobalCM(ContentionManager):
             return  # last active thread: forbidden to block
         self._blocked_flag[i] = True
         self._cl.append(i)
-        ctx.wait_until(lambda: not self._blocked_flag[i],
-                       OverheadKind.CONTENTION)
+        self._blocked_wait(ctx, lambda: not self._blocked_flag[i])
 
     def on_success(self, ctx: ExecutionContext) -> None:
         i = ctx.thread_id
@@ -199,8 +219,7 @@ class LocalCM(ContentionManager):
             m_hi.release()
             m_lo.release()
 
-        ctx.wait_until(lambda: not self._busy_wait[i],
-                       OverheadKind.CONTENTION)
+        self._blocked_wait(ctx, lambda: not self._busy_wait[i])
         self._conflicting_id[i] = _NO_DEP
 
     def on_success(self, ctx: ExecutionContext) -> None:

@@ -19,12 +19,16 @@ class SharedState:
     are race-free; under real threads the internal lock serialises them.
     """
 
-    def __init__(self, n_threads: int):
+    def __init__(self, n_threads: int, obs=None):
         self.n_threads = n_threads
         self._lock = threading.Lock()
         self._active = n_threads
         self.done = False
         self.successful_ops = 0  # global progress counter (livelock watch)
+        # Observability bundle shared by every protocol component that
+        # holds this state (contention managers, begging lists); None
+        # means "record nothing".
+        self.obs = obs
 
     # -- active-thread tracking ----------------------------------------
     def deactivate(self) -> None:

@@ -8,13 +8,24 @@ Section 5.5 defines the wasted-cycle taxonomy every experiment reports:
   waiting for work plus accessing it;
 * *rollback overhead* — time spent on partial work that had to be
   discarded when an operation rolled back.
+
+When an :class:`~repro.observability.Observability` bundle is attached
+(``stats.obs``), every overhead charge also feeds the run's metrics
+registry (per-kind overhead counters, a contention-wait latency
+histogram) and, if tracing is on, emits a timestamped instant event —
+so both execution backends produce the Figure 6 overhead timeline as a
+side effect of normal accounting instead of each benchmark re-deriving
+it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.observability import MetricsRegistry, Observability
 
 
 class OverheadKind(Enum):
@@ -42,20 +53,54 @@ class ThreadStats:
     busy_time: float = 0.0
     # (virtual time, cumulative total overhead) samples for Figure 6
     overhead_timeline: List[Tuple[float, float]] = field(default_factory=list)
+    # Observability sink (not part of the value: excluded from ==/repr)
+    obs: Optional["Observability"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def add_overhead(self, kind: OverheadKind, dt: float, now: float = None
                      ) -> None:
         self.overhead[kind] += dt
         if now is not None:
             self.overhead_timeline.append((now, self.total_overhead))
+        obs = self.obs
+        if obs is not None:
+            obs.registry.counter(
+                f"runtime.overhead.{kind.value}_seconds"
+            ).inc(dt)
+            if kind is OverheadKind.CONTENTION:
+                obs.registry.histogram(
+                    "runtime.lock_wait_seconds",
+                    help="time blocked per contention wait",
+                ).observe(dt)
+            tracer = obs.tracer
+            if tracer.enabled and now is not None:
+                tracer.instant(
+                    f"overhead.{kind.value}", self.thread_id, now, dt=dt
+                )
 
     @property
     def total_overhead(self) -> float:
         return sum(self.overhead.values())
 
 
-def aggregate(stats: List[ThreadStats]) -> Dict[str, float]:
-    """Fleet-wide totals, in the shape Table 1 reports."""
+def aggregate(stats: List[ThreadStats],
+              registry: Optional["MetricsRegistry"] = None
+              ) -> Dict[str, float]:
+    """Fleet-wide totals, in the shape Table 1 reports.
+
+    With a ``registry``, the totals are also published as ``run.<key>``
+    gauges (idempotent: last write wins), which is how drivers hand the
+    classic Table 1 numbers to the metrics exporters.
+    """
+    totals = _totals(stats)
+    if registry is not None:
+        for key, value in totals.items():
+            registry.gauge(f"run.{key}").set(value)
+    return totals
+
+
+def _totals(stats: List[ThreadStats]) -> Dict[str, float]:
     return {
         "operations": sum(s.n_operations for s in stats),
         "rollbacks": sum(s.n_rollbacks for s in stats),

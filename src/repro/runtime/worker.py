@@ -15,6 +15,8 @@ from typing import Callable, List, Optional
 from repro.core.domain import OperationResult, RefineDomain
 from repro.core.pel import PoorElementList
 from repro.delaunay import RollbackSignal
+from repro.observability import Observability
+from repro.observability.metrics import SIZE_BUCKETS
 from repro.runtime.begging import GIVE_THRESHOLD, BeggingList
 from repro.runtime.contention import ContentionManager, GlobalCM, LocalCM
 from repro.runtime.context import ExecutionContext
@@ -35,6 +37,7 @@ class WorkerEnv:
     # (result, measured_seconds, ctx) -> charged cost in seconds
     cost_of: Callable[[OperationResult, float, ExecutionContext], float]
     give_threshold: int = GIVE_THRESHOLD
+    obs: Optional[Observability] = None
 
     def wake_blocked(self) -> bool:
         """Escape hatch used by the begging list's last-active thread."""
@@ -51,7 +54,22 @@ def refinement_worker(ctx: ExecutionContext, env: WorkerEnv) -> None:
     my_pel = env.pels[ctx.thread_id]
     domain = env.domain
     mesh = domain.tri.mesh
+    tid = ctx.thread_id
     import time as _time
+
+    # Hoisted observability instruments (None when recording is off).
+    obs = env.obs
+    tracer = None
+    ops_counter = rollback_counter = cavity_hist = None
+    if obs is not None:
+        tracer = obs.tracer
+        reg = obs.registry
+        ops_counter = reg.counter("refine.operations")
+        rollback_counter = reg.counter("runtime.rollbacks")
+        cavity_hist = reg.histogram(
+            "refine.cavity_size", SIZE_BUCKETS,
+            help="new tets created per operation",
+        )
 
     while not env.shared.done:
         t = my_pel.pop()
@@ -60,6 +78,7 @@ def refinement_worker(ctx: ExecutionContext, env: WorkerEnv) -> None:
                 break
             continue
 
+        t_op0 = ctx.now()
         t_real0 = _time.perf_counter()
         try:
             result = domain.refine_tet(t, touch=ctx.touch_vertex)
@@ -67,6 +86,11 @@ def refinement_worker(ctx: ExecutionContext, env: WorkerEnv) -> None:
             elapsed = _time.perf_counter() - t_real0
             ctx.abort_operation(env.cost_of(None, elapsed, ctx))
             ctx.stats.n_rollbacks += 1
+            if obs is not None:
+                rollback_counter.inc()
+                if tracer.enabled:
+                    tracer.complete("rollback", t_op0, ctx.now() - t_op0,
+                                    tid, owner=rb.owner)
             my_pel.push(t)  # retry the element later
             env.cm.on_rollback(ctx, rb.owner)
             continue
@@ -95,6 +119,16 @@ def refinement_worker(ctx: ExecutionContext, env: WorkerEnv) -> None:
             ctx.stats.n_insertions += 1
         ctx.stats.n_removals += len(result.removed_vertices)
         env.shared.note_progress()
+        if obs is not None:
+            ops_counter.inc()
+            if result.r6_conflicts:
+                rollback_counter.inc(result.r6_conflicts)
+            if not result.skipped:
+                cavity_hist.observe(len(result.new_tets))
+            if tracer.enabled:
+                # commit_operation advanced the (virtual or wall) clock,
+                # so now() - t_op0 spans the operation's charged window.
+                tracer.complete(result.rule, t_op0, ctx.now() - t_op0, tid)
         env.cm.on_success(ctx)
 
         if not poor:
@@ -123,6 +157,15 @@ def refinement_worker(ctx: ExecutionContext, env: WorkerEnv) -> None:
                 else:
                     ctx.stats.n_remote_steals += 1
                 ctx.stats.n_work_given += 1
+                if obs is not None:
+                    obs.registry.counter("lb.work_given").inc()
+                    obs.registry.histogram(
+                        "lb.donation_size", SIZE_BUCKETS,
+                        help="elements handed to a beggar",
+                    ).observe(len(donation))
+                    if tracer.enabled:
+                        tracer.instant("lb.give", tid, ctx.now(),
+                                       to=beggar, n=len(donation))
                 env.bl.wake(beggar)
                 continue
         for nt in poor:

@@ -34,12 +34,16 @@ class HTCounterModel:
     # set per blade grows (the >64-core regime of Table 5).
     pressure_coeff: float = 0.35
 
-    def deltas(self, ht: SimulationResult, base: SimulationResult):
+    def deltas(self, ht: SimulationResult, base: SimulationResult,
+               registry=None):
         """Return (tlb, llc, stalls) per-thread relative changes.
 
         Negative values mean the hyper-threaded run had *fewer* misses /
         stalls per thread, which is the paper's (initially surprising)
-        observation.
+        observation.  With a ``registry``
+        (:class:`repro.observability.MetricsRegistry`) the three deltas
+        are also published as ``sim.ht.*`` gauges, so Table 5 reports
+        read from the same snapshot as every other metric.
         """
         remote_ht = ht.totals.get("remote_steals", 0) + 1.0
         remote_base = base.totals.get("remote_steals", 0) + 1.0
@@ -51,8 +55,13 @@ class HTCounterModel:
         )
         stalls = -self.stall_gain
         # Clamp to plausible ranges.
-        return (
+        out = (
             max(-0.60, min(-0.05, tlb)),
             max(-0.80, min(-0.20, llc)),
             max(-0.55, min(-0.30, stalls)),
         )
+        if registry is not None:
+            registry.gauge("sim.ht.tlb_miss_delta").set(out[0])
+            registry.gauge("sim.ht.llc_miss_delta").set(out[1])
+            registry.gauge("sim.ht.resource_stall_delta").set(out[2])
+        return out

@@ -58,7 +58,7 @@ class SimContext(ExecutionContext):
     def __init__(self, engine: "SimEngine", thread_id: int):
         self.engine = engine
         self.thread_id = thread_id
-        self.stats = ThreadStats(thread_id=thread_id)
+        self.stats = ThreadStats(thread_id=thread_id, obs=engine.obs)
         self.resume_sem = threading.Semaphore(0)
         self.finished = False
         self.op_locks: List[int] = []
@@ -137,8 +137,12 @@ class SimEngine:
                  progress_fn: Optional[Callable[[], int]] = None,
                  livelock_horizon: float = 5.0,
                  livelock_event_horizon: int = 400_000,
-                 stop_fn: Optional[Callable[[], None]] = None):
+                 stop_fn: Optional[Callable[[], None]] = None,
+                 obs=None):
         self.stop_fn = stop_fn
+        # Observability bundle (must be set before contexts are built:
+        # each SimContext wires it into its ThreadStats).
+        self.obs = obs
         self.aborting = False
         self.livelock_event_horizon = livelock_event_horizon
         self._events_processed = 0
@@ -254,6 +258,11 @@ class SimEngine:
                 ) from exc
             self._wake_ready()
             self._check_livelock()
+        if self.obs is not None:
+            self.obs.registry.gauge("engine.events_processed").set(
+                self._events_processed
+            )
+            self.obs.registry.gauge("engine.virtual_seconds").set(self.clock)
         return self.clock
 
     def _check_livelock(self) -> None:
@@ -270,6 +279,14 @@ class SimEngine:
         stalled_events = self._events_processed - self._last_progress_event
         if (stalled_time > self.livelock_horizon
                 or stalled_events > self.livelock_event_horizon):
+            if self.obs is not None:
+                self.obs.registry.counter("engine.livelocks").inc()
+                if self.obs.tracer.enabled:
+                    self.obs.tracer.instant(
+                        "engine.livelock", 0, self.clock,
+                        stalled_time=stalled_time,
+                        stalled_events=stalled_events,
+                    )
             self._release_everything()
             raise SimLivelock(
                 f"no successful operation for {stalled_time:.3f} virtual "

@@ -9,6 +9,7 @@ the discrete-event engine with the Blacklight cost model.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -53,7 +54,7 @@ class SimulationResult:
         return self.totals.get("total_overhead", 0.0) / max(1, self.n_threads)
 
 
-def simulate_parallel_refinement(
+def _simulate_parallel_refinement(
     image: SegmentedImage,
     n_threads: int,
     delta: Optional[float] = None,
@@ -68,19 +69,24 @@ def simulate_parallel_refinement(
     livelock_event_horizon: int = 150_000,
     give_threshold: Optional[int] = None,
     domain: Optional[RefineDomain] = None,
+    obs=None,
 ) -> SimulationResult:
-    """Run one simulated parallel refinement to completion.
+    """Implementation behind :func:`simulate_parallel_refinement` and
+    ``repro.api``.
 
     Returns a :class:`SimulationResult`; on a livelock (possible for the
     aggressive / random contention managers, exactly as in Table 1) the
     result has ``livelock=True`` and carries the statistics accumulated
-    up to the watchdog abort.
+    up to the watchdog abort.  ``obs`` is an optional
+    :class:`repro.observability.Observability` bundle; trace events then
+    carry *virtual* timestamps, so the exported Chrome trace shows the
+    simulated machine's timeline.
     """
     if domain is None:
         domain = RefineDomain(image, delta=delta, size_function=size_function)
     model = cost_model if cost_model is not None else NumaCostModel(machine=machine)
     placement = machine.placement(n_threads, hyperthreading)
-    shared = SharedState(n_threads)
+    shared = SharedState(n_threads, obs=obs)
     manager = make_contention_manager(cm, n_threads, shared)
     if lb == "hws":
         begging = HierarchicalBeggingList(n_threads, shared, placement)
@@ -103,6 +109,7 @@ def simulate_parallel_refinement(
         livelock_horizon=livelock_horizon,
         livelock_event_horizon=livelock_event_horizon,
         stop_fn=lambda: setattr(shared, "done", True),
+        obs=obs,
     )
 
     creators = domain.vertex_creator
@@ -153,6 +160,7 @@ def simulate_parallel_refinement(
         shared=shared,
         placement=placement,
         cost_of=cost_of,
+        obs=obs,
     )
     if give_threshold is not None:
         env.give_threshold = give_threshold
@@ -166,6 +174,17 @@ def simulate_parallel_refinement(
         total_time = engine.clock
 
     stats = [ctx.stats for ctx in engine.contexts]
+    registry = obs.registry if obs is not None else None
+    totals = aggregate(stats, registry=registry)
+    if registry is not None:
+        registry.gauge("run.threads").set(n_threads)
+        registry.gauge("run.elements").set(mesh.n_live_tets)
+        registry.gauge("run.vertices").set(mesh.n_vertices)
+        registry.gauge("run.virtual_seconds").set(total_time)
+        registry.gauge("run.elements_per_second").set(
+            mesh.n_live_tets / total_time if total_time else 0.0
+        )
+        registry.gauge("run.livelock").set(int(livelock))
     return SimulationResult(
         n_threads=n_threads,
         cm_name=manager.name,
@@ -176,5 +195,54 @@ def simulate_parallel_refinement(
         n_vertices=mesh.n_vertices,
         thread_stats=stats,
         livelock=livelock,
-        totals=aggregate(stats),
+        totals=totals,
+    )
+
+
+def simulate_parallel_refinement(
+    image: SegmentedImage,
+    n_threads: int,
+    delta: Optional[float] = None,
+    size_function: Optional[SizeFunction] = None,
+    cm: str = "local",
+    lb: str = "hws",
+    machine: MachineSpec = BLACKLIGHT,
+    cost_model: Optional[NumaCostModel] = None,
+    hyperthreading: bool = False,
+    seed: int = 0,
+    livelock_horizon: float = 5.0,
+    livelock_event_horizon: int = 150_000,
+    give_threshold: Optional[int] = None,
+    domain: Optional[RefineDomain] = None,
+) -> SimulationResult:
+    """Run one simulated parallel refinement to completion.
+
+    .. deprecated::
+        Use :func:`repro.api.mesh` with a
+        :class:`repro.api.MeshRequest` (``mesher='simulated'``) for the
+        unified entry point, or keep calling this shim — it forwards
+        unchanged and remains the stable keyword-rich surface for the
+        scaling benchmarks.
+    """
+    warnings.warn(
+        "repro.simnuma.simulate_parallel_refinement is deprecated; use "
+        "repro.api.mesh with a MeshRequest (mesher='simulated')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _simulate_parallel_refinement(
+        image,
+        n_threads,
+        delta=delta,
+        size_function=size_function,
+        cm=cm,
+        lb=lb,
+        machine=machine,
+        cost_model=cost_model,
+        hyperthreading=hyperthreading,
+        seed=seed,
+        livelock_horizon=livelock_horizon,
+        livelock_event_horizon=livelock_event_horizon,
+        give_threshold=give_threshold,
+        domain=domain,
     )

@@ -118,3 +118,44 @@ class TestSimulateUtilization:
                    "--delta", "3.0", "--utilization"])
         assert rc == 0
         assert "utilization over" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_mesh_metrics_out(self, img_path, tmp_path):
+        import json
+
+        mpath = str(tmp_path / "metrics.json")
+        assert main(["mesh", img_path, "--delta", "3.0",
+                     "--metrics-out", mpath]) == 0
+        doc = json.load(open(mpath))
+        assert doc["counters"]["refine.operations"] > 0
+        assert doc["gauges"]["run.elements_per_second"] > 0
+        assert doc["run"]["mesher"] == "sequential"
+
+    def test_mesh_trace_out(self, img_path, tmp_path):
+        import json
+
+        tpath = str(tmp_path / "trace.json")
+        assert main(["mesh", img_path, "--delta", "3.0",
+                     "--trace-out", tpath]) == 0
+        doc = json.load(open(tpath))
+        events = doc["traceEvents"]
+        assert events
+        phases = {e["ph"] for e in events}
+        assert "X" in phases  # per-operation complete events
+        assert all("ts" in e for e in events if e["ph"] != "M")
+
+    def test_simulate_metrics_have_overheads(self, img_path, tmp_path):
+        import json
+
+        mpath = str(tmp_path / "metrics.json")
+        assert main(["simulate", img_path, "--threads", "4",
+                     "--delta", "3.0", "--metrics-out", mpath]) == 0
+        doc = json.load(open(mpath))
+        assert "runtime.rollbacks" in doc["counters"]
+        assert "runtime.overhead.contention_seconds" in doc["counters"]
+        assert doc["gauges"]["run.threads"] == 4
+
+    def test_missing_image_exits_2(self, tmp_path):
+        assert main(["mesh", str(tmp_path / "nope.npz"),
+                     "--delta", "3.0"]) == 2

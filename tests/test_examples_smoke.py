@@ -3,21 +3,28 @@
 Run via subprocess with small arguments so docs never rot.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
-import pytest
-
-EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+REPO = pathlib.Path(__file__).parent.parent
+EXAMPLES = REPO / "examples"
 
 
 def run_example(name, args, tmp_path, timeout=240):
+    env = dict(os.environ)
+    # Make `repro` importable in the child even without an installed
+    # package (the test-runner itself may be using PYTHONPATH=src).
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO / "src"), env.get("PYTHONPATH")) if p
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         cwd=tmp_path,  # examples write output files into cwd
+        env=env,
         timeout=timeout,
     )
     assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
