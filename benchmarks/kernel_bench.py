@@ -1,0 +1,188 @@
+"""Insertion hot-path micro-benchmark with a JSON artifact and a
+regression gate.
+
+Runs the canonical seeded insertion workload (the same one
+``test_micro_kernels.py::test_bench_insertion_throughput`` and the
+``tests/data/kernel_parity.json`` goldens use) through both kernel
+paths:
+
+* ``python``  — the pure-Python filtered-predicate kernel
+  (accelerator disabled for the measurement);
+* ``accel``   — the C insertion accelerator, when it compiled.
+
+and writes ``BENCH_kernels.json`` (default:
+``benchmarks/results/BENCH_kernels.json``) holding both throughputs,
+the committed pre-overhaul baseline, and the accel/python speedup.
+
+``--check-regression`` turns the run into a CI gate.  Absolute
+throughput is machine-dependent, so the gate is ratio-based: the
+accel/python speedup measured *on this machine* must stay above 80% of
+the committed reference speedup (a >20% relative throughput drop of the
+fast path fails the job).  On machines without a C compiler the gate
+degrades to checking the pure-Python path against its own floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/kernel_bench.py [--fast]
+        [--check-regression] [-o PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro import _accel
+from repro.delaunay import Triangulation3D
+
+# Throughput of the pre-overhaul pure-Python kernel on the reference
+# machine (committed with the kernel overhaul PR; the "before" column
+# of the README table).
+PRE_OVERHAUL_INSERTS_PER_SECOND = 1688.1
+# Accel/python speedup measured on the reference machine when the C
+# kernel landed.  The regression gate allows a 20% drop from this.
+REFERENCE_SPEEDUP = 8.0
+GATE_FRACTION = 0.8
+# Floor for the pure-Python path relative to itself: it must complete
+# the workload at all and not collapse (compiler-less CI fallback).
+PYTHON_FLOOR_INSERTS_PER_SECOND = 300.0
+
+N_POINTS = 400
+SEED = 7
+
+DEFAULT_OUTPUT = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_kernels.json"
+)
+
+
+def _workload():
+    rng = random.Random(SEED)
+    return [
+        tuple(rng.uniform(0.02, 0.98) for _ in range(3))
+        for _ in range(N_POINTS)
+    ]
+
+
+def _insert_all(points):
+    tri = Triangulation3D((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    hint = None
+    for p in points:
+        _, ntets, _ = tri.insert_point(p, hint)
+        hint = ntets[0]
+    return tri
+
+
+def _measure(points, repeats):
+    """Best-of-``repeats`` insertion throughput (inserts per second)."""
+    best = float("inf")
+    tri = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        tri = _insert_all(points)
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    return len(points) / best, tri
+
+
+def run(fast=False, check_regression=False, output=DEFAULT_OUTPUT):
+    repeats = 3 if fast else 7
+    points = _workload()
+    saved = _accel.bw_insert
+
+    _accel.bw_insert = None
+    try:
+        py_ips, py_tri = _measure(points, repeats)
+    finally:
+        _accel.bw_insert = saved
+
+    accel_available = saved is not None
+    if accel_available:
+        accel_ips, accel_tri = _measure(points, repeats)
+        c = accel_tri.counters
+        accel_detail = {
+            "inserts_per_second": round(accel_ips, 1),
+            "accel_inserts": c.accel_inserts,
+            "accel_retries": c.accel_retries,
+            "mean_walk_length": round(c.mean_walk_length, 3),
+        }
+        speedup = accel_ips / py_ips
+    else:
+        accel_ips = None
+        accel_detail = {"inserts_per_second": None}
+        speedup = None
+
+    doc = {
+        "schema": 1,
+        "workload": {
+            "name": "insert-uniform-box",
+            "seed": SEED,
+            "n_points": N_POINTS,
+            "repeats": repeats,
+            "n_tets": py_tri.n_tets,
+        },
+        "pre_overhaul_baseline": {
+            "inserts_per_second": PRE_OVERHAUL_INSERTS_PER_SECOND,
+            "note": "pure-Python kernel before the hot-path overhaul, "
+                    "reference machine",
+        },
+        "python_path": {"inserts_per_second": round(py_ips, 1)},
+        "accel_path": {"available": accel_available, **accel_detail},
+        "speedup_accel_over_python": (
+            round(speedup, 2) if speedup is not None else None
+        ),
+        "reference_speedup": REFERENCE_SPEEDUP,
+    }
+
+    output = pathlib.Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print(f"python path : {py_ips:>10,.1f} inserts/s")
+    if accel_available:
+        print(f"accel path  : {accel_ips:>10,.1f} inserts/s "
+              f"(speedup {speedup:.2f}x, retries "
+              f"{accel_detail['accel_retries']})")
+    else:
+        print("accel path  : unavailable (no C compiler or REPRO_NO_ACCEL)")
+    print(f"wrote {output}")
+
+    if not check_regression:
+        return 0
+    if accel_available:
+        floor = GATE_FRACTION * REFERENCE_SPEEDUP
+        if speedup < floor:
+            print(f"REGRESSION: accel/python speedup {speedup:.2f}x is "
+                  f"below the gate {floor:.2f}x "
+                  f"(80% of reference {REFERENCE_SPEEDUP}x)",
+                  file=sys.stderr)
+            return 1
+        print(f"regression gate OK: speedup {speedup:.2f}x >= {floor:.2f}x")
+    else:
+        if py_ips < PYTHON_FLOOR_INSERTS_PER_SECOND:
+            print(f"REGRESSION: python path {py_ips:.1f} inserts/s is "
+                  f"below the floor {PYTHON_FLOOR_INSERTS_PER_SECOND}",
+                  file=sys.stderr)
+            return 1
+        print("regression gate OK (python path only: accel unavailable)")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="3 repeats instead of 7 (CI setting)")
+    parser.add_argument("--check-regression", action="store_true",
+                        help="exit 1 on a >20% relative throughput drop")
+    parser.add_argument("-o", "--output", default=str(DEFAULT_OUTPUT),
+                        help="where to write BENCH_kernels.json")
+    args = parser.parse_args(argv)
+    return run(fast=args.fast, check_regression=args.check_regression,
+               output=args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

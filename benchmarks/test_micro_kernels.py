@@ -7,8 +7,15 @@ These are conventional pytest-benchmark measurements (multiple rounds):
   refiner supports);
 * the EDT pre-processing step, sequential vs thread-parallel;
 * the try-lock primitive (the paper's Section 4.2 atomic-builtin note).
+
+``test_bench_insertion_json_artifact`` additionally runs the insertion
+workload through both kernel paths (pure Python and the C accelerator)
+via :mod:`benchmarks.kernel_bench` and publishes the before/after
+numbers as ``benchmarks/results/BENCH_kernels.json`` — the artifact the
+CI bench job uploads and gates on.
 """
 
+import json
 import random
 
 import numpy as np
@@ -39,6 +46,20 @@ def test_bench_insertion_throughput(benchmark):
 
     n_tets = benchmark(insert_all)
     assert n_tets > 1000
+
+
+def test_bench_insertion_json_artifact(results_dir):
+    """Before/after insertion throughput as a machine-readable artifact."""
+    from benchmarks import kernel_bench
+
+    out = results_dir / "BENCH_kernels.json"
+    assert kernel_bench.run(fast=True, output=out) == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == 1
+    assert doc["python_path"]["inserts_per_second"] > 0
+    if doc["accel_path"]["available"]:
+        assert doc["accel_path"]["inserts_per_second"] > \
+            doc["python_path"]["inserts_per_second"]
 
 
 @pytest.mark.benchmark(group="kernel-remove")

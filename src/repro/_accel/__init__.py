@@ -1,0 +1,176 @@
+"""Optional C accelerator for the Bowyer-Watson insertion hot path.
+
+When a C compiler is available, :data:`bw_insert` holds a ctypes handle
+to the kernel in ``bw_kernel.c`` (compiled once, cached by source hash);
+otherwise it is ``None`` and the pure-Python kernel runs unchanged.  The
+C routine drives one whole sequential insert attempt (walk, cavity
+search, validation, commit) directly on the mesh's struct-of-arrays
+buffers.  On any inconclusive floating point filter it returns *without
+mutating anything* and the caller re-runs the Python filtered/exact
+path, so meshes are bit-identical with and without the accelerator —
+the C path is purely an execution strategy, never a semantic change.
+
+Set ``REPRO_NO_ACCEL=1`` to disable the accelerator (e.g. to benchmark
+the pure-Python kernel, or to rule it out while debugging).  Compile
+and load failures degrade silently to the Python path.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+# Status codes returned by bw_insert (keep in sync with bw_kernel.c).
+OK = 0
+RETRY = 1
+ERR_DUP = 2
+ERR_FACE = 3
+ERR_CLOSED = 4
+
+_SRC = Path(__file__).with_name("bw_kernel.c")
+
+# Scratch sizing.  Cavities larger than _SCRATCH_CAP tets/faces (or
+# needing more than _FREE_CAP free-list pops) RETRY into the Python
+# path, which has no such limits; typical cavities are 20-60 faces.
+_SCRATCH_CAP = 4096
+_TABLE_CAP = 16384  # power of two; >= 2 * 3 * _SCRATCH_CAP for sparsity
+_FREE_CAP = 256
+
+
+def _compile():
+    """Compile (cached) and load the kernel; None on any failure."""
+    if os.environ.get("REPRO_NO_ACCEL"):
+        return None
+    try:
+        source = _SRC.read_bytes()
+    except OSError:
+        return None
+    cc = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    if cc is None:
+        return None
+    tag = hashlib.sha256(source).hexdigest()[:16]
+    cache_root = os.environ.get("REPRO_ACCEL_CACHE")
+    if cache_root:
+        cache = Path(cache_root)
+    else:
+        uid = getattr(os, "getuid", lambda: 0)()
+        cache = Path(tempfile.gettempdir()) / f"repro-accel-{uid}"
+    so = cache / f"bw_kernel-{tag}.so"
+    if not so.exists():
+        try:
+            cache.mkdir(parents=True, exist_ok=True)
+            tmp = so.with_name(f".{so.name}.{os.getpid()}.tmp")
+            # -ffp-contract=off is load-bearing: the filter error bounds
+            # assume every double operation is individually rounded, and
+            # FMA contraction breaks that.  No -ffast-math for the same
+            # reason.
+            subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", "-ffp-contract=off",
+                 "-fno-math-errno", str(_SRC), "-o", str(tmp)],
+                check=True, capture_output=True, timeout=120,
+            )
+            os.replace(tmp, so)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        fn = ctypes.CDLL(str(so)).bw_insert
+    except (OSError, AttributeError):
+        return None
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [ctypes.c_void_p] * 16
+    return fn
+
+
+bw_insert = _compile()
+AVAILABLE = bw_insert is not None
+
+
+class AccelScratch:
+    """Per-triangulation scratch buffers + cached pointers for bw_insert.
+
+    The argument tuple of raw pointers is rebuilt only when one of the
+    mesh's arrays is reallocated (growth), which keeps the per-call
+    ctypes overhead to the function call itself.  The tag array and the
+    edge hash table are epoch-stamped by the caller's generation
+    counter, so they are never cleared.
+    """
+
+    __slots__ = (
+        "cav", "bnd", "newt", "stk", "ekey", "estamp", "eval_", "pairs",
+        "free_top", "in_f", "in_i", "out_i", "tag",
+        "_coords", "_tv", "_adj", "_args",
+    )
+
+    def __init__(self) -> None:
+        self.cav = np.empty(_SCRATCH_CAP, dtype=np.int32)
+        self.bnd = np.empty(_SCRATCH_CAP, dtype=np.int32)
+        self.newt = np.empty(_SCRATCH_CAP, dtype=np.int32)
+        self.stk = np.empty(_SCRATCH_CAP, dtype=np.int32)
+        self.ekey = np.empty(_TABLE_CAP, dtype=np.int64)
+        self.estamp = np.zeros(_TABLE_CAP, dtype=np.int64)
+        self.eval_ = np.empty(_TABLE_CAP, dtype=np.int32)
+        self.pairs = np.empty(3 * _SCRATCH_CAP, dtype=np.int32)
+        self.free_top = np.empty(_FREE_CAP, dtype=np.int32)
+        self.in_f = np.empty(3, dtype=np.float64)
+        self.in_i = np.zeros(16, dtype=np.int64)
+        self.out_i = np.zeros(16, dtype=np.int64)
+        self.tag = None
+        self._coords = None
+        self._tv = None
+        self._adj = None
+        self._args = None
+
+    def _bind(self, mesh) -> None:
+        coords = mesh.coords
+        tv = mesh.tet_verts_arr
+        adj = mesh.tet_adj
+        if coords is self._coords and tv is self._tv and adj is self._adj:
+            return
+        cap_t = adj.shape[0]
+        if self.tag is None or self.tag.shape[0] < cap_t:
+            # Fresh zeros are fine: the generation counter only grows,
+            # so stale stamps can never collide with a future call.
+            self.tag = np.zeros(cap_t, dtype=np.int64)
+        self._coords = coords
+        self._tv = tv
+        self._adj = adj
+        p = ctypes.c_void_p
+        self._args = tuple(
+            p(arr.ctypes.data)
+            for arr in (coords, tv, adj, self.tag, self.free_top,
+                        self.cav, self.bnd, self.newt, self.stk,
+                        self.ekey, self.estamp, self.eval_, self.pairs,
+                        self.in_f, self.in_i, self.out_i)
+        )
+
+    def insert(self, mesh, px, py, pz, seed_tet, rng_state, gen, vnew,
+               n_free_total) -> int:
+        """Run one C insert attempt; returns a BW_* status code."""
+        self._bind(mesh)
+        in_f = self.in_f
+        in_f[0] = px
+        in_f[1] = py
+        in_f[2] = pz
+        n_avail = n_free_total if n_free_total < _FREE_CAP else _FREE_CAP
+        if n_avail:
+            self.free_top[:n_avail] = mesh._free_tets[-n_avail:][::-1]
+        in_i = self.in_i
+        in_i[0] = seed_tet
+        in_i[1] = rng_state
+        in_i[2] = mesh.n_live_tets
+        in_i[3] = gen
+        in_i[4] = vnew
+        in_i[5] = len(mesh.tet_verts)
+        in_i[6] = self._adj.shape[0]
+        in_i[7] = n_avail
+        in_i[8] = n_free_total
+        in_i[9] = _SCRATCH_CAP
+        in_i[10] = _TABLE_CAP
+        return bw_insert(*self._args)

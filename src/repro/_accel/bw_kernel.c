@@ -1,0 +1,409 @@
+/* Bowyer-Watson insertion hot path.
+ *
+ * Compiled on demand (see __init__.py) and driven through ctypes on the
+ * mesh's struct-of-arrays buffers.  The routine performs ONE insertion
+ * attempt: remembering walk -> cavity search -> validation -> closure
+ * check -> commit.
+ *
+ * Contract with the Python kernel (delaunay/triangulation.py):
+ *
+ * - Every floating point predicate is *filtered*: evaluated in double
+ *   with a Shewchuk-style forward error bound.  A conclusive filter
+ *   result is guaranteed to equal the exact predicate's sign, so every
+ *   decision taken here is identical to the pure-Python filtered/exact
+ *   path.  The moment ANY predicate is inconclusive the routine returns
+ *   BW_RETRY without having mutated anything and the caller re-runs the
+ *   Python path (which has the exact Fraction fallback).  This file must
+ *   be compiled with -ffp-contract=off: FMA contraction would change
+ *   the rounding behaviour the error bounds were derived for.
+ * - Traversal orders replicate the Python implementation exactly — the
+ *   walk's face order comes from the same inline LCG state, the cavity
+ *   is enumerated by the same depth-first stack discipline, boundary
+ *   faces are emitted in the same sequence, and new tet slots are drawn
+ *   from the free-list top (LIFO) before fresh tail slots.  These orders
+ *   determine new tet ids and therefore the entire downstream mesh, so
+ *   they are part of the deterministic output contract
+ *   (tests/test_kernel_parity.py).
+ * - Mutation is strictly deferred: phase A (walk, cavity, validation,
+ *   closure) only reads mesh arrays and writes caller-owned scratch;
+ *   phase B writes the mesh arrays and cannot fail.  Error returns
+ *   (duplicate point / point on a cavity face / open boundary) are
+ *   decided before any mutation, mirroring InsertionError semantics.
+ *
+ * The edge hash table and the cavity tag array are epoch-stamped with
+ * the caller's generation counter, so they are never cleared between
+ * calls.
+ */
+
+#include <math.h>
+#include <stdint.h>
+
+#define BW_OK 0
+#define BW_RETRY 1
+#define BW_ERR_DUP 2
+#define BW_ERR_FACE 3
+#define BW_ERR_CLOSED 4
+
+#define EPSILON 1.1102230246251565e-16 /* 2^-53 */
+
+static const double ORIENT3D_BOUND = (16.0 + 128.0 * EPSILON) * EPSILON;
+static const double INSPHERE_BOUND = (64.0 + 512.0 * EPSILON) * EPSILON;
+
+/* Sign of orient3d(a, b, c, d), or 2 when the filter is inconclusive
+ * (which includes every exact zero).  Mirrors predicates._orient3d_float
+ * term for term. */
+static int orient3d_f(const double *a, const double *b, const double *c,
+                      const double *d)
+{
+    double adx = a[0] - d[0], ady = a[1] - d[1], adz = a[2] - d[2];
+    double bdx = b[0] - d[0], bdy = b[1] - d[1], bdz = b[2] - d[2];
+    double cdx = c[0] - d[0], cdy = c[1] - d[1], cdz = c[2] - d[2];
+
+    double bdxcdy = bdx * cdy, cdxbdy = cdx * bdy;
+    double cdxady = cdx * ady, adxcdy = adx * cdy;
+    double adxbdy = adx * bdy, bdxady = bdx * ady;
+
+    double det = adz * (bdxcdy - cdxbdy)
+               + bdz * (cdxady - adxcdy)
+               + cdz * (adxbdy - bdxady);
+    double permanent = (fabs(bdxcdy) + fabs(cdxbdy)) * fabs(adz)
+                     + (fabs(cdxady) + fabs(adxcdy)) * fabs(bdz)
+                     + (fabs(adxbdy) + fabs(bdxady)) * fabs(cdz);
+    double bound = ORIENT3D_BOUND * permanent;
+    if (det > bound)
+        return 1;
+    if (det < -bound)
+        return -1;
+    return 2;
+}
+
+/* Sign of insphere(a, b, c, d, e) for a positively oriented tet, or 2
+ * when inconclusive.  Mirrors predicates._insphere_float term for term. */
+static int insphere_f(const double *a, const double *b, const double *c,
+                      const double *d, double ex, double ey, double ez)
+{
+    double aex = a[0] - ex, aey = a[1] - ey, aez = a[2] - ez;
+    double bex = b[0] - ex, bey = b[1] - ey, bez = b[2] - ez;
+    double cex = c[0] - ex, cey = c[1] - ey, cez = c[2] - ez;
+    double dex = d[0] - ex, dey = d[1] - ey, dez = d[2] - ez;
+
+    double aexbey = aex * bey, bexaey = bex * aey;
+    double ab = aexbey - bexaey;
+    double bexcey = bex * cey, cexbey = cex * bey;
+    double bc = bexcey - cexbey;
+    double cexdey = cex * dey, dexcey = dex * cey;
+    double cd = cexdey - dexcey;
+    double dexaey = dex * aey, aexdey = aex * dey;
+    double da = dexaey - aexdey;
+    double aexcey = aex * cey, cexaey = cex * aey;
+    double ac = aexcey - cexaey;
+    double bexdey = bex * dey, dexbey = dex * bey;
+    double bd = bexdey - dexbey;
+
+    double abc = aez * bc - bez * ac + cez * ab;
+    double bcd = bez * cd - cez * bd + dez * bc;
+    double cda = cez * da + dez * ac + aez * cd;
+    double dab = dez * ab + aez * bd + bez * da;
+
+    double alift = aex * aex + aey * aey + aez * aez;
+    double blift = bex * bex + bey * bey + bez * bez;
+    double clift = cex * cex + cey * cey + cez * cez;
+    double dlift = dex * dex + dey * dey + dez * dez;
+
+    double det = (dlift * abc - clift * dab) + (blift * cda - alift * bcd);
+
+    double aezp = fabs(aez), bezp = fabs(bez);
+    double cezp = fabs(cez), dezp = fabs(dez);
+    double permanent =
+        ((fabs(cexdey) + fabs(dexcey)) * bezp
+         + (fabs(dexbey) + fabs(bexdey)) * cezp
+         + (fabs(bexcey) + fabs(cexbey)) * dezp) * alift
+        + ((fabs(dexaey) + fabs(aexdey)) * cezp
+           + (fabs(aexcey) + fabs(cexaey)) * dezp
+           + (fabs(cexdey) + fabs(dexcey)) * aezp) * blift
+        + ((fabs(aexbey) + fabs(bexaey)) * dezp
+           + (fabs(bexdey) + fabs(dexbey)) * aezp
+           + (fabs(dexaey) + fabs(aexdey)) * bezp) * clift
+        + ((fabs(bexcey) + fabs(cexbey)) * aezp
+           + (fabs(cexaey) + fabs(aexcey)) * bezp
+           + (fabs(aexbey) + fabs(bexaey)) * cezp) * dlift;
+    double bound = INSPHERE_BOUND * permanent;
+    if (det > bound)
+        return 1;
+    if (det < -bound)
+        return -1;
+    return 2;
+}
+
+static int insphere_tet(const double *coords, const int32_t *v,
+                        double ex, double ey, double ez)
+{
+    return insphere_f(coords + 3 * (int64_t)v[0],
+                      coords + 3 * (int64_t)v[1],
+                      coords + 3 * (int64_t)v[2],
+                      coords + 3 * (int64_t)v[3], ex, ey, ez);
+}
+
+/* One insertion attempt.
+ *
+ * in_f:  [px, py, pz]
+ * in_i:  [seed_tet, rng_state, n_live_tets, gen, vnew, tail, cap_t,
+ *         n_free_avail, n_free_total, scratch_cap, table_cap]
+ * out_i: [ncav, nb, consumed_free, n_fresh, walk_steps, rng_state_out,
+ *         located_tet, n_orient, n_insphere]
+ *
+ * tag is an epoch-stamped per-tet scratch (>= cap_t entries); gen and
+ * gen+1 mark in-cavity / checked-out for this call only.  ekey/estamp/
+ * eval form the epoch-stamped edge hash table (table_cap a power of 2).
+ * free_top holds the next n_free_avail free-list pops (top first) out
+ * of n_free_total total entries.
+ */
+int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
+                  int64_t *tag, const int32_t *free_top, int32_t *cav,
+                  int32_t *bnd, int32_t *newt, int32_t *stk, int64_t *ekey,
+                  int64_t *estamp, int32_t *eval, int32_t *pairs,
+                  const double *in_f, const int64_t *in_i, int64_t *out_i)
+{
+    const double px = in_f[0], py = in_f[1], pz = in_f[2];
+    int64_t t = in_i[0];
+    uint64_t state = (uint64_t)in_i[1];
+    const int64_t n_live = in_i[2];
+    const int64_t gen = in_i[3];
+    const int64_t genout = gen + 1;
+    const int32_t vnew = (int32_t)in_i[4];
+    const int64_t tail = in_i[5];
+    const int64_t cap_t = in_i[6];
+    const int64_t n_avail = in_i[7];
+    const int64_t n_free_total = in_i[8];
+    const int64_t scap = in_i[9];
+    const int64_t tcap = in_i[10];
+
+    int64_t ncav = 0, nb = 0, consumed = 0, nfresh = 0;
+    int64_t steps = 0, n_orient = 0, n_insphere = 0;
+
+#define FINISH(code)                                                        \
+    do {                                                                    \
+        out_i[0] = ncav; out_i[1] = nb;                                     \
+        out_i[2] = consumed; out_i[3] = nfresh;                             \
+        out_i[4] = steps; out_i[5] = (int64_t)state;                        \
+        out_i[6] = t; out_i[7] = n_orient; out_i[8] = n_insphere;           \
+        return (code);                                                      \
+    } while (0)
+
+    /* ---- phase A1: remembering walk (read-only) ---- */
+    const int64_t max_steps = n_live * 2 + 64;
+    for (;;) {
+        if (steps >= max_steps)
+            return BW_RETRY; /* cycling: let Python raise */
+        steps++;
+        const int32_t *v = tv + 4 * t;
+        if (v[0] < 0)
+            return BW_RETRY; /* tet died under our feet */
+        double pq[3] = {px, py, pz};
+        const double *q[4] = {coords + 3 * (int64_t)v[0],
+                              coords + 3 * (int64_t)v[1],
+                              coords + 3 * (int64_t)v[2],
+                              coords + 3 * (int64_t)v[3]};
+        state = (state * 1103515245ULL + 12345ULL) & 0x7FFFFFFFULL;
+        int start = (int)((state >> 13) & 3);
+        int moved = 0;
+        for (int k = 0; k < 4; k++) {
+            int i = (start + k) & 3;
+            const double *save = q[i];
+            q[i] = pq;
+            int s = orient3d_f(q[0], q[1], q[2], q[3]);
+            q[i] = save;
+            n_orient++;
+            if (s == 2)
+                return BW_RETRY;
+            if (s < 0) {
+                int32_t nbr = adj[4 * t + i];
+                if (nbr < 0)
+                    return BW_RETRY; /* escapes the box: Python raises */
+                t = nbr;
+                moved = 1;
+                break;
+            }
+        }
+        if (!moved)
+            break;
+    }
+
+    /* ---- phase A2: cavity search (reads mesh, writes scratch) ---- */
+    {
+        int s0 = insphere_tet(coords, tv + 4 * t, px, py, pz);
+        n_insphere++;
+        if (s0 == 2)
+            return BW_RETRY;
+        if (s0 < 0)
+            FINISH(BW_ERR_DUP); /* located tet not in conflict */
+    }
+    tag[t] = gen;
+    cav[ncav++] = (int32_t)t;
+    int64_t sp = 0;
+    stk[sp++] = (int32_t)t;
+    while (sp > 0) {
+        int64_t tt = stk[--sp];
+        const int32_t *arow = adj + 4 * tt;
+        for (int i = 0; i < 4; i++) {
+            int32_t nbr = arow[i];
+            if (nbr < 0) { /* HULL */
+                if (nb >= scap)
+                    return BW_RETRY;
+                bnd[nb++] = (int32_t)(tt * 4 + i);
+                continue;
+            }
+            int64_t tg = tag[nbr];
+            if (tg == gen)
+                continue;
+            if (tg == genout) {
+                if (nb >= scap)
+                    return BW_RETRY;
+                bnd[nb++] = (int32_t)(tt * 4 + i);
+                continue;
+            }
+            int s = insphere_tet(coords, tv + 4 * (int64_t)nbr, px, py, pz);
+            n_insphere++;
+            if (s == 2)
+                return BW_RETRY;
+            if (s > 0) {
+                if (ncav >= scap || sp >= scap)
+                    return BW_RETRY;
+                tag[nbr] = gen;
+                cav[ncav++] = nbr;
+                stk[sp++] = nbr;
+            } else {
+                if (nb >= scap)
+                    return BW_RETRY;
+                tag[nbr] = genout;
+                bnd[nb++] = (int32_t)(tt * 4 + i);
+            }
+        }
+    }
+
+    /* ---- phase A3: validation — every new tet (boundary face with the
+     * cavity-side vertex replaced by p) must be strictly positively
+     * oriented, i.e. the cavity is star-shaped around p. ---- */
+    for (int64_t r = 0; r < nb; r++) {
+        int64_t tt = bnd[r] >> 2;
+        int ii = bnd[r] & 3;
+        const int32_t *w = tv + 4 * tt;
+        double pq[3] = {px, py, pz};
+        const double *q[4];
+        for (int j = 0; j < 4; j++)
+            q[j] = (j == ii) ? pq : coords + 3 * (int64_t)w[j];
+        int o = orient3d_f(q[0], q[1], q[2], q[3]);
+        n_orient++;
+        if (o == 2)
+            return BW_RETRY;
+        if (o < 0)
+            FINISH(BW_ERR_FACE);
+    }
+
+    /* ---- phase A4: closed-surface check + internal-face pairing.
+     * Each boundary-triangle edge must be shared by exactly two
+     * boundary faces; the two new tets over those faces are adjacent
+     * across the local slot opposite the edge. ---- */
+    if (3 * nb > tcap / 2)
+        return BW_RETRY; /* keep the open-addressing table sparse */
+    const uint64_t mask = (uint64_t)(tcap - 1);
+    int64_t npairs = 0;
+    for (int64_t r = 0; r < nb; r++) {
+        int64_t tt = bnd[r] >> 2;
+        int ii = bnd[r] & 3;
+        const int32_t *w = tv + 4 * tt;
+        int kept[3];
+        int nk = 0;
+        for (int j = 0; j < 4; j++)
+            if (j != ii)
+                kept[nk++] = j;
+        for (int m = 0; m < 3; m++) {
+            /* edges (kept0,kept1), (kept0,kept2), (kept1,kept2) sit
+             * opposite local slots kept2, kept1, kept0 respectively */
+            int ja = kept[m == 2 ? 1 : 0];
+            int jb = kept[m == 0 ? 1 : 2];
+            int slot = kept[2 - m];
+            int64_t ga = w[ja], gb = w[jb];
+            int64_t lo = ga < gb ? ga : gb;
+            int64_t hi = ga < gb ? gb : ga;
+            int64_t key = (lo << 32) | hi;
+            uint64_t idx = ((uint64_t)key * 0x9E3779B97F4A7C15ULL >> 32)
+                           & mask;
+            for (;;) {
+                if (estamp[idx] != gen) { /* empty (this call) */
+                    estamp[idx] = gen;
+                    ekey[idx] = key;
+                    eval[idx] = (int32_t)(r * 4 + slot);
+                    break;
+                }
+                if (ekey[idx] == key) {
+                    int32_t prev = eval[idx];
+                    if (prev < 0) /* third face on one edge */
+                        FINISH(BW_ERR_CLOSED);
+                    pairs[2 * npairs] = prev;
+                    pairs[2 * npairs + 1] = (int32_t)(r * 4 + slot);
+                    npairs++;
+                    eval[idx] = -2;
+                    break;
+                }
+                idx = (idx + 1) & mask;
+            }
+        }
+    }
+    if (npairs * 2 != 3 * nb)
+        FINISH(BW_ERR_CLOSED); /* some edge only appeared once */
+
+    /* ---- phase A5: slot allocation (scratch only; mirrors the
+     * free-list LIFO pops then fresh tail slots of add_tets_batch) ---- */
+    for (int64_t r = 0; r < nb; r++) {
+        int32_t slot;
+        if (consumed < n_avail) {
+            slot = free_top[consumed++];
+        } else if (consumed < n_free_total) {
+            return BW_RETRY; /* free-list window smaller than the cavity */
+        } else {
+            if (tail + nfresh >= cap_t)
+                return BW_RETRY; /* arrays need growth: Python path */
+            slot = (int32_t)(tail + nfresh);
+            nfresh++;
+        }
+        newt[r] = slot;
+    }
+
+    /* ---- phase B: commit (cannot fail) ---- */
+    for (int64_t r = 0; r < nb; r++) {
+        int64_t tt = bnd[r] >> 2;
+        int ii = bnd[r] & 3;
+        int64_t nt = newt[r];
+        const int32_t *src = tv + 4 * tt; /* cavity rows stay intact here */
+        int32_t *dv = tv + 4 * nt;
+        int32_t *da = adj + 4 * nt;
+        for (int j = 0; j < 4; j++) {
+            dv[j] = (j == ii) ? vnew : src[j];
+            da[j] = -1;
+        }
+        int32_t ext = adj[4 * tt + ii];
+        da[ii] = ext;
+        if (ext >= 0) {
+            /* redirect the outside neighbor's back-pointer */
+            int32_t *erow = adj + 4 * (int64_t)ext;
+            for (int f = 0; f < 4; f++) {
+                if (erow[f] == (int32_t)tt) {
+                    erow[f] = (int32_t)nt;
+                    break;
+                }
+            }
+        }
+    }
+    for (int64_t m = 0; m < npairs; m++) {
+        int32_t a = pairs[2 * m], b = pairs[2 * m + 1];
+        adj[4 * (int64_t)newt[a >> 2] + (a & 3)] = newt[b >> 2];
+        adj[4 * (int64_t)newt[b >> 2] + (b & 3)] = newt[a >> 2];
+    }
+    for (int64_t j = 0; j < ncav; j++) {
+        int32_t *q = tv + 4 * (int64_t)cav[j];
+        q[0] = q[1] = q[2] = q[3] = -1;
+    }
+    FINISH(BW_OK);
+#undef FINISH
+}

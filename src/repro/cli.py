@@ -129,6 +129,15 @@ def _cmd_mesh(args: argparse.Namespace) -> int:
           f"({result.mesh.n_tets / dt:,.0f} tets/s){extra}")
     print(q.row())
 
+    if getattr(args, "kernel_stats", False):
+        domain = result.extras.get("domain")
+        if domain is not None:
+            from repro.geometry.predicates import STATS
+            from repro.runtime.stats import kernel_report
+
+            print()
+            print(kernel_report(domain.tri.counters, STATS.snapshot()))
+
     if args.output:
         if args.output.endswith(".vtk"):
             from repro.io import save_vtk
@@ -246,6 +255,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["aggressive", "random", "global", "local"])
     p.add_argument("-o", "--output", default=None,
                    help=".vtk, .off, or TetGen basename")
+    p.add_argument("--kernel-stats", action="store_true",
+                   help="print hot-path kernel statistics (filter hit "
+                        "rate, walk lengths, cavity sizes)")
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_mesh)
 

@@ -56,12 +56,17 @@ class SequentialRefiner:
         self.max_operations = max_operations
         self.stats = RefineStats()
         self.obs = obs
+        # Predicate-filter counters are process-wide; snapshot so the
+        # published kernel stats cover exactly this run.
+        self._predicates_before: Dict[str, int] = {}
 
     def refine(self) -> RefineStats:
         """Run refinement to completion; returns the statistics."""
         domain = self.domain
         pel = self.pel
         obs = self.obs
+        from repro.geometry.predicates import STATS
+        self._predicates_before = STATS.snapshot()
         t_start = time.perf_counter()
 
         # Hoist the instruments out of the loop: the hot path pays one
@@ -144,6 +149,13 @@ class SequentialRefiner:
         reg.counter("refine.insertions").inc(s.n_insertions)
         reg.counter("refine.removals").inc(s.n_removals)
         reg.counter("refine.skipped").inc(s.n_skipped)
+        from repro.geometry.predicates import STATS
+        from repro.runtime.stats import publish_kernel_stats
+
+        publish_kernel_stats(
+            reg, self.domain.tri.counters,
+            STATS.delta_since(self._predicates_before),
+        )
 
     def _record(self, result: OperationResult) -> None:
         self.stats.n_operations += 1

@@ -1,22 +1,40 @@
 """Low-level tetrahedral mesh storage with face-to-face adjacency.
 
-Storage layout (struct-of-arrays, free-list recycled):
+Storage layout (struct-of-arrays, free-list recycled).  Since the
+kernel overhaul the store is *dual*: NumPy arrays are authoritative for
+everything the vectorized kernels gather from, while plain Python
+mirrors are kept in lock-step for the scalar hot paths (indexing a
+Python list of tuples is several times faster than pulling ``np.float64``
+scalars out of an ndarray, and scalar arithmetic on ``np.float64`` is
+2-5x slower than on native floats).
 
-* ``points[v]``          – vertex coordinates as a 3-tuple of floats.
+* ``coords``             – ``(capacity, 3) float64`` vertex coordinates.
+* ``points[v]``          – the same coordinates as a 3-tuple of floats
+                           (scalar mirror; identical bit patterns).
 * ``timestamps[v]``      – global insertion counter, used by vertex
                            removal to replay link vertices in insertion
                            order (paper Section 4.2).
 * ``alive_vertex[v]``    – False once a vertex has been removed.
-* ``tet_verts[t]``       – 4-tuple of vertex ids (positively oriented)
-                           or ``None`` for dead/recycled slots.
-* ``tet_adj[t]``         – list of 4 neighbor tet ids; ``tet_adj[t][i]``
-                           is the tet sharing the face opposite local
+* ``tet_verts_arr``      – ``(capacity, 4) int32`` vertex ids per tet;
+                           ``-1`` rows for dead/recycled slots.
+* ``tet_verts[t]``       – the same ids as a 4-tuple (scalar mirror) or
+                           ``None`` for dead slots.
+* ``tet_adj``            – ``(capacity, 4) int32``; ``tet_adj[t][i]`` is
+                           the tet sharing the face opposite local
                            vertex ``i``; ``HULL`` (-1) on the hull.
+* ``tet_cc[t]``          – cached circumsphere entry for the filtered
+                           in-sphere fast path (see
+                           :func:`repro.geometry.predicates.circumsphere_entry`);
+                           ``None`` until first use, ``()`` for
+                           degenerate tets.
 * ``v2t[v]``             – one live incident tet per vertex (point-location
                            and ball-collection anchor).
 
 All tetrahedra are stored positively oriented (``orient3d > 0``), which
-the in-sphere predicate requires.
+the in-sphere predicate requires.  Growth doubles the NumPy capacity, so
+long-lived references to ``coords``/``tet_verts_arr``/``tet_adj`` must
+be re-fetched from the mesh after any allocation (all in-tree callers
+hold them for at most one operation).
 """
 
 from __future__ import annotations
@@ -24,10 +42,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 HULL = -1  # adjacency marker: face on the convex hull (virtual box surface)
 DEAD = -2  # adjacency marker used transiently for invalidated slots
 
 Point = Tuple[float, float, float]
+
+_INIT_V_CAP = 256
+_INIT_T_CAP = 1024
 
 
 @dataclass(frozen=True)
@@ -42,12 +65,15 @@ class MeshArrays:
     """Growable struct-of-arrays store for vertices and tetrahedra."""
 
     __slots__ = (
+        "coords",
         "points",
         "timestamps",
         "alive_vertex",
+        "tet_verts_arr",
         "tet_verts",
         "tet_adj",
         "tet_epoch",
+        "tet_cc",
         "v2t",
         "_free_tets",
         "_free_verts",
@@ -56,20 +82,43 @@ class MeshArrays:
     )
 
     def __init__(self) -> None:
+        self.coords = np.zeros((_INIT_V_CAP, 3), dtype=np.float64)
         self.points: List[Point] = []
         self.timestamps: List[int] = []
         self.alive_vertex: List[bool] = []
+        self.tet_verts_arr = np.full((_INIT_T_CAP, 4), -1, dtype=np.int32)
         self.tet_verts: List[Optional[Tuple[int, int, int, int]]] = []
-        self.tet_adj: List[List[int]] = []
+        self.tet_adj = np.full((_INIT_T_CAP, 4), HULL, dtype=np.int32)
         # Epoch counter per slot: bumps every time the slot is reused, so
         # stale references (e.g. Poor Element List entries) can detect
         # that "their" tet died even if the id was recycled.
         self.tet_epoch: List[int] = []
+        self.tet_cc: List[Optional[tuple]] = []
         self.v2t: List[int] = []
         self._free_tets: List[int] = []
         self._free_verts: List[int] = []
         self._clock = 0
         self.n_live_tets = 0
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def _grow_verts(self) -> None:
+        old = self.coords
+        grown = np.zeros((old.shape[0] * 2, 3), dtype=np.float64)
+        grown[: old.shape[0]] = old
+        self.coords = grown
+
+    def _grow_tets(self, need: int) -> None:
+        cap = self.tet_adj.shape[0]
+        while cap < need:
+            cap *= 2
+        tv = np.full((cap, 4), -1, dtype=np.int32)
+        tv[: self.tet_verts_arr.shape[0]] = self.tet_verts_arr
+        self.tet_verts_arr = tv
+        ta = np.full((cap, 4), HULL, dtype=np.int32)
+        ta[: self.tet_adj.shape[0]] = self.tet_adj
+        self.tet_adj = ta
 
     # ------------------------------------------------------------------
     # vertices
@@ -86,10 +135,16 @@ class MeshArrays:
             self.v2t[v] = HULL
         else:
             v = len(self.points)
+            if v >= self.coords.shape[0]:
+                self._grow_verts()
             self.points.append(pt)
             self.timestamps.append(self._clock)
             self.alive_vertex.append(True)
             self.v2t.append(HULL)
+        c = self.coords[v]
+        c[0] = pt[0]
+        c[1] = pt[1]
+        c[2] = pt[2]
         return v
 
     def kill_vertex(self, v: int) -> None:
@@ -110,22 +165,79 @@ class MeshArrays:
             t = self._free_tets.pop()
             self.tet_verts[t] = verts
             self.tet_epoch[t] += 1
-            adj = self.tet_adj[t]
-            adj[0] = adj[1] = adj[2] = adj[3] = HULL
+            self.tet_cc[t] = None
         else:
             t = len(self.tet_verts)
+            if t >= self.tet_adj.shape[0]:
+                self._grow_tets(t + 1)
             self.tet_verts.append(verts)
-            self.tet_adj.append([HULL, HULL, HULL, HULL])
             self.tet_epoch.append(0)
+            self.tet_cc.append(None)
+        tv = self.tet_verts_arr[t]
+        tv[0] = verts[0]
+        tv[1] = verts[1]
+        tv[2] = verts[2]
+        tv[3] = verts[3]
+        adj = self.tet_adj[t]
+        adj[0] = adj[1] = adj[2] = adj[3] = HULL
         for v in verts:
             self.v2t[v] = t
         self.n_live_tets += 1
         return t
 
+    def add_tets_batch(self, verts_rows: np.ndarray) -> List[int]:
+        """Allocate slots for ``k`` new tets at once.
+
+        ``verts_rows`` is a ``(k, 4)`` int array.  Slot assignment is
+        identical to ``k`` successive :meth:`add_tet` calls (LIFO
+        free-list pops first, then fresh slots in order), so recycled
+        ids — and therefore all downstream iteration orders — match the
+        scalar path bit-for-bit.  ``v2t`` is *not* updated here; the
+        caller owns anchor maintenance (the insertion commit rewrites
+        anchors for every new tet anyway).
+        """
+        k = verts_rows.shape[0]
+        free = self._free_tets
+        tvl = self.tet_verts
+        epoch = self.tet_epoch
+        ccs = self.tet_cc
+        tids: List[int] = []
+        for _ in range(k):
+            if free:
+                t = free.pop()
+                epoch[t] += 1
+                ccs[t] = None
+            else:
+                t = len(tvl)
+                tvl.append(None)
+                epoch.append(0)
+                ccs.append(None)
+            tids.append(t)
+        if len(tvl) > self.tet_adj.shape[0]:
+            self._grow_tets(len(tvl))
+        idx = np.asarray(tids, dtype=np.intp)
+        self.tet_verts_arr[idx] = verts_rows
+        self.tet_adj[idx] = HULL
+        rows = verts_rows.tolist()
+        for r in range(k):
+            tvl[tids[r]] = tuple(rows[r])
+        self.n_live_tets += k
+        return tids
+
     def kill_tet(self, t: int) -> None:
         self.tet_verts[t] = None
+        self.tet_verts_arr[t] = -1
         self._free_tets.append(t)
         self.n_live_tets -= 1
+
+    def kill_tets_batch(self, ts: Sequence[int]) -> None:
+        """Kill several tets; free-list order matches per-tet kills."""
+        tvl = self.tet_verts
+        for t in ts:
+            tvl[t] = None
+        self._free_tets.extend(ts)
+        self.tet_verts_arr[np.asarray(ts, dtype=np.intp)] = -1
+        self.n_live_tets -= len(ts)
 
     def is_live(self, t: int) -> bool:
         return 0 <= t < len(self.tet_verts) and self.tet_verts[t] is not None
@@ -136,6 +248,12 @@ class MeshArrays:
         for t in range(len(tv)):
             if tv[t] is not None:
                 yield t
+
+    def live_tet_ids(self) -> np.ndarray:
+        """Ids of all live tetrahedra as an int array (ascending)."""
+        n = len(self.tet_verts)
+        live = self.tet_verts_arr[:n, 0] >= 0
+        return np.flatnonzero(live)
 
     # ------------------------------------------------------------------
     # topology helpers
@@ -178,6 +296,7 @@ class MeshArrays:
             seed = self._find_incident_slow(v)
             if seed is None:
                 return []
+        seed = int(seed)
         out = [seed]
         seen = {seed}
         stack = [seed]
@@ -186,7 +305,7 @@ class MeshArrays:
             verts = self.tet_verts[t]
             adj = self.tet_adj[t]
             for i in range(4):
-                nbr = adj[i]
+                nbr = int(adj[i])
                 if nbr < 0 or nbr in seen:
                     continue
                 # The face shared with nbr is opposite local vertex i; it

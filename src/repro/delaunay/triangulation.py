@@ -4,6 +4,37 @@ The triangulation always lives inside a *virtual box* (paper Figure 1):
 the box is triangulated into 6 tetrahedra and every subsequent point is
 inserted strictly inside it, so no ghost/infinite elements are needed.
 
+Hot-path kernel design
+----------------------
+The insertion pipeline (locate -> compute_cavity -> commit) is the
+throughput bottleneck of the whole mesher, so it is organised around
+three accelerations, none of which changes any mesh output:
+
+* **point location** starts from a uniform-grid vertex bucket (each
+  inserted vertex registers its cell; a query walks from a tet incident
+  to the nearest registered vertex) or from the last located tet, and
+  randomizes its face order with an inline LCG instead of a
+  ``random.Random`` call per step.
+* **cavity search** replaces most in-sphere predicate evaluations with a
+  cached circumsphere test: every tet carries a precomputed
+  ``(center, r^2, error-band)`` record (built vectorized for the whole
+  commit batch) and the full robust predicate runs only inside the
+  rounding-error band, so the fast path is *guaranteed* to agree with
+  exact arithmetic.  Visited/boundary bookkeeping uses epoch-tagged
+  scratch arrays reused across operations instead of per-call sets.
+* **the commit phase** validates all boundary faces with one vectorized
+  orientation batch, checks cavity closedness with packed edge keys and
+  ``np.unique``, allocates all new tets at once (free-list order
+  identical to the scalar path) and wires internal adjacency by sorting
+  edge keys — only the ``v2t`` anchor maintenance stays scalar, because
+  its "last writer wins" semantics must match the historical loop.
+
+Crucially the depth-first cavity *enumeration order* is untouched:
+cavity membership is predicate-determined (traversal-invariant), but the
+order in which cavity tets and boundary faces are emitted dictates new
+tet ids and hence every downstream decision, so it is part of the
+deterministic contract (see ``tests/test_kernel_parity.py``).
+
 Speculative-execution support
 -----------------------------
 Every operation accepts an optional ``touch`` callback which is invoked
@@ -19,14 +50,32 @@ rollbacks free of side effects.
 from __future__ import annotations
 
 import math
-import random
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro import _accel
 from repro.delaunay.mesh import HULL, MeshArrays
-from repro.geometry.predicates import insphere, orient3d
+from repro.geometry.batch import insphere_many, new_tet_records
+from repro.geometry.predicates import (
+    STATS,
+    circumsphere_entry,
+    insphere,
+    orient3d,
+)
 
 Point = Tuple[float, float, float]
 TouchFn = Optional[Callable[[int], None]]
+
+# Inline LCG constants (glibc) for the walk's face-order randomization.
+_LCG_MULT = 1103515245
+_LCG_INC = 12345
+_LCG_MASK = 0x7FFFFFFF
+
+# Initial vertex-bucket grid resolution along the longest box axis; the
+# grid doubles its resolution whenever occupancy exceeds ~8 vertices per
+# cell so bucket lookups stay local as the mesh grows.
+_GRID_RES = 16
 
 
 class RollbackSignal(Exception):
@@ -55,10 +104,40 @@ class RemovalError(Exception):
     triangulation is left untouched and the caller skips the removal."""
 
 
+class KernelCounters:
+    """Per-triangulation kernel statistics (advisory; races tolerated).
+
+    Complemented by the process-wide predicate filter counters in
+    :data:`repro.geometry.predicates.STATS`; both are published through
+    ``runtime/stats.py`` into the metrics registry.
+    """
+
+    __slots__ = (
+        "locate_calls", "walk_steps",
+        "seed_grid_hits", "seed_hint_hits", "seed_scans",
+        "cavity_calls", "cavity_tets",
+        "cc_cached", "cc_computed",
+        "scratch_reuses", "scratch_grows",
+        "accel_inserts", "accel_retries",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @property
+    def mean_walk_length(self) -> float:
+        return self.walk_steps / self.locate_calls if self.locate_calls else 0.0
+
+
 class Triangulation3D:
     """Delaunay triangulation of points inside a virtual bounding box."""
 
-    def __init__(self, lo: Sequence[float], hi: Sequence[float], margin: float = 0.0):
+    def __init__(self, lo: Sequence[float], hi: Sequence[float],
+                 margin: float = 0.0, seed: int = 0x5EED):
         """Create the box triangulation (the paper's only sequential step).
 
         Parameters
@@ -68,6 +147,11 @@ class Triangulation3D:
         margin:
             Extra slack added on every side; the refiner passes a few
             multiples of ``delta`` so circumcenters never escape.
+        seed:
+            Seed for the walk's face-order randomization.  The state is
+            per-instance (concurrent triangulations never share RNG
+            state) and the sequential pipeline is fully deterministic
+            for a fixed seed.
         """
         self.mesh = MeshArrays()
         dx = (hi[0] - lo[0]) or 1.0
@@ -132,7 +216,27 @@ class Triangulation3D:
                 off = -off
             self._hull_planes.append((n, off))
         self._hull_margin = 1e-9 * k
-        self._rng = random.Random(0x5EED)
+
+        # Walk randomization state (inline LCG; one state per instance).
+        self._walk_state = ((seed ^ 0x2545F491) & _LCG_MASK) or 1
+        # Point-location acceleration: last successfully located tet and
+        # a uniform-grid vertex bucket index (cell -> most recent vertex
+        # inserted there).  Both are *hints*: the walk verifies
+        # containment, so stale entries cost steps, never correctness —
+        # which also makes unsynchronized concurrent access benign.
+        self._last_located = 0
+        self._vgrid: Dict[Tuple[int, int, int], int] = {}
+        self._extent = extent
+        self._vgrid_res = _GRID_RES
+        self._vgrid_inv = _GRID_RES / extent
+        self._vgrid_cap = _GRID_RES ** 3 // 8
+        # Epoch-tagged scratch for the cavity search (reused across
+        # operations; values: _cav_gen = in cavity, +1 = checked out).
+        self._cav_tag: List[int] = []
+        self._cav_gen = 0
+        self.counters = KernelCounters()
+        # Lazily allocated scratch for the optional C insertion kernel.
+        self._acc = None
         # Scratch used by remove_vertex to pass the ball volume to the
         # fill verification.
         self._pending_ball_volume = 0.0
@@ -182,52 +286,191 @@ class Triangulation3D:
     # ------------------------------------------------------------------
     # point location
     # ------------------------------------------------------------------
+    def _grid_key(self, x: float, y: float, z: float) -> Tuple[int, int, int]:
+        lo = self._lo
+        inv = self._vgrid_inv
+        return (int((x - lo[0]) * inv), int((y - lo[1]) * inv),
+                int((z - lo[2]) * inv))
+
+    def _regrid(self) -> None:
+        """Double the vertex grid's resolution and re-bin live vertices."""
+        res = self._vgrid_res * 2
+        self._vgrid_res = res
+        self._vgrid_inv = res / self._extent
+        self._vgrid_cap = res ** 3 // 8
+        mesh = self.mesh
+        alive = mesh.alive_vertex
+        gk = self._grid_key
+        grid: Dict[Tuple[int, int, int], int] = {}
+        for v, pt in enumerate(mesh.points):
+            if alive[v]:
+                grid[gk(pt[0], pt[1], pt[2])] = v
+        self._vgrid = grid
+
+    def _locate_seed(self, x: float, y: float, z: float,
+                     hint: Optional[int] = None) -> int:
+        """Pick the walk's starting tet.
+
+        Candidates: a tet incident to the nearest vertex registered in
+        the query's grid neighborhood, the caller's hint, the last
+        located tet, a linear scan — whichever of the first two is
+        closer to the query wins (the caller's hint is excellent during
+        refinement but arbitrary for scattered insertion workloads).
+        """
+        mesh = self.mesh
+        counters = self.counters
+        pts = mesh.points
+        grid = self._vgrid
+        lo = self._lo
+        inv = self._vgrid_inv
+        kx = int((x - lo[0]) * inv)
+        ky = int((y - lo[1]) * inv)
+        kz = int((z - lo[2]) * inv)
+        best_v = grid.get((kx, ky, kz))
+        if best_v is not None:
+            q = pts[best_v]
+            dx = q[0] - x
+            dy = q[1] - y
+            dz = q[2] - z
+            best_d = dx * dx + dy * dy + dz * dz
+        elif grid:
+            # Probe the 26 surrounding buckets for the nearest registered
+            # vertex (the grid keeps occupancy low, so the home bucket is
+            # often empty while the neighborhood rarely is).
+            best_d = math.inf
+            for nk in (
+                (kx - 1, ky - 1, kz - 1), (kx - 1, ky - 1, kz),
+                (kx - 1, ky - 1, kz + 1), (kx - 1, ky, kz - 1),
+                (kx - 1, ky, kz), (kx - 1, ky, kz + 1),
+                (kx - 1, ky + 1, kz - 1), (kx - 1, ky + 1, kz),
+                (kx - 1, ky + 1, kz + 1), (kx, ky - 1, kz - 1),
+                (kx, ky - 1, kz), (kx, ky - 1, kz + 1),
+                (kx, ky, kz - 1), (kx, ky, kz + 1),
+                (kx, ky + 1, kz - 1), (kx, ky + 1, kz),
+                (kx, ky + 1, kz + 1), (kx + 1, ky - 1, kz - 1),
+                (kx + 1, ky - 1, kz), (kx + 1, ky - 1, kz + 1),
+                (kx + 1, ky, kz - 1), (kx + 1, ky, kz),
+                (kx + 1, ky, kz + 1), (kx + 1, ky + 1, kz - 1),
+                (kx + 1, ky + 1, kz), (kx + 1, ky + 1, kz + 1),
+            ):
+                v = grid.get(nk)
+                if v is None:
+                    continue
+                q = pts[v]
+                dx = q[0] - x
+                dy = q[1] - y
+                dz = q[2] - z
+                d = dx * dx + dy * dy + dz * dz
+                if d < best_d:
+                    best_d = d
+                    best_v = v
+        if best_v is not None:
+            t = mesh.v2t[best_v]
+            if t >= 0 and mesh.tet_verts[t] is not None:
+                if hint is not None:
+                    h = pts[mesh.tet_verts[hint][0]]
+                    dx = h[0] - x
+                    dy = h[1] - y
+                    dz = h[2] - z
+                    if dx * dx + dy * dy + dz * dz < best_d:
+                        counters.seed_hint_hits += 1
+                        return hint
+                counters.seed_grid_hits += 1
+                return int(t)
+        if hint is not None:
+            counters.seed_hint_hits += 1
+            return hint
+        t = self._last_located
+        if mesh.is_live(t):
+            counters.seed_hint_hits += 1
+            return t
+        counters.seed_scans += 1
+        return next(mesh.live_tets())
+
     def locate(self, p: Sequence[float], hint: Optional[int] = None,
                touch: TouchFn = None) -> int:
         """Find a tetrahedron containing ``p`` by a remembering walk."""
         mesh = self.mesh
         pts = mesh.points
-        t = hint if hint is not None and mesh.is_live(hint) else None
-        if t is None:
-            t = next(mesh.live_tets())
+        tet_verts = mesh.tet_verts
+        tet_adj = mesh.tet_adj
+        orient = orient3d
+        px = p[0]
+        py = p[1]
+        pz = p[2]
+        pq = (px, py, pz)
+        if hint is not None and mesh.is_live(hint):
+            t = self._locate_seed(px, py, pz, hint)
+        else:
+            t = self._locate_seed(px, py, pz)
         max_steps = mesh.n_live_tets * 2 + 64
-        rng = self._rng
+        state = self._walk_state
+        steps = 0
         # The walk itself is read-only point location and is deliberately
         # NOT protected by vertex locks (the paper locks what cavity
         # expansion and ball filling touch).  A concurrently invalidated
         # tet is detected and the walk restarts from a live one; a
         # wrongly located tet is caught by the conflict check in
         # compute_cavity.
-        for _ in range(max_steps):
-            verts = mesh.tet_verts[t]
+        while steps < max_steps:
+            steps += 1
+            verts = tet_verts[t]
             if verts is None:  # invalidated under our feet
                 t = next(mesh.live_tets())
                 continue
-            qa, qb, qc, qd = (pts[verts[0]], pts[verts[1]],
-                              pts[verts[2]], pts[verts[3]])
-            quad = (qa, qb, qc, qd)
+            qa = pts[verts[0]]
+            qb = pts[verts[1]]
+            qc = pts[verts[2]]
+            qd = pts[verts[3]]
+            state = (state * _LCG_MULT + _LCG_INC) & _LCG_MASK
+            start = (state >> 13) & 3
             moved = False
-            start = rng.randrange(4)
             for k in range(4):
                 i = (start + k) & 3
-                args = list(quad)
-                args[i] = p
-                if orient3d(*args) < 0:
-                    nbr = mesh.tet_adj[t][i]
+                if i == 0:
+                    s = orient(pq, qb, qc, qd)
+                elif i == 1:
+                    s = orient(qa, pq, qc, qd)
+                elif i == 2:
+                    s = orient(qa, qb, pq, qd)
+                else:
+                    s = orient(qa, qb, qc, pq)
+                if s < 0:
+                    nbr = tet_adj[t, i]
                     if nbr == HULL:
                         raise PointLocationError(
                             f"point {tuple(p)} escapes the virtual box"
                         )
-                    t = nbr
+                    t = int(nbr)
                     moved = True
                     break
             if not moved:
+                self._walk_state = state
+                self._last_located = t
+                counters = self.counters
+                counters.locate_calls += 1
+                counters.walk_steps += steps
                 return t
         raise PointLocationError("walk did not converge (cycling)")
 
     # ------------------------------------------------------------------
     # insertion (Bowyer-Watson)
     # ------------------------------------------------------------------
+    def _cc_entry(self, t: int):
+        """Compute and cache tet ``t``'s circumsphere record (scalar path).
+
+        Stored as ``()`` for degenerate tets so the cache distinguishes
+        "computed, no fast path" from "not computed yet" (``None``).
+        """
+        mesh = self.mesh
+        pts = mesh.points
+        a, b, c, d = mesh.tet_verts[t]
+        e = circumsphere_entry(pts[a], pts[b], pts[c], pts[d])
+        e = e if e is not None else ()
+        mesh.tet_cc[t] = e
+        self.counters.cc_computed += 1
+        return e
+
     def compute_cavity(self, p: Sequence[float], hint: Optional[int] = None,
                        touch: TouchFn = None
                        ) -> Tuple[List[int], List[Tuple[int, int]]]:
@@ -240,54 +483,142 @@ class Triangulation3D:
         that is not in strict conflict means ``p`` duplicates an existing
         vertex (a point inside a closed tet lies on its circumsphere only
         at a vertex) and raises :class:`InsertionError`.
+
+        The in-sphere tests run through the cached circumsphere records
+        (exact-agreeing fast path, see module docstring); the depth-first
+        enumeration order is part of the deterministic output contract
+        and must not change.
         """
         mesh = self.mesh
         pts = mesh.points
         t0 = self.locate(p, hint, touch)
-        v0 = mesh.tet_verts[t0]
+        tet_verts = mesh.tet_verts
+        v0 = tet_verts[t0]
         if touch is not None:
             for v in v0:
                 touch(v)
-            if mesh.tet_verts[t0] != v0:
+            if tet_verts[t0] != v0:
                 # The seed died between location and locking: treat like
                 # a conflict and let the caller retry the element.
                 raise RollbackSignal(owner=-1)
-        p0a, p0b, p0c, p0d = (pts[v0[0]], pts[v0[1]], pts[v0[2]], pts[v0[3]])
-        if insphere(p0a, p0b, p0c, p0d, p) <= 0:
+        px = p[0]
+        py = p[1]
+        pz = p[2]
+        ccs = mesh.tet_cc
+        counters = self.counters
+        stats = STATS
+        cc_tests = 0
+        cc_fast = 0
+        cc_fallback = 0
+        cc_cached = 0
+
+        ent = ccs[t0]
+        if ent is None:
+            ent = self._cc_entry(t0)
+        else:
+            cc_cached += 1
+        if ent:
+            cc_tests += 1
+            dx = px - ent[0]
+            dy = py - ent[1]
+            dz = pz - ent[2]
+            d2 = dx * dx + dy * dy + dz * dz
+            sv = d2 - ent[3]
+            band = ent[4] + ent[5] * d2
+            if sv > band:
+                cc_fast += 1
+                s0 = -1
+            elif sv < -band:
+                cc_fast += 1
+                s0 = 1
+            else:
+                cc_fallback += 1
+                s0 = insphere(pts[v0[0]], pts[v0[1]], pts[v0[2]],
+                              pts[v0[3]], p)
+        else:
+            s0 = insphere(pts[v0[0]], pts[v0[1]], pts[v0[2]], pts[v0[3]], p)
+        if s0 <= 0:
+            stats.cc_tests += cc_tests
+            stats.cc_fast += cc_fast
+            stats.cc_fallback += cc_fallback
             raise InsertionError(
                 f"point {tuple(p)} duplicates an existing vertex"
             )
+
+        # Epoch-tagged scratch instead of per-call sets.
+        tag = self._cav_tag
+        n_slots = len(tet_verts)
+        if len(tag) < n_slots:
+            tag.extend([0] * (n_slots - len(tag) + 1024))
+            counters.scratch_grows += 1
+        else:
+            counters.scratch_reuses += 1
+        gen = self._cav_gen + 2
+        self._cav_gen = gen
+        genout = gen + 1
+
+        tet_adj = mesh.tet_adj
         cavity = [t0]
-        in_cavity = {t0}
-        checked_out: Set[int] = set()
+        tag[t0] = gen
         boundary: List[Tuple[int, int]] = []
         stack = [t0]
         while stack:
             t = stack.pop()
-            adj = mesh.tet_adj[t]
+            row = tet_adj[t].tolist()
             for i in range(4):
-                nbr = adj[i]
-                if nbr == HULL:
+                nbr = row[i]
+                if nbr < 0:  # HULL
                     boundary.append((t, i))
                     continue
-                if nbr in in_cavity:
+                tg = tag[nbr]
+                if tg == gen:
                     continue
-                if nbr in checked_out:
+                if tg == genout:
                     boundary.append((t, i))
                     continue
-                nverts = mesh.tet_verts[nbr]
+                nverts = tet_verts[nbr]
                 if touch is not None:
                     for v in nverts:
                         touch(v)
-                na, nb, nc, nd = (pts[nverts[0]], pts[nverts[1]],
-                                  pts[nverts[2]], pts[nverts[3]])
-                if insphere(na, nb, nc, nd, p) > 0:
-                    in_cavity.add(nbr)
+                ent = ccs[nbr]
+                if ent is None:
+                    ent = self._cc_entry(nbr)
+                else:
+                    cc_cached += 1
+                if ent:
+                    cc_tests += 1
+                    dx = px - ent[0]
+                    dy = py - ent[1]
+                    dz = pz - ent[2]
+                    d2 = dx * dx + dy * dy + dz * dz
+                    sv = d2 - ent[3]
+                    band = ent[4] + ent[5] * d2
+                    if sv > band:
+                        cc_fast += 1
+                        s = -1
+                    elif sv < -band:
+                        cc_fast += 1
+                        s = 1
+                    else:
+                        cc_fallback += 1
+                        s = insphere(pts[nverts[0]], pts[nverts[1]],
+                                     pts[nverts[2]], pts[nverts[3]], p)
+                else:
+                    s = insphere(pts[nverts[0]], pts[nverts[1]],
+                                 pts[nverts[2]], pts[nverts[3]], p)
+                if s > 0:
+                    tag[nbr] = gen
                     cavity.append(nbr)
                     stack.append(nbr)
                 else:
-                    checked_out.add(nbr)
+                    tag[nbr] = genout
                     boundary.append((t, i))
+        stats.cc_tests += cc_tests
+        stats.cc_fast += cc_fast
+        stats.cc_fallback += cc_fallback
+        counters.cavity_calls += 1
+        counters.cavity_tets += len(cavity)
+        counters.cc_cached += cc_cached
         return cavity, boundary
 
     def insert_point(self, p: Sequence[float], hint: Optional[int] = None,
@@ -300,35 +631,181 @@ class Triangulation3D:
         duplicates an existing vertex or lies exactly on a cavity boundary
         face.  Raises :class:`PointLocationError` if ``p`` is outside the
         virtual box.
+
+        Dispatch: sequential inserts (no ``touch`` callback) run through
+        the compiled C kernel when available; any insertion it cannot
+        decide with conclusive floating point filters is retried — with
+        zero mutation having happened — on the pure-Python path below,
+        whose exact-arithmetic fallback always concludes.  Both paths
+        replicate the same traversal and allocation orders, so the
+        resulting meshes are bit-identical (tests/test_kernel_parity.py).
         """
         if not self.inside_domain(p):
             raise PointLocationError(
                 f"point {tuple(p)} outside the virtual bounding simplex"
             )
+        if touch is None and _accel.bw_insert is not None:
+            result = self._insert_point_c(p, hint)
+            if result is not None:
+                return result
+        return self._insert_point_py(p, hint, touch)
+
+    def _insert_point_c(self, p: Sequence[float], hint: Optional[int]
+                        ) -> Optional[Tuple[int, List[int], List[int]]]:
+        """One C-kernel insert attempt; ``None`` means "retry in Python".
+
+        The C routine does the walk, cavity search, validation and the
+        mesh-array commit; this glue reproduces the Python-side
+        bookkeeping (scalar mirrors, free lists, v2t anchors, counters,
+        vertex grid) in exactly the order the Python kernel would, so
+        the two paths are indistinguishable afterwards.
+        """
         mesh = self.mesh
-        pts = mesh.points
+        acc = self._acc
+        if acc is None:
+            acc = self._acc = _accel.AccelScratch()
+        px = float(p[0])
+        py = float(p[1])
+        pz = float(p[2])
+        if hint is not None and mesh.is_live(hint):
+            seed = self._locate_seed(px, py, pz, hint)
+        else:
+            seed = self._locate_seed(px, py, pz)
+        free_t = mesh._free_tets
+        free_v = mesh._free_verts
+        # Prospective vertex id: what add_vertex will allocate after the
+        # C kernel succeeds (it only writes the id into tet rows; the
+        # coordinates are passed separately).
+        vnew = free_v[-1] if free_v else len(mesh.points)
+        gen = self._cav_gen + 2
+        self._cav_gen = gen
+        tail = len(mesh.tet_verts)
+        status = acc.insert(mesh, px, py, pz, seed, self._walk_state, gen,
+                            vnew, len(free_t))
+        counters = self.counters
+        if status == _accel.RETRY:
+            counters.accel_retries += 1
+            return None
+        out = acc.out_i
+        # The walk succeeded for every non-RETRY status: commit its
+        # state and counters exactly as locate() would have.
+        counters.locate_calls += 1
+        counters.walk_steps += int(out[4])
+        self._walk_state = int(out[5])
+        self._last_located = int(out[6])
+        stats = STATS
+        n_o = int(out[7])
+        n_i = int(out[8])
+        stats.orient3d_calls += n_o
+        stats.orient3d_filtered += n_o
+        stats.insphere_calls += n_i
+        stats.insphere_filtered += n_i
+        if status == _accel.ERR_DUP:
+            raise InsertionError(
+                f"point {tuple(p)} duplicates an existing vertex"
+            )
+        counters.cavity_calls += 1
+        counters.cavity_tets += int(out[0])
+        if status == _accel.ERR_FACE:
+            raise InsertionError(
+                "degenerate insertion: point lies on a cavity face"
+            )
+        if status == _accel.ERR_CLOSED:
+            raise InsertionError(
+                "degenerate insertion: cavity boundary is not a closed surface"
+            )
+        counters.accel_inserts += 1
+        ncav = int(out[0])
+        nb = int(out[1])
+        consumed = int(out[2])
+        cavity = acc.cav[:ncav].tolist()
+        new_tets = acc.newt[:nb].tolist()
+        rows = mesh.tet_verts_arr[acc.newt[:nb]].tolist()
+        mesh.add_vertex((px, py, pz))  # allocates exactly vnew
+        if consumed:
+            del free_t[-consumed:]
+        tvl = mesh.tet_verts
+        epoch = mesh.tet_epoch
+        ccs = mesh.tet_cc
+        v2t = mesh.v2t
+        for j in range(nb):
+            t = new_tets[j]
+            row = rows[j]
+            if t < tail:  # recycled slot
+                tvl[t] = tuple(row)
+                epoch[t] += 1
+                ccs[t] = None
+            else:  # fresh slots arrive in sequential tail order
+                tvl.append(tuple(row))
+                epoch.append(0)
+                ccs.append(None)
+            v2t[row[0]] = t
+            v2t[row[1]] = t
+            v2t[row[2]] = t
+            v2t[row[3]] = t
+        for t in cavity:
+            tvl[t] = None
+        free_t.extend(cavity)
+        mesh.n_live_tets += nb - ncav
+        self._vgrid[self._grid_key(px, py, pz)] = vnew
+        if len(mesh.points) > self._vgrid_cap:
+            self._regrid()
+        return vnew, new_tets, cavity
+
+    def _insert_point_py(self, p: Sequence[float],
+                         hint: Optional[int] = None, touch: TouchFn = None
+                         ) -> Tuple[int, List[int], List[int]]:
+        """Pure-Python insertion (filtered predicates + exact fallback)."""
+        mesh = self.mesh
         cavity, boundary = self.compute_cavity(p, hint, touch)
+        nb = len(boundary)
+
+        bt = np.fromiter((b[0] for b in boundary), dtype=np.intp, count=nb)
+        bi = np.fromiter((b[1] for b in boundary), dtype=np.intp, count=nb)
+        btv = mesh.tet_verts_arr[bt]          # (nb, 4) vertex ids
+        coords = mesh.coords
+        rows = np.arange(nb)
 
         # Validate before mutating: each new tet replaces the cavity-side
         # vertex of a boundary face with p and must stay positively
-        # oriented (cavity star-shapedness around p).
-        new_specs: List[Tuple[int, int]] = []  # (cavity tet, face index)
-        edge_use: Dict[Tuple[int, int], int] = {}
-        for (t, i) in boundary:
-            verts = mesh.tet_verts[t]
-            args = [pts[verts[0]], pts[verts[1]], pts[verts[2]], pts[verts[3]]]
-            args[i] = p
-            if orient3d(*args) <= 0:
-                raise InsertionError(
-                    "degenerate insertion: point lies on a cavity face"
-                )
-            face = [verts[m] for m in range(4) if m != i]
-            for (u, w) in ((face[0], face[1]), (face[0], face[2]),
-                           (face[1], face[2])):
-                key = (u, w) if u < w else (w, u)
-                edge_use[key] = edge_use.get(key, 0) + 1
-            new_specs.append((t, i))
-        if any(c != 2 for c in edge_use.values()):
+        # oriented (cavity star-shapedness around p).  The orientation
+        # sign falls out of the circumsphere-record computation (its
+        # Cramer denominator is -orient3d's determinant), so one fused
+        # batch yields both the validation and the cached records the
+        # next cavity searches will consume.
+        quads = coords[btv.ravel()].reshape(nb, 4, 3)
+        quads[rows, bi] = p
+        all_positive, entries = new_tet_records(quads)
+        if not all_positive:
+            raise InsertionError(
+                "degenerate insertion: point lies on a cavity face"
+            )
+        # Closed-surface check: every edge of the boundary triangles must
+        # be shared by exactly two of them.
+        keep = np.arange(4)[None, :] != bi[:, None]
+        faces = btv[keep].reshape(nb, 3).astype(np.int64)
+        edges = np.empty((nb, 3, 2), dtype=np.int64)
+        edges[:, 0, 0] = faces[:, 0]
+        edges[:, 0, 1] = faces[:, 1]
+        edges[:, 1, 0] = faces[:, 0]
+        edges[:, 1, 1] = faces[:, 2]
+        edges[:, 2, 0] = faces[:, 1]
+        edges[:, 2, 1] = faces[:, 2]
+        keys = (edges.min(axis=2) << 32) | edges.max(axis=2)   # (nb, 3)
+        flat = keys.ravel()
+        if flat.size & 1:
+            raise InsertionError(
+                "degenerate insertion: cavity boundary is not a closed surface"
+            )
+        # One stable sort serves two purposes: the closed-surface check
+        # (every edge key must appear exactly twice: consecutive sorted
+        # pairs equal, adjacent pairs distinct) and, later, the internal
+        # adjacency pairing.
+        order = np.argsort(flat, kind="stable")
+        sf = flat[order]
+        first = order[0::2]
+        second = order[1::2]
+        if (sf[0::2] != sf[1::2]).any() or (sf[1:-1:2] == sf[2::2]).any():
             raise InsertionError(
                 "degenerate insertion: cavity boundary is not a closed surface"
             )
@@ -336,44 +813,58 @@ class Triangulation3D:
         # ---- commit phase (no predicate can fail from here on) ----
         vnew = mesh.add_vertex(p)
         # Record external adjacency before killing cavity tets.
-        ext: List[int] = []
-        for (t, i) in boundary:
-            ext.append(mesh.tet_adj[t][i])
+        ext = mesh.tet_adj[bt, bi].astype(np.intp)
 
-        new_tets: List[int] = []
-        edge_map: Dict[Tuple[int, int], Tuple[int, int]] = {}
-        for k, (t, i) in enumerate(new_specs):
-            verts = list(mesh.tet_verts[t])
-            verts[i] = vnew
-            nt = mesh.add_tet(tuple(verts))
-            new_tets.append(nt)
-            o = ext[k]
-            mesh.tet_adj[nt][i] = o
-            if o != HULL:
-                # o's pointer still references the dying cavity tet t.
-                j = mesh.neighbor_index(o, t)
-                mesh.tet_adj[o][j] = nt
-            # Internal faces: each contains vnew and one edge of the
-            # boundary triangle.
-            for j in range(4):
-                if j == i:
-                    continue
-                edge = [verts[m] for m in range(4) if m != j and m != i]
-                key = (edge[0], edge[1]) if edge[0] < edge[1] else (edge[1], edge[0])
-                other = edge_map.pop(key, None)
-                if other is None:
-                    edge_map[key] = (nt, j)
-                else:
-                    mesh.set_mutual_adjacency(nt, j, other[0], other[1])
+        new_verts = btv.copy()
+        new_verts[rows, bi] = vnew
+        new_tets = mesh.add_tets_batch(new_verts)
+        nt_arr = np.asarray(new_tets, dtype=np.intp)
+        tet_adj = mesh.tet_adj  # re-fetch: the batch alloc may have grown it
 
-        for t in cavity:
-            mesh.kill_tet(t)
+        # External faces: new tet k inherits boundary face k's outside
+        # neighbor; the neighbor's back-pointer (currently at the dying
+        # cavity tet) is redirected to the new tet.
+        tet_adj[nt_arr, bi] = ext
+        real = np.flatnonzero(ext != HULL)
+        if real.size:
+            os_ = ext[real]
+            back = (tet_adj[os_] == bt[real][:, None]).argmax(axis=1)
+            tet_adj[os_, back] = nt_arr[real]
+
+        # Internal faces: each contains vnew plus one edge of a boundary
+        # triangle; the two new tets sharing that edge are adjacent.  The
+        # local slot opposite edge m of face r is the r-th boundary
+        # face's non-bi position in *descending* edge order (edge pairs
+        # (0,1),(0,2),(1,2) drop positions 2,1,0 respectively).
+        pos = np.broadcast_to(np.arange(4), (nb, 4))[keep].reshape(nb, 3)
+        slots = pos[:, ::-1]                                   # (nb, 3)
+        flat_nt = np.repeat(nt_arr, 3)
+        flat_slot = slots.ravel()
+        tet_adj[flat_nt[first], flat_slot[first]] = flat_nt[second]
+        tet_adj[flat_nt[second], flat_slot[second]] = flat_nt[first]
+
+        mesh.kill_tets_batch(cavity)
         # v2t anchors for surviving vertices may point at dead tets; they
         # are refreshed lazily, but make sure vnew's anchor is live.
-        mesh.v2t[vnew] = new_tets[0]
+        # Scalar loop: the "last new tet wins" ordering is part of the
+        # deterministic contract.
+        v2t = mesh.v2t
+        tet_verts = mesh.tet_verts
+        v2t[vnew] = new_tets[0]
         for nt in new_tets:
-            for v in mesh.tet_verts[nt]:
-                mesh.v2t[v] = nt
+            for v in tet_verts[nt]:
+                v2t[v] = nt
+
+        # Store the circumsphere records computed during validation (the
+        # quads held exactly the new tets' coordinates: boundary face + p).
+        ccs = mesh.tet_cc
+        for r in range(nb):
+            e = entries[r]
+            ccs[new_tets[r]] = e if e is not None else ()
+
+        self._vgrid[self._grid_key(p[0], p[1], p[2])] = vnew
+        if len(mesh.points) > self._vgrid_cap:
+            self._regrid()
         return vnew, new_tets, cavity
 
     # ------------------------------------------------------------------
@@ -412,7 +903,6 @@ class Triangulation3D:
                 for w in mesh.tet_verts[t]:
                     touch(w)
 
-        ball_set = set(ball)
         # Hole boundary: the face opposite v in each ball tet, plus its
         # outside neighbor.
         hole_faces: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
@@ -463,13 +953,16 @@ class Triangulation3D:
         # stale back-pointers ambiguous.
         ext: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
         for key, (t, li) in hole_faces.items():
-            o = mesh.tet_adj[t][li]
+            o = int(mesh.tet_adj[t][li])
             j = mesh.neighbor_index(o, t) if o != HULL else -1
             ext[key] = (o, j)
 
         for t in ball:
             mesh.kill_tet(t)
         mesh.kill_vertex(v)
+        gkey = self._grid_key(p[0], p[1], p[2])
+        if self._vgrid.get(gkey) == v:
+            del self._vgrid[gkey]
 
         new_tets: List[int] = []
         face_map: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
@@ -638,14 +1131,16 @@ class Triangulation3D:
 
         fill: List[Tuple[int, int, int, int]] = []
         lmesh = local.mesh
-        for lt in lmesh.live_tets():
+        lids = lmesh.live_tet_ids()
+        signs = insphere_many(lmesh.coords, lmesh.tet_verts_arr, lids, p,
+                              lmesh.points)
+        for lt, s in zip(lids.tolist(), signs.tolist()):
+            if s <= 0:
+                continue
             lverts = lmesh.tet_verts[lt]
             if any(lw not in l2g for lw in lverts):
                 continue
-            la, lb, lc, ld = (lmesh.points[lverts[0]], lmesh.points[lverts[1]],
-                              lmesh.points[lverts[2]], lmesh.points[lverts[3]])
-            if insphere(la, lb, lc, ld, p) > 0:
-                fill.append(tuple(l2g[lw] for lw in lverts))
+            fill.append(tuple(l2g[lw] for lw in lverts))
         if not fill:
             raise RemovalError("no local tetrahedra conflict with the vertex")
         return fill
@@ -694,7 +1189,7 @@ class Triangulation3D:
             assert orient3d(a, b, c, d) > 0, f"tet {t} not positively oriented"
             adj = mesh.tet_adj[t]
             for i in range(4):
-                nbr = adj[i]
+                nbr = int(adj[i])
                 if nbr == HULL:
                     continue
                 assert mesh.is_live(nbr), f"tet {t} adj to dead tet {nbr}"
@@ -706,7 +1201,14 @@ class Triangulation3D:
                     f"reciprocal face mismatch {t}/{nbr}"
 
     def is_delaunay(self, tol_exhaustive: int = 250_000) -> bool:
-        """Exhaustive empty-circumsphere check (tests only; O(n_t * n_v))."""
+        """Exhaustive empty-circumsphere check (tests only; O(n_t * n_v)).
+
+        Vectorized through the cached circumsphere records: for each live
+        tet the squared distances of all live vertices are compared
+        against the record's radius band at once; only vertices falling
+        inside the uncertainty band are re-checked with the robust
+        predicate.
+        """
         mesh = self.mesh
         pts = mesh.points
         live_verts = [w for w in range(len(pts)) if mesh.alive_vertex[w]]
@@ -715,13 +1217,41 @@ class Triangulation3D:
             raise ValueError(
                 f"mesh too large for exhaustive Delaunay check ({n_checks})"
             )
+        lv = np.asarray(live_verts, dtype=np.intp)
+        pv = mesh.coords[lv]
+        ccs = mesh.tet_cc
         for t in mesh.live_tets():
             verts = mesh.tet_verts[t]
-            a, b, c, d = (pts[verts[0]], pts[verts[1]], pts[verts[2]], pts[verts[3]])
-            for w in live_verts:
-                if w in verts:
-                    continue
-                if insphere(a, b, c, d, pts[w]) > 0:
-                    return False
+            ent = ccs[t]
+            if ent is None:
+                ent = self._cc_entry(t)
+            a, b, c, d = (pts[verts[0]], pts[verts[1]], pts[verts[2]],
+                          pts[verts[3]])
+            if ent:
+                diff = pv - ent[:3]
+                d2 = (diff * diff).sum(axis=1)
+                sv = d2 - ent[3]
+                band = ent[4] + ent[5] * d2
+                if (sv < -band).any():
+                    inside = lv[sv < -band]
+                    # Certainly-inside lanes can still be the tet's own
+                    # vertices only if the entry were wrong; re-verify
+                    # robustly to keep the audit trustworthy.
+                    for w in inside.tolist():
+                        if w in verts:
+                            continue
+                        if insphere(a, b, c, d, pts[w]) > 0:
+                            return False
+                unsure = lv[np.abs(sv) <= band]
+                for w in unsure.tolist():
+                    if w in verts:
+                        continue
+                    if insphere(a, b, c, d, pts[w]) > 0:
+                        return False
+            else:
+                for w in live_verts:
+                    if w in verts:
+                        continue
+                    if insphere(a, b, c, d, pts[w]) > 0:
+                        return False
         return True
-

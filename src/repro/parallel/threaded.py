@@ -185,6 +185,9 @@ def _parallel_mesh_image(
         )
         for tid in range(n_threads)
     ]
+    from repro.geometry.predicates import STATS
+
+    predicates_before = STATS.snapshot()
     t0 = time.perf_counter()
     for th in threads:
         th.start()
@@ -217,6 +220,12 @@ def _parallel_mesh_image(
         registry.gauge("run.wall_seconds").set(wall)
         registry.gauge("run.elements_per_second").set(
             extracted.n_tets / wall if wall > 0 else 0.0
+        )
+        from repro.runtime.stats import publish_kernel_stats
+
+        publish_kernel_stats(
+            registry, domain.tri.counters,
+            STATS.delta_since(predicates_before),
         )
     return ParallelResult(
         mesh=extracted,

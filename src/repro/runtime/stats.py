@@ -100,6 +100,75 @@ def aggregate(stats: List[ThreadStats],
     return totals
 
 
+def publish_kernel_stats(registry: "MetricsRegistry", counters,
+                         predicate_delta: Dict[str, int]) -> None:
+    """Publish the Delaunay kernel's hot-path statistics as metrics.
+
+    ``counters`` is a :class:`repro.delaunay.triangulation.KernelCounters`
+    and ``predicate_delta`` a per-run delta of
+    :data:`repro.geometry.predicates.STATS` (the process-wide filter
+    counters), e.g. ``STATS.delta_since(before)``.  Everything lands
+    under ``kernel.*`` so ``--metrics-out`` JSON captures the filter hit
+    rate, the exact-fallback fraction, mean walk length and mean cavity
+    size alongside the run-level gauges.
+    """
+    for name, value in counters.snapshot().items():
+        registry.gauge(f"kernel.{name}").set(value)
+    registry.gauge("kernel.mean_walk_length").set(counters.mean_walk_length)
+    registry.gauge("kernel.mean_cavity_size").set(
+        counters.cavity_tets / counters.cavity_calls
+        if counters.cavity_calls else 0.0
+    )
+    for name, value in predicate_delta.items():
+        registry.gauge(f"kernel.predicates.{name}").set(value)
+    decisions = (predicate_delta.get("orient3d_calls", 0)
+                 + predicate_delta.get("insphere_calls", 0)
+                 + predicate_delta.get("cc_tests", 0)
+                 + predicate_delta.get("batch_items", 0))
+    exact = (predicate_delta.get("orient3d_exact", 0)
+             + predicate_delta.get("insphere_exact", 0)
+             + predicate_delta.get("batch_exact", 0))
+    registry.gauge("kernel.predicates.exact_fraction").set(
+        exact / decisions if decisions else 0.0
+    )
+
+
+def kernel_report(counters, predicate_delta: Dict[str, int]) -> str:
+    """ASCII summary of the kernel statistics (mesh --kernel-stats)."""
+    pd = predicate_delta
+    o_calls = pd.get("orient3d_calls", 0)
+    i_calls = pd.get("insphere_calls", 0)
+    cc = pd.get("cc_tests", 0)
+    batch = pd.get("batch_items", 0)
+    decisions = o_calls + i_calls + cc + batch
+    exact = (pd.get("orient3d_exact", 0) + pd.get("insphere_exact", 0)
+             + pd.get("batch_exact", 0))
+    fast = decisions - exact - pd.get("cc_fallback", 0)
+    mean_cavity = (counters.cavity_tets / counters.cavity_calls
+                   if counters.cavity_calls else 0.0)
+    lines = [
+        "kernel hot-path statistics",
+        "--------------------------",
+        f"locate calls            {counters.locate_calls:>10}",
+        f"  mean walk length      {counters.mean_walk_length:>10.2f}",
+        f"  seed: grid/hint/scan  {counters.seed_grid_hits:>6}"
+        f"/{counters.seed_hint_hits}/{counters.seed_scans}",
+        f"cavity searches         {counters.cavity_calls:>10}",
+        f"  mean cavity size      {mean_cavity:>10.2f}",
+        f"accelerated inserts     {counters.accel_inserts:>10}"
+        f"  (retries {counters.accel_retries})",
+        f"predicate decisions     {decisions:>10}",
+        f"  orient3d/insphere     {o_calls:>6}/{i_calls}"
+        f"  cc-entry {cc}  batch {batch}",
+        f"  filter hit rate       {fast / decisions:>10.4f}"
+        if decisions else "  filter hit rate              n/a",
+        f"  exact fallbacks       {exact:>10}"
+        f"  ({exact / decisions:.5f} of decisions)"
+        if decisions else f"  exact fallbacks       {exact:>10}",
+    ]
+    return "\n".join(lines)
+
+
 def _totals(stats: List[ThreadStats]) -> Dict[str, float]:
     return {
         "operations": sum(s.n_operations for s in stats),
