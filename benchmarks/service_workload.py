@@ -1,0 +1,143 @@
+"""CI workload replay for the meshing service.
+
+Boots a real :class:`~repro.service.MeshingService`, replays a mixed
+workload — cache hits, cache misses, a poisoned request, an
+over-capacity burst — and asserts on the resulting ``service.*``
+metrics.  Exit code 0 iff every assertion holds; any failure prints
+the offending metric and exits 1, so the CI job is a one-line gate::
+
+    PYTHONPATH=src python benchmarks/service_workload.py
+
+Keep this fast (< ~1 min on a laptop): it is a smoke gate on service
+semantics under concurrency, not a throughput benchmark.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.api import MeshRequest
+from repro.imaging import sphere_phantom
+from repro.service import (
+    JobState,
+    MeshingService,
+    ServiceConfig,
+    TransientMeshError,
+)
+
+FAILURES = []
+
+
+def check(name, cond, detail=""):
+    status = "ok" if cond else "FAIL"
+    print(f"  [{status}] {name}" + (f"  ({detail})" if detail else ""))
+    if not cond:
+        FAILURES.append(name)
+
+
+class FlakyOnce:
+    """Transient failure on the first call, then delegates."""
+
+    name = "flaky"
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def mesh(self, request):
+        self.calls += 1
+        if self.calls == 1:
+            raise TransientMeshError("injected transient fault")
+        return self.inner.mesh(request)
+
+
+def main() -> int:
+    image = sphere_phantom(12)
+    tmp = tempfile.mkdtemp(prefix="repro-service-workload-")
+    cfg = ServiceConfig(n_workers=4, queue_capacity=8,
+                        cache_dir=tmp, max_retries=2, retry_backoff=0.01)
+    service = MeshingService(cfg).start()
+    from repro.api import get_mesher
+    service.register_mesher("flaky", FlakyOnce(get_mesher("sequential")))
+
+    print("phase 1: cold misses (two param sets, one image)")
+    r1 = service.mesh(MeshRequest(image=image, delta=3.0,
+                                  mesher="sequential"))
+    r2 = service.mesh(MeshRequest(image=image, delta=4.0,
+                                  mesher="sequential"))
+    check("cold runs produce meshes", r1.n_tets > 0 and r2.n_tets > 0)
+
+    print("phase 2: warm hits")
+    w1 = service.mesh(MeshRequest(image=image, delta=3.0,
+                                  mesher="sequential"))
+    check("warm mesh topology-identical",
+          w1.n_tets == r1.n_tets and w1.n_vertices == r1.n_vertices)
+
+    print("phase 3: poisoned request (unknown mesher)")
+    try:
+        service.mesh(MeshRequest(image=image, delta=3.0, mesher="no-such"))
+        poisoned_rejected = False
+    except Exception:
+        poisoned_rejected = True
+    check("poisoned request rejected, service alive", poisoned_rejected)
+
+    print("phase 4: transient fault recovered by retry")
+    rf = service.mesh(MeshRequest(image=image, delta=5.0, mesher="flaky"))
+    check("flaky mesher recovered", rf.n_tets > 0)
+
+    print("phase 5: over-capacity burst")
+    jobs = [service.submit(MeshRequest(image=image, delta=3.0 + 0.1 * i,
+                                       mesher="sequential"))
+            for i in range(20)]
+    for job in jobs:
+        ok = job.wait(120.0)
+        check(f"{job.id} terminal", ok and job.done, job.state.value)
+    states = {j.state for j in jobs}
+    check("burst states are DONE/REJECTED only",
+          states <= {JobState.DONE, JobState.REJECTED}, str(states))
+    n_rejected = sum(j.state is JobState.REJECTED for j in jobs)
+    check("burst overflowed the 8-slot queue", n_rejected >= 1,
+          f"{n_rejected} rejected")
+
+    print("phase 6: metrics audit")
+    snap = service.metrics_snapshot()
+    c, g = snap["counters"], snap["gauges"]
+    check("service.cache.hit >= 1", c.get("service.cache.hit", 0) >= 1,
+          str(c.get("service.cache.hit")))
+    check("service.cache.miss >= 2", c.get("service.cache.miss", 0) >= 2,
+          str(c.get("service.cache.miss")))
+    check("service.jobs.retries == 1", c.get("service.jobs.retries") == 1,
+          str(c.get("service.jobs.retries")))
+    check("service.jobs.rejected == burst rejections",
+          c.get("service.jobs.rejected", 0) == n_rejected,
+          str(c.get("service.jobs.rejected")))
+    check("poisoned request is the only failure",
+          c.get("service.jobs.failed") == 1,
+          str(c.get("service.jobs.failed")))
+    check("no worker crashed the pool", g.get("service.workers.alive") == 4,
+          str(g.get("service.workers.alive")))
+    check("EDT computed once per image",
+          g.get("edt.cache.computes") == 1,
+          str(g.get("edt.cache.computes")))
+    books = (c.get("service.jobs.completed", 0)
+             + c.get("service.jobs.failed", 0)
+             + c.get("service.jobs.rejected", 0)
+             + c.get("service.jobs.cancelled", 0)
+             + c.get("service.jobs.timed_out", 0))
+    check("every submitted job accounted for",
+          books == c.get("service.jobs.submitted"),
+          f"{books} vs {c.get('service.jobs.submitted')}")
+
+    service.shutdown()
+    check("workers drained on shutdown", service.pool.alive_workers == 0)
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} check(s) failed: {', '.join(FAILURES)}")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

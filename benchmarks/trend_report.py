@@ -1,0 +1,143 @@
+"""Kernel-benchmark trend report: history + drift table.
+
+The 20% regression gate in ``kernel_bench.py --check-regression`` only
+trips on a cliff; slow drift across many PRs sails under it.  This tool
+makes the drift visible:
+
+* ``--record BENCH_kernels.json`` appends one compact record (label,
+  python/accel inserts-per-second, speedup) to the history file
+  ``benchmarks/results/BENCH_kernels_history.jsonl``;
+* the default invocation renders the history as a fixed-width table in
+  ``benchmarks/results/BENCH_trend.txt`` (and to stdout), flagging any
+  entry whose speedup dropped more than ``--drift-threshold`` (default
+  10%) against the best ever seen.
+
+CI records with ``--label "$GITHUB_SHA"`` after the bench run, so the
+uploaded artifact carries the full table; locally, run it after
+``kernel_bench.py`` to see where your branch stands::
+
+    PYTHONPATH=src python benchmarks/kernel_bench.py --fast
+    PYTHONPATH=src python benchmarks/trend_report.py \
+        --record benchmarks/results/BENCH_kernels.json --label my-branch
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+DEFAULT_HISTORY = RESULTS_DIR / "BENCH_kernels_history.jsonl"
+DEFAULT_REPORT = RESULTS_DIR / "BENCH_trend.txt"
+
+
+def record(bench_path: pathlib.Path, history_path: pathlib.Path,
+           label: str) -> dict:
+    """Append one history record distilled from a BENCH_kernels.json."""
+    doc = json.loads(bench_path.read_text())
+    accel = doc.get("accel_path", {})
+    rec = {
+        "label": label,
+        "schema": doc.get("schema"),
+        "python_inserts_per_second":
+            doc.get("python_path", {}).get("inserts_per_second"),
+        "accel_inserts_per_second": accel.get("inserts_per_second"),
+        "accel_available": bool(accel.get("available")),
+        "speedup": doc.get("speedup_accel_over_python"),
+        "reference_speedup": doc.get("reference_speedup"),
+    }
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(history_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(rec) + "\n")
+    return rec
+
+
+def load_history(history_path: pathlib.Path) -> list:
+    if not history_path.exists():
+        return []
+    out = []
+    for line in history_path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            # A mangled line (merge conflict debris) must not take the
+            # report down with it; skip and say so.
+            print(f"warning: skipping unparseable history line: {line[:60]}",
+                  file=sys.stderr)
+    return out
+
+
+def _fmt(value, width, nd=1):
+    if value is None:
+        return "-".rjust(width)
+    return f"{value:,.{nd}f}".rjust(width)
+
+
+def render(history: list, drift_threshold: float) -> str:
+    """Fixed-width drift table; one row per recorded run."""
+    lines = [
+        "kernel benchmark trend (insert-uniform-box)",
+        "",
+        f"{'label':<24} {'python ips':>12} {'accel ips':>12} "
+        f"{'speedup':>8}  note",
+        "-" * 72,
+    ]
+    best = max((r.get("speedup") or 0.0 for r in history), default=0.0)
+    for r in history:
+        speedup = r.get("speedup")
+        note = ""
+        if not r.get("accel_available"):
+            note = "accel unavailable"
+        elif best > 0 and speedup is not None:
+            drop = 1.0 - speedup / best
+            if drop > drift_threshold:
+                note = f"DRIFT -{drop:.0%} vs best {best:.2f}x"
+        lines.append(
+            f"{str(r.get('label', '?')):<24.24} "
+            f"{_fmt(r.get('python_inserts_per_second'), 12)} "
+            f"{_fmt(r.get('accel_inserts_per_second'), 12)} "
+            f"{_fmt(speedup, 8, 2)}  {note}"
+        )
+    if not history:
+        lines.append("(no history recorded yet)")
+    lines.append("")
+    if best > 0:
+        lines.append(f"best speedup on record: {best:.2f}x; drift flagged "
+                     f"beyond {drift_threshold:.0%} below best")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--record", metavar="BENCH_JSON",
+                        help="append this BENCH_kernels.json to the history")
+    parser.add_argument("--label", default="local",
+                        help="history label for --record (branch, SHA, ...)")
+    parser.add_argument("--history", default=str(DEFAULT_HISTORY))
+    parser.add_argument("-o", "--output", default=str(DEFAULT_REPORT))
+    parser.add_argument("--drift-threshold", type=float, default=0.10,
+                        help="flag entries this far below the best speedup")
+    args = parser.parse_args(argv)
+
+    history_path = pathlib.Path(args.history)
+    if args.record:
+        rec = record(pathlib.Path(args.record), history_path, args.label)
+        print(f"recorded {rec['label']}: speedup "
+              f"{rec['speedup'] if rec['speedup'] is not None else 'n/a'}")
+
+    report = render(load_history(history_path), args.drift_threshold)
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(report)
+    print(report, end="")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,6 +87,34 @@ class MeshRequest:
             return "threaded" if self.n_threads > 1 else "sequential"
         return self.mesher
 
+    def canonical_params(self) -> Dict[str, Any]:
+        """The request knobs that determine the output mesh, in a flat,
+        JSON-stable form (the second half of the service's cache key).
+
+        ``mesher`` is resolved (``auto`` never appears), floats pass
+        through ``repr`` untouched, and observability / timeout — which
+        change what gets *recorded*, not what gets *meshed* — are
+        excluded.  Requests carrying a live ``size_function`` have no
+        canonical form and raise ``ValueError`` (the service treats
+        them as uncacheable).
+        """
+        if self.size_function is not None:
+            raise ValueError(
+                "requests with a size_function are not canonicalizable"
+            )
+        return {
+            "mesher": self.resolved_mesher(),
+            "delta": self.delta,
+            "radius_edge_bound": float(self.radius_edge_bound),
+            "planar_angle_bound_deg": float(self.planar_angle_bound_deg),
+            "n_threads": int(self.n_threads),
+            "cm": self.cm,
+            "lb": self.lb,
+            "hyperthreading": bool(self.hyperthreading),
+            "seed": int(self.seed),
+            "max_operations": self.max_operations,
+        }
+
     def validate(self) -> None:
         """Raise ``ValueError`` on an unsatisfiable request."""
         name = self.mesher

@@ -4,6 +4,8 @@ Commands
 --------
 ``phantom``   generate a synthetic segmented image (.npz)
 ``mesh``      image-to-mesh conversion (any mesher, via ``repro.api``)
+``serve``     long-running meshing service (NDJSON on stdio or a
+              Unix socket; see ``repro.service``)
 ``simulate``  parallel refinement on the simulated cc-NUMA machine
 ``report``    quality/fidelity report of a stored image + parameters
 ``show``      ASCII view of an image slice
@@ -155,6 +157,46 @@ def _cmd_mesh(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import MeshingService, ServiceConfig
+    from repro.service.frontend import UnixSocketFrontend, serve_stdio
+
+    config = ServiceConfig(
+        n_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        cache_dir=args.cache_dir,
+        max_retries=args.retries,
+        default_deadline=args.deadline,
+        tracing=bool(getattr(args, "trace_out", None)),
+    )
+    service = MeshingService(config).start()
+    try:
+        if args.socket:
+            print(f"serving on unix socket {args.socket} "
+                  f"({args.workers} workers)", file=sys.stderr)
+            frontend = UnixSocketFrontend(service, args.socket)
+            try:
+                code = frontend.serve_forever()
+            except KeyboardInterrupt:
+                frontend.stop()
+                code = EXIT_OK
+        else:
+            try:
+                code = serve_stdio(service)
+            except KeyboardInterrupt:
+                code = EXIT_OK
+    finally:
+        service.shutdown(wait=False)
+        if getattr(args, "metrics_out", None):
+            service.obs.write_metrics(args.metrics_out)
+            print(f"wrote metrics {args.metrics_out}", file=sys.stderr)
+        if getattr(args, "trace_out", None):
+            service.obs.write_trace(args.trace_out,
+                                    process_name="repro-serve")
+            print(f"wrote trace {args.trace_out}", file=sys.stderr)
+    return code
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.api import mesh
 
@@ -260,6 +302,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "rate, walk lengths, cavity sizes)")
     _add_observability_flags(p)
     p.set_defaults(func=_cmd_mesh)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the meshing service (NDJSON jobs on stdio or a socket)",
+    )
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker threads (default 4)")
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="admission queue bound; overflow is REJECTED")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist the content-addressed artifact cache "
+                        "here (default: in-memory only)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="serve a Unix domain socket instead of stdio")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retry budget for transient job failures")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-job deadline in seconds")
+    _add_observability_flags(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("simulate", help="simulated cc-NUMA refinement")
     p.add_argument("image", help="segmented image .npz")

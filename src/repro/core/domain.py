@@ -193,12 +193,18 @@ class RefineDomain:
     # ------------------------------------------------------------------
     # classification
     # ------------------------------------------------------------------
-    def is_poor(self, t: int) -> bool:
+    def is_poor(self, t: int, se: Optional[float] = None) -> bool:
         """Cheap filter: could any rule apply to live tet ``t``?
 
         Used when deciding whether a freshly created element goes on a
         Poor Element List.  May rarely report True for an element whose
         R1 insertion is delta-blocked; the apply step re-checks.
+
+        ``se`` optionally supplies the tet's shortest edge length when
+        the caller already computed it — the seeding pass screens all
+        live tets through the vectorized batch kernel
+        (:func:`repro.geometry.batch.quality_screen`) and hands the
+        per-tet value down here instead of recomputing it scalar-wise.
         """
         c, r = self.circumball(t)
         if self.ball_intersects_surface(c, r):
@@ -220,7 +226,8 @@ class RefineDomain:
         if self.point_inside_object(c):
             if r > self.sf(c):
                 return True
-            se = shortest_edge(*self.tri.tet_points(t))
+            if se is None:
+                se = shortest_edge(*self.tri.tet_points(t))
             if se == 0.0 or r / se > self.radius_edge_bound:
                 return True
         return self._restricted_facet_needing_refinement(t) is not None

@@ -88,8 +88,18 @@ class SequentialRefiner:
             if tracer.enabled:
                 tracer.begin("refine", 0, 0.0)
 
-        for t in domain.tri.mesh.live_tets():
-            if domain.is_poor(t):
+        # Seed the PEL through the vectorized quality screen: one batch
+        # gather computes every live tet's shortest edge, so is_poor's
+        # radius-edge branch never runs the scalar kernel here.
+        from repro.geometry.batch import quality_screen
+
+        mesh_store = domain.tri.mesh
+        live = mesh_store.live_tet_ids()
+        _, short_edges = quality_screen(
+            mesh_store.coords, mesh_store.tet_verts_arr, live
+        )
+        for t, se in zip(live.tolist(), short_edges.tolist()):
+            if domain.is_poor(t, se=se):
                 pel.push(t)
 
         ops = 0

@@ -255,6 +255,121 @@ def new_tet_records(quads: np.ndarray,
     return all_positive, entries
 
 
+# ---------------------------------------------------------------------------
+# vectorized quality screen (PEL seeding, Table-6 statistics)
+# ---------------------------------------------------------------------------
+
+# The six tet edges (i, j) with their opposite vertex pair (k, l), in
+# the exact order of the scalar loops in repro.geometry.quality.
+_EDGE_I = (0, 0, 0, 1, 1, 2)
+_EDGE_J = (1, 2, 3, 2, 3, 3)
+_EDGE_K = (2, 1, 1, 0, 0, 0)
+_EDGE_L = (3, 3, 2, 3, 2, 1)
+
+
+def shortest_edges_many(quads: np.ndarray) -> np.ndarray:
+    """Shortest edge length per tet for a ``(k, 4, 3)`` batch.
+
+    Lane-for-lane equal to
+    :func:`repro.geometry.quality.shortest_edge`.
+    """
+    k = quads.shape[0]
+    if k == 0:
+        return np.empty(0, dtype=np.float64)
+    d = quads[:, _EDGE_I] - quads[:, _EDGE_J]          # (k, 6, 3)
+    return np.sqrt((d * d).sum(axis=2)).min(axis=1)
+
+
+def circumradii_many(quads: np.ndarray) -> np.ndarray:
+    """Circumradius per tet; ``inf`` for degenerate (flat) lanes.
+
+    Matches :func:`repro.geometry.predicates.circumradius_tet` with the
+    scalar path's ``ZeroDivisionError`` mapped to ``inf``.
+    """
+    k = quads.shape[0]
+    if k == 0:
+        return np.empty(0, dtype=np.float64)
+    E = quads[:, 1:] - quads[:, :1]                    # ba, ca, da
+    L2 = (E * E).sum(axis=2)
+    X = E[:, (1, 2, 0)]
+    Y = E[:, (2, 0, 1)]
+    C = (X[:, :, (1, 2, 0)] * Y[:, :, (2, 0, 1)]
+         - X[:, :, (2, 0, 1)] * Y[:, :, (1, 2, 0)])   # cxd, dxb, bxc
+    det = 2.0 * (E[:, 0] * C[:, 0]).sum(axis=1)
+    ok = det != 0.0
+    inv = 1.0 / np.where(ok, det, 1.0)
+    O = np.einsum("ki,kix->kx", L2, C) * inv[:, None]
+    r = np.sqrt((O * O).sum(axis=1))
+    r[~ok] = np.inf
+    return r
+
+
+def radius_edge_many(quads: np.ndarray) -> np.ndarray:
+    """Radius-edge ratio per tet (``inf`` for degenerate lanes);
+    the vectorized :func:`repro.geometry.quality.radius_edge_ratio`."""
+    k = quads.shape[0]
+    if k == 0:
+        return np.empty(0, dtype=np.float64)
+    se = shortest_edges_many(quads)
+    r = circumradii_many(quads)
+    out = np.full(k, np.inf)
+    good = se > 0.0
+    np.divide(r, se, out=out, where=good)
+    return out
+
+
+def min_max_dihedral_many(quads: np.ndarray
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """Smallest and largest dihedral angle (degrees) per tet.
+
+    The vectorized :func:`repro.geometry.quality.min_max_dihedral`,
+    including its convention that a zero-area face contributes a 0°
+    angle for that edge.
+    """
+    k = quads.shape[0]
+    if k == 0:
+        e = np.empty(0, dtype=np.float64)
+        return e, e.copy()
+    p = quads[:, _EDGE_I]                              # (k, 6, 3)
+    u = quads[:, _EDGE_J] - p
+    vk = quads[:, _EDGE_K] - p
+    vl = quads[:, _EDGE_L] - p
+    nk = np.cross(u, vk)
+    nl = np.cross(u, vl)
+    nk_len = np.sqrt((nk * nk).sum(axis=2))
+    nl_len = np.sqrt((nl * nl).sum(axis=2))
+    denom = nk_len * nl_len
+    ok = denom > 0.0
+    cosang = np.clip(
+        np.divide((nk * nl).sum(axis=2), np.where(ok, denom, 1.0)),
+        -1.0, 1.0,
+    )
+    angles = np.degrees(np.arccos(cosang))
+    angles[~ok] = 0.0
+    return angles.min(axis=1), angles.max(axis=1)
+
+
+def quality_screen(
+    coords: np.ndarray,
+    tet_verts_arr: np.ndarray,
+    tet_ids: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Radius-edge ratios and shortest edges for tets of the SoA store.
+
+    The Poor Element List seeding screen: one gather plus two
+    vectorized kernels replaces the per-tet scalar
+    ``shortest_edge`` / ``circumradius_tet`` pair (the refinement
+    driver still applies the surface/sizing rules per element — those
+    depend on EDT queries that have no batch form).
+    """
+    tet_ids = np.asarray(tet_ids)
+    if tet_ids.size == 0:
+        e = np.empty(0, dtype=np.float64)
+        return e, e.copy()
+    quads = coords[tet_verts_arr[tet_ids].ravel()].reshape(-1, 4, 3)
+    return radius_edge_many(quads), shortest_edges_many(quads)
+
+
 def circumsphere_entries(quads: np.ndarray) -> List[Optional[tuple]]:
     """Vectorized :func:`repro.geometry.predicates.circumsphere_entry`.
 

@@ -18,14 +18,25 @@ Two drivers are provided:
   in numpy kernels, so the speedup is modest; the *structure* is what
   the paper's pre-processing step prescribes, and the simulator charges
   it as the linearly-scaling phase the paper reports.
+
+Both drivers consult an optional process-wide *feature-transform cache*
+(:func:`set_feature_transform_cache`), keyed by the content of the site
+mask and the voxel spacing.  The meshing service installs one so that
+requests sharing an image never recompute the EDT; outside the service
+the hook is a no-op.  Per-key in-flight locks guarantee at most one
+compute per distinct mask even under concurrent callers, and the
+module-level :data:`CACHE_STATS` counters (hits / misses / computes)
+feed the service's ``edt.*`` metrics.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -161,6 +172,112 @@ def _feature_transform(sites: np.ndarray, spacing, pool) -> EDTResult:
     )
 
 
+# ---------------------------------------------------------------------------
+# feature-transform cache hook
+# ---------------------------------------------------------------------------
+
+class EDTCacheStats:
+    """Process-wide counters for the feature-transform cache hook."""
+
+    __slots__ = ("_lock", "hits", "misses", "computes")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.computes = 0
+
+    def _inc(self, field: str) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + 1)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "computes": self.computes,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.hits = self.misses = self.computes = 0
+
+
+#: Hit/miss/compute counters; the meshing service republishes them as
+#: ``edt.cache.*`` metrics.  ``computes`` counts every full transform,
+#: cached or not, so "EDT ran exactly once" is directly assertable.
+CACHE_STATS = EDTCacheStats()
+
+_CACHE: Optional[object] = None  # get(key)->Optional[EDTResult], put(key, r)
+_CACHE_GUARD = threading.Lock()
+_INFLIGHT: Dict[str, threading.Lock] = {}
+
+
+def set_feature_transform_cache(cache: Optional[object]) -> Optional[object]:
+    """Install (or clear, with ``None``) the process-wide EDT cache.
+
+    ``cache`` needs two methods: ``get(key) -> Optional[EDTResult]`` and
+    ``put(key, result) -> None``.  Returns the previously installed
+    cache so callers can restore it.
+    """
+    global _CACHE
+    with _CACHE_GUARD:
+        previous = _CACHE
+        _CACHE = cache
+        return previous
+
+
+def feature_transform_key(sites: np.ndarray,
+                          spacing: Sequence[float]) -> str:
+    """Content key of one feature-transform problem.
+
+    Hashes the site mask bytes, its shape and the spacing — everything
+    that determines the transform's output (the worker count does not).
+    """
+    sites = np.ascontiguousarray(np.asarray(sites, dtype=bool))
+    h = hashlib.blake2b(digest_size=20)
+    h.update(repr(sites.shape).encode())
+    h.update(repr(tuple(float(s) for s in spacing)).encode())
+    h.update(sites.tobytes())
+    return h.hexdigest()
+
+
+def _inflight_lock(key: str) -> threading.Lock:
+    with _CACHE_GUARD:
+        lock = _INFLIGHT.get(key)
+        if lock is None:
+            lock = _INFLIGHT[key] = threading.Lock()
+        return lock
+
+
+def _compute_via_cache(sites: np.ndarray, spacing: Sequence[float],
+                       compute: Callable[[], EDTResult]) -> EDTResult:
+    cache = _CACHE
+    if cache is None:
+        CACHE_STATS._inc("computes")
+        return compute()
+    key = feature_transform_key(sites, spacing)
+    hit = cache.get(key)
+    if hit is not None:
+        CACHE_STATS._inc("hits")
+        return hit
+    # Serialise concurrent computes of the same mask: the loser of the
+    # race finds the winner's artifact on the double-check.
+    with _inflight_lock(key):
+        hit = cache.get(key)
+        if hit is not None:
+            CACHE_STATS._inc("hits")
+            return hit
+        CACHE_STATS._inc("misses")
+        CACHE_STATS._inc("computes")
+        result = compute()
+        cache.put(key, result)
+    with _CACHE_GUARD:
+        _INFLIGHT.pop(key, None)
+    return result
+
+
 def euclidean_feature_transform(
     sites: np.ndarray, spacing: Sequence[float] = (1.0, 1.0, 1.0)
 ) -> EDTResult:
@@ -170,7 +287,9 @@ def euclidean_feature_transform(
     """
     if not np.any(sites):
         raise ValueError("feature transform of an empty site mask")
-    return _feature_transform(sites, spacing, pool=None)
+    return _compute_via_cache(
+        sites, spacing, lambda: _feature_transform(sites, spacing, pool=None)
+    )
 
 
 def euclidean_feature_transform_parallel(
@@ -183,6 +302,10 @@ def euclidean_feature_transform_parallel(
     if not np.any(sites):
         raise ValueError("feature transform of an empty site mask")
     if n_workers <= 1:
-        return _feature_transform(sites, spacing, pool=None)
-    with ThreadPoolExecutor(max_workers=n_workers) as pool:
-        return _feature_transform(sites, spacing, pool)
+        return euclidean_feature_transform(sites, spacing)
+
+    def compute() -> EDTResult:
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            return _feature_transform(sites, spacing, pool)
+
+    return _compute_via_cache(sites, spacing, compute)

@@ -1,0 +1,66 @@
+"""Async meshing service: job queue, worker pool, artifact cache.
+
+This package turns the one-shot meshers of :mod:`repro.api` into a
+long-running service (the layer the paper's real-time pitch implies and
+follow-on work — I2M inside clinical pipelines — makes explicit):
+
+* :mod:`repro.service.jobs` — job model and the QUEUED → … state
+  machine, with CAS transitions that make cancellation race-free;
+* :mod:`repro.service.queue` — bounded FIFO admission queue
+  (backpressure → ``REJECTED``, never silent drops);
+* :mod:`repro.service.pool` — worker threads with deadline, bounded
+  retry and crash containment;
+* :mod:`repro.service.cache` / :mod:`repro.service.keys` —
+  content-addressed artifact store (meshes by
+  ``hash(image, canonical params)``, EDT feature transforms by image
+  hash) with an in-memory LRU over an atomic-write disk layout;
+* :mod:`repro.service.service` — :class:`MeshingService`, the
+  orchestrator, feeding ``service.*`` metrics and per-job trace spans;
+* :mod:`repro.service.client` — the synchronous in-process facade and
+  the Unix-socket NDJSON client;
+* :mod:`repro.service.protocol` / :mod:`repro.service.frontend` —
+  the ``repro serve`` wire protocol over stdio or a Unix socket.
+
+Quickstart::
+
+    from repro.api import MeshRequest
+    from repro.service import ServiceClient, ServiceConfig
+
+    with ServiceClient(ServiceConfig(n_workers=4,
+                                     cache_dir=".mesh-cache")) as client:
+        result = client.mesh(MeshRequest(image=image, delta=2.0))
+        again = client.mesh(MeshRequest(image=image, delta=2.0))  # cache hit
+"""
+
+from repro.service.cache import ArtifactCache, EDTCacheAdapter
+from repro.service.client import ServiceClient, SocketServiceClient
+from repro.service.jobs import (
+    TERMINAL_STATES,
+    Job,
+    JobState,
+    ServiceError,
+    TransientMeshError,
+)
+from repro.service.keys import cache_keys, image_content_key, request_key
+from repro.service.pool import WorkerPool
+from repro.service.queue import JobQueue
+from repro.service.service import MeshingService, ServiceConfig
+
+__all__ = [
+    "ArtifactCache",
+    "EDTCacheAdapter",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "MeshingService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SocketServiceClient",
+    "TERMINAL_STATES",
+    "TransientMeshError",
+    "WorkerPool",
+    "cache_keys",
+    "image_content_key",
+    "request_key",
+]

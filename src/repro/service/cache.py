@@ -1,0 +1,204 @@
+"""Content-addressed artifact cache: disk store with an in-memory LRU.
+
+Two artifact kinds live here, both addressed by the keys of
+:mod:`repro.service.keys`:
+
+* **meshes** — a finished :class:`~repro.api.MeshResult`, stored as the
+  JSON document of ``MeshResult.to_dict`` (exact round-trip of the
+  float64 coordinates and all topology arrays, so a cached mesh is
+  topology-identical to the run that produced it);
+* **EDT feature transforms** — an
+  :class:`~repro.imaging.edt.EDTResult`, stored as a compressed
+  ``.npz`` (the arrays dominate; JSON would be ~6x the bytes).
+
+Reads check the in-memory LRU first, then disk; disk hits are promoted
+into the LRU.  Writes go to a temp file in the same directory and are
+published with ``os.replace``, so a crash mid-write can never leave a
+half-written artifact under a valid key.  *Any* failure to load an
+artifact — truncation, bad JSON, a bad zip member — is treated as a
+cache miss: the corrupt file is counted, unlinked best-effort, and the
+caller recomputes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.api import MeshResult
+from repro.imaging.edt import EDTResult
+
+
+class ArtifactCache:
+    """Disk + LRU store for meshes and EDT feature transforms.
+
+    ``root=None`` keeps everything in memory (tests, short-lived
+    services); with a directory, artifacts persist across processes.
+    ``memory_entries`` bounds the LRU front (per cache, not per kind).
+
+    Cached objects are shared: two hits on the same key return the same
+    ``MeshResult``/``EDTResult`` instance.  Callers must treat cached
+    artifacts as immutable.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 memory_entries: int = 64):
+        if memory_entries < 1:
+            raise ValueError("memory_entries must be >= 1")
+        self.root = Path(root) if root is not None else None
+        self.memory_entries = memory_entries
+        self._mem: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = {
+            "hits": 0, "misses": 0, "memory_hits": 0,
+            "corrupt": 0, "writes": 0, "evictions": 0,
+        }
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- generic plumbing ----------------------------------------------
+    def _bump(self, field: str, n: int = 1) -> None:
+        with self._lock:
+            self.stats[field] += n
+
+    def _mem_get(self, slot: str) -> Optional[Any]:
+        with self._lock:
+            hit = self._mem.get(slot)
+            if hit is not None:
+                self._mem.move_to_end(slot)
+            return hit
+
+    def _mem_put(self, slot: str, value: Any) -> None:
+        with self._lock:
+            self._mem[slot] = value
+            self._mem.move_to_end(slot)
+            while len(self._mem) > self.memory_entries:
+                self._mem.popitem(last=False)
+                self.stats["evictions"] += 1
+
+    def _path(self, kind: str, key: str, ext: str) -> Optional[Path]:
+        if self.root is None:
+            return None
+        # Two-level fan-out keeps directories small at fleet scale.
+        return self.root / kind / key[:2] / f"{key}{ext}"
+
+    def _publish(self, path: Path, write) -> None:
+        """Atomically materialise an artifact at ``path``."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                write(fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._bump("writes")
+
+    def _discard_corrupt(self, path: Path) -> None:
+        self._bump("corrupt")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- meshes --------------------------------------------------------
+    def get_mesh(self, key: str) -> Optional[MeshResult]:
+        slot = f"mesh:{key}"
+        hit = self._mem_get(slot)
+        if hit is not None:
+            self._bump("hits")
+            self._bump("memory_hits")
+            return hit
+        path = self._path("mesh", key, ".json")
+        if path is not None and path.exists():
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    result = MeshResult.from_dict(json.load(fh))
+            except Exception:
+                self._discard_corrupt(path)
+            else:
+                self._bump("hits")
+                self._mem_put(slot, result)
+                return result
+        self._bump("misses")
+        return None
+
+    def put_mesh(self, key: str, result: MeshResult) -> None:
+        self._mem_put(f"mesh:{key}", result)
+        path = self._path("mesh", key, ".json")
+        if path is not None:
+            doc = json.dumps(result.to_dict()).encode("utf-8")
+            self._publish(path, lambda fh: fh.write(doc))
+
+    # -- EDT feature transforms ----------------------------------------
+    def get_edt(self, key: str) -> Optional[EDTResult]:
+        slot = f"edt:{key}"
+        hit = self._mem_get(slot)
+        if hit is not None:
+            self._bump("hits")
+            self._bump("memory_hits")
+            return hit
+        path = self._path("edt", key, ".npz")
+        if path is not None and path.exists():
+            try:
+                with np.load(path) as doc:
+                    result = EDTResult(
+                        dist2=doc["dist2"],
+                        feature=doc["feature"],
+                        shape=tuple(int(x) for x in doc["shape"]),
+                        spacing=tuple(float(x) for x in doc["spacing"]),
+                    )
+            except Exception:
+                self._discard_corrupt(path)
+            else:
+                self._bump("hits")
+                self._mem_put(slot, result)
+                return result
+        self._bump("misses")
+        return None
+
+    def put_edt(self, key: str, result: EDTResult) -> None:
+        self._mem_put(f"edt:{key}", result)
+        path = self._path("edt", key, ".npz")
+        if path is not None:
+            def write(fh) -> None:
+                np.savez_compressed(
+                    fh,
+                    dist2=result.dist2,
+                    feature=result.feature,
+                    shape=np.asarray(result.shape, dtype=np.int64),
+                    spacing=np.asarray(result.spacing, dtype=np.float64),
+                )
+            self._publish(path, write)
+
+    # -- reporting -----------------------------------------------------
+    def stats_snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.stats)
+
+
+class EDTCacheAdapter:
+    """The two-method object :mod:`repro.imaging.edt` expects, backed
+    by an :class:`ArtifactCache` (installed/removed by the service)."""
+
+    __slots__ = ("cache",)
+
+    def __init__(self, cache: ArtifactCache):
+        self.cache = cache
+
+    def get(self, key: str) -> Optional[EDTResult]:
+        return self.cache.get_edt(key)
+
+    def put(self, key: str, result: EDTResult) -> None:
+        self.cache.put_edt(key, result)

@@ -1,0 +1,126 @@
+"""Client facades: in-process synchronous, and NDJSON-over-socket.
+
+:class:`ServiceClient` is the way tests, examples and embedding Python
+code talk to the service: it owns (or borrows) a
+:class:`~repro.service.service.MeshingService` and exposes the blocking
+``mesh()`` call plus the async ``submit``/``wait``/``cancel`` trio.
+
+:class:`SocketServiceClient` speaks the newline-delimited-JSON protocol
+of :mod:`repro.service.frontend` over a Unix domain socket — the
+out-of-process counterpart (``repro serve --socket PATH``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from repro.api import MeshRequest, MeshResult
+from repro.service.jobs import Job, ServiceError
+from repro.service.service import MeshingService, ServiceConfig
+
+
+class ServiceClient:
+    """Synchronous facade over an in-process :class:`MeshingService`.
+
+    Usage::
+
+        from repro.service import ServiceClient, ServiceConfig
+
+        with ServiceClient(ServiceConfig(n_workers=2)) as client:
+            result = client.mesh(MeshRequest(image=image, delta=2.0))
+
+    When constructed with an already-running ``service`` the client
+    borrows it (and ``close()`` leaves it running); otherwise the
+    client owns its service's lifecycle.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 service: Optional[MeshingService] = None):
+        self._owns_service = service is None
+        self.service = service or MeshingService(config).start()
+
+    # -- one-call path -------------------------------------------------
+    def mesh(self, request: MeshRequest,
+             deadline: Optional[float] = None,
+             timeout: Optional[float] = None) -> MeshResult:
+        """Submit and wait; raises :class:`ServiceError` unless DONE."""
+        return self.service.mesh(request, deadline=deadline, timeout=timeout)
+
+    # -- async trio ----------------------------------------------------
+    def submit(self, request: MeshRequest,
+               deadline: Optional[float] = None) -> Job:
+        return self.service.submit(request, deadline=deadline)
+
+    def wait(self, job: Job, timeout: Optional[float] = None) -> Job:
+        return self.service.wait(job, timeout)
+
+    def cancel(self, job_id: str) -> bool:
+        return self.service.cancel(job_id)
+
+    # -- introspection -------------------------------------------------
+    def metrics(self) -> Dict[str, Any]:
+        return self.service.metrics_snapshot()
+
+    def close(self) -> None:
+        if self._owns_service:
+            self.service.shutdown()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SocketServiceClient:
+    """NDJSON client for ``repro serve --socket PATH``.
+
+    One request-response exchange per :meth:`request` call; the
+    connection persists across calls.  Stdlib only.
+    """
+
+    def __init__(self, path: str, timeout: Optional[float] = None):
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        self._sock.connect(path)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message, read one response line."""
+        self._file.write(json.dumps(message).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def mesh_path(self, image_path: str,
+                  params: Optional[Dict[str, Any]] = None,
+                  **options: Any) -> Dict[str, Any]:
+        """Convenience: synchronous mesh of an on-disk ``.npz`` image."""
+        msg: Dict[str, Any] = {"op": "mesh", "image_path": image_path}
+        if params:
+            msg["params"] = params
+        msg.update(options)
+        return self.request(msg)
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request({"op": "metrics"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SocketServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["ServiceClient", "SocketServiceClient", "ServiceError"]

@@ -1,0 +1,199 @@
+"""Service front-ends: NDJSON over stdio or a Unix domain socket.
+
+Both fronts speak the protocol of :mod:`repro.service.protocol` and
+share one dispatcher, :class:`ServiceFrontend`.  The stdio front serves
+a single caller (``repro serve`` piped into a pipeline); the socket
+front accepts concurrent connections, one thread per connection, all
+feeding the same service — which is where the queue, admission control
+and cache earn their keep.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO, Tuple
+
+from repro.service import protocol
+from repro.service.service import MeshingService
+
+
+class ServiceFrontend:
+    """Op dispatcher shared by every transport."""
+
+    def __init__(self, service: MeshingService):
+        self.service = service
+
+    def handle(self, msg: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+        """Answer one message → ``(response, shutdown_requested)``."""
+        op = msg.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "pong"}, False
+        if op == "shutdown":
+            return {"ok": True, "op": "shutdown"}, True
+        if op == "metrics":
+            return {"ok": True,
+                    "metrics": self.service.metrics_snapshot()}, False
+        if op in ("mesh", "submit"):
+            return self._submit(msg, sync=(op == "mesh")), False
+        if op in ("wait", "status", "cancel"):
+            return self._by_id(op, msg), False
+        return protocol.error_response(f"unknown op {op!r}"), False
+
+    def _submit(self, msg: Dict[str, Any], sync: bool) -> Dict[str, Any]:
+        try:
+            request = protocol.request_from_message(msg)
+        except (protocol.ProtocolError, ValueError, FileNotFoundError) as exc:
+            return protocol.error_response(str(exc), msg.get("id"))
+        job = self.service.submit(
+            request,
+            deadline=msg.get("deadline"),
+            job_id=msg.get("id"),
+        )
+        if sync:
+            job.wait(msg.get("wait_timeout"))
+        return protocol.job_response(
+            job, return_mesh=bool(msg.get("return_mesh"))
+        )
+
+    def _by_id(self, op: str, msg: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = msg.get("id")
+        if not job_id:
+            return protocol.error_response(f"{op} needs an 'id'")
+        job = self.service.job(job_id)
+        if job is None:
+            return protocol.error_response(f"unknown job {job_id!r}", job_id)
+        if op == "cancel":
+            cancelled = self.service.cancel(job_id)
+            return {"ok": cancelled, "id": job_id,
+                    "state": job.state.value}
+        if op == "wait":
+            job.wait(msg.get("wait_timeout"))
+        return protocol.job_response(
+            job, return_mesh=bool(msg.get("return_mesh"))
+        )
+
+
+def serve_stream(service: MeshingService, infile: TextIO,
+                 outfile: TextIO) -> int:
+    """Serve NDJSON messages from ``infile`` until EOF or ``shutdown``.
+
+    Malformed lines are answered with error responses, never raised;
+    the exit code is 0 for a clean end of stream or shutdown.
+    """
+    frontend = ServiceFrontend(service)
+    for line in infile:
+        if not line.strip():
+            continue
+        try:
+            msg = protocol.decode_line(line)
+        except protocol.ProtocolError as exc:
+            outfile.write(protocol.encode(protocol.error_response(str(exc))))
+            outfile.flush()
+            continue
+        try:
+            response, shutdown = frontend.handle(msg)
+        except Exception as exc:  # the frontend must outlive any request
+            response, shutdown = protocol.error_response(
+                f"internal error: {exc}"), False
+        outfile.write(protocol.encode(response))
+        outfile.flush()
+        if shutdown:
+            return 0
+    return 0
+
+
+class UnixSocketFrontend:
+    """Threaded Unix-socket server around one :class:`MeshingService`."""
+
+    def __init__(self, service: MeshingService, path: str, backlog: int = 16):
+        self.service = service
+        self.path = Path(path)
+        self._frontend = ServiceFrontend(service)
+        self._stop = threading.Event()
+        self._threads: list = []
+        if self.path.exists():
+            self.path.unlink()
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(str(self.path))
+        self._sock.listen(backlog)
+
+    def serve_forever(self) -> int:
+        """Accept connections until a ``shutdown`` op (or :meth:`stop`)."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._sock.accept()
+                except OSError:
+                    break  # listening socket closed by stop()
+                t = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                )
+                t.start()
+                self._threads.append(t)
+        finally:
+            self._cleanup()
+        return 0
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            fh = conn.makefile("rwb")
+            try:
+                for raw in fh:
+                    try:
+                        msg = protocol.decode_line(raw.decode("utf-8"))
+                    except protocol.ProtocolError as exc:
+                        fh.write(protocol.encode(
+                            protocol.error_response(str(exc))
+                        ).encode("utf-8"))
+                        fh.flush()
+                        continue
+                    try:
+                        response, shutdown = self._frontend.handle(msg)
+                    except Exception as exc:
+                        response, shutdown = protocol.error_response(
+                            f"internal error: {exc}"), False
+                    fh.write(protocol.encode(response).encode("utf-8"))
+                    fh.flush()
+                    if shutdown:
+                        self.stop()
+                        return
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away mid-exchange: their prerogative
+
+    def stop(self) -> None:
+        self._stop.set()
+        # Closing the fd does not interrupt a thread already blocked in
+        # accept(); poke the listener with a throwaway connection so the
+        # loop observes the stop flag.
+        try:
+            poke = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            poke.settimeout(0.2)
+            poke.connect(str(self.path))
+            poke.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _cleanup(self) -> None:
+        self.stop()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+def serve_stdio(service: MeshingService,
+                infile: Optional[TextIO] = None,
+                outfile: Optional[TextIO] = None) -> int:
+    """``repro serve`` stdio entry: NDJSON on stdin/stdout."""
+    return serve_stream(
+        service,
+        infile if infile is not None else sys.stdin,
+        outfile if outfile is not None else sys.stdout,
+    )

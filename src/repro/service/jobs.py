@@ -1,0 +1,173 @@
+"""Job model for the meshing service: states, transitions, errors.
+
+A :class:`Job` wraps one :class:`~repro.api.MeshRequest` travelling
+through the service.  Its lifecycle is the state machine::
+
+    QUEUED ──▶ RUNNING ──▶ DONE
+       │          ├──────▶ FAILED      (exception; traceback attached)
+       │          └──────▶ TIMED_OUT   (deadline passed)
+       ├─────────────────▶ CANCELLED   (cancelled before pickup)
+       └─ (never queued) ─▶ REJECTED   (queue full / service closed)
+
+State changes go through :meth:`Job.transition`, an atomic
+compare-and-set under the job's own lock.  That CAS is what closes the
+"cancelled but still ran" race: a worker may only start a job by
+winning ``QUEUED → RUNNING``, and a canceller may only cancel by
+winning ``QUEUED → CANCELLED`` — exactly one of them succeeds, no
+matter how the queue interleaves them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.api import MeshRequest, MeshResult
+
+
+class JobState(Enum):
+    """Lifecycle states; the right column of the module docstring."""
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+    TIMED_OUT = "TIMED_OUT"
+    REJECTED = "REJECTED"
+
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({
+    JobState.DONE, JobState.FAILED, JobState.CANCELLED,
+    JobState.TIMED_OUT, JobState.REJECTED,
+})
+
+
+class TransientMeshError(RuntimeError):
+    """A failure worth retrying (flaky I/O, speculative-livelock, ...).
+
+    Meshers — and tests injecting faults — raise this to opt a failure
+    into the worker pool's bounded-retry-with-backoff path; any other
+    exception fails the job immediately.
+    """
+
+
+class ServiceError(RuntimeError):
+    """Raised by the synchronous client facade when a job does not end
+    in ``DONE``; carries the job so callers can inspect state/error."""
+
+    def __init__(self, message: str, job: Optional["Job"] = None):
+        super().__init__(message)
+        self.job = job
+
+
+class Job:
+    """One request's journey through the service."""
+
+    __slots__ = (
+        "id", "request", "deadline", "state", "result", "error",
+        "attempts", "cache_hit", "submitted_at", "started_at",
+        "finished_at", "_lock", "_done", "_callbacks",
+    )
+
+    def __init__(self, job_id: str, request: MeshRequest,
+                 deadline: Optional[float] = None):
+        self.id = job_id
+        self.request = request
+        #: absolute ``time.monotonic()`` deadline, or ``None``
+        self.deadline = deadline
+        self.state = JobState.QUEUED
+        self.result: Optional[MeshResult] = None
+        self.error: Optional[str] = None
+        self.attempts = 0
+        self.cache_hit = False
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._callbacks: List[Callable[["Job"], None]] = []
+
+    # -- state machine -------------------------------------------------
+    def transition(self, frm: JobState, to: JobState) -> bool:
+        """Atomic compare-and-set ``frm → to``; True iff it won."""
+        callbacks: List[Callable[["Job"], None]] = []
+        with self._lock:
+            if self.state is not frm:
+                return False
+            self.state = to
+            if to is JobState.RUNNING:
+                self.started_at = time.monotonic()
+            elif to in TERMINAL_STATES:
+                self.finished_at = time.monotonic()
+                self._done.set()
+                callbacks = self._callbacks[:]
+                self._callbacks.clear()
+        for cb in callbacks:
+            cb(self)
+        return True
+
+    def finish(self, state: JobState, result: Optional[MeshResult] = None,
+               error: Optional[str] = None) -> bool:
+        """Move a non-terminal job to terminal ``state``; True iff moved."""
+        callbacks: List[Callable[["Job"], None]] = []
+        with self._lock:
+            if self.state in TERMINAL_STATES:
+                return False
+            self.state = state
+            self.result = result
+            self.error = error
+            self.finished_at = time.monotonic()
+            self._done.set()
+            callbacks = self._callbacks[:]
+            self._callbacks.clear()
+        for cb in callbacks:
+            cb(self)
+        return True
+
+    # -- queries -------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) > self.deadline
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    def add_done_callback(self, fn: Callable[["Job"], None]) -> None:
+        """Run ``fn(job)`` once the job is terminal (immediately if it
+        already is).  Callbacks run on the finishing thread."""
+        with self._lock:
+            if self.state not in TERMINAL_STATES:
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe status snapshot (the protocol's response body)."""
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+        }
+        if self.result is not None:
+            out["n_tets"] = self.result.n_tets
+            out["n_vertices"] = self.result.n_vertices
+            out["timings"] = dict(self.result.timings)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.finished_at is not None and self.started_at is not None:
+            out["run_seconds"] = self.finished_at - self.started_at
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Job({self.id!r}, {self.state.value})"

@@ -1,0 +1,87 @@
+"""Worker pool: N daemon threads draining the job queue.
+
+The pool is deliberately dumb — it pulls jobs and hands them to the
+processing callable (the service's ``_process``), which owns claiming,
+deadlines, retries and metrics.  The loop survives anything the
+processor lets escape: an unexpected exception fails the job with its
+traceback and is counted, but never kills the thread, so one poisoned
+request cannot take a worker slot out of service.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Callable, List, Optional
+
+from repro.service.jobs import Job, JobState
+from repro.service.queue import JobQueue
+
+_POLL_SECONDS = 0.1
+
+
+class WorkerPool:
+    """Fixed-size thread pool wired to a :class:`JobQueue`."""
+
+    def __init__(self, queue: JobQueue, process: Callable[[Job], None],
+                 n_workers: int, name: str = "mesh-worker",
+                 on_crash: Optional[Callable[[Job, str], None]] = None):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.queue = queue
+        self.process = process
+        self.n_workers = n_workers
+        self.name = name
+        self.on_crash = on_crash
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for i in range(self.n_workers):
+            t = threading.Thread(
+                target=self._loop, name=f"{self.name}-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def _loop(self) -> None:
+        queue = self.queue
+        while True:
+            job = queue.get(timeout=_POLL_SECONDS)
+            if job is None:
+                if queue.closed:
+                    return
+                continue
+            try:
+                self.process(job)
+            except BaseException:
+                # The processor is supposed to catch everything; this is
+                # the belt-and-braces layer that keeps the worker alive.
+                tb = traceback.format_exc()
+                job.finish(JobState.FAILED, error=tb)
+                if self.on_crash is not None:
+                    self.on_crash(job, tb)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every worker to exit (requires a closed queue)."""
+        deadline = None
+        if timeout is not None:
+            import time
+            deadline = time.monotonic() + timeout
+        for t in self._threads:
+            if deadline is None:
+                t.join()
+            else:
+                import time
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                t.join(remaining)
+        return all(not t.is_alive() for t in self._threads)
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for t in self._threads if t.is_alive())

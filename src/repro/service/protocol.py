@@ -1,0 +1,123 @@
+"""Wire protocol of the service front-end: newline-delimited JSON.
+
+Each line is one JSON object with an ``op`` field.  Operations:
+
+========== ==========================================================
+``ping``      liveness check → ``{"ok": true, "op": "pong"}``
+``mesh``      submit and wait (synchronous per message)
+``submit``    submit, return immediately with the job id
+``wait``      block until job ``id`` is terminal
+``status``    non-blocking job state
+``cancel``    cancel a queued job
+``metrics``   service metrics snapshot
+``shutdown``  stop the service and close the stream/server
+========== ==========================================================
+
+``mesh``/``submit`` messages carry the image either as
+``"image_path"`` (an ``.npz`` saved by :func:`repro.io.save_image_npz`
+— the normal case; meshes-over-JSON stay off the wire) or inline as
+``"image": {"labels": [...], "spacing": [...], "origin": [...]}``, plus
+an optional ``"params"`` object holding :class:`~repro.api.MeshRequest`
+knobs (``mesher``, ``delta``, ``n_threads``, ...), an optional
+``"deadline"`` in seconds, and ``"return_mesh": true`` to inline the
+full mesh arrays in the response.
+
+Responses always carry ``"ok"``; failures carry ``"error"``.  A
+malformed line is answered with an error response — it never kills the
+connection or the service.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.api import MeshRequest
+from repro.service.jobs import Job, JobState
+
+#: MeshRequest knobs a client may set through the wire.
+REQUEST_PARAMS = (
+    "mesher", "delta", "radius_edge_bound", "planar_angle_bound_deg",
+    "n_threads", "cm", "lb", "hyperthreading", "seed",
+    "max_operations", "timeout",
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed or unanswerable message."""
+
+
+def decode_line(line: str) -> Dict[str, Any]:
+    """Parse one NDJSON message; raises :class:`ProtocolError`."""
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message")
+    try:
+        msg = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError("message must be a JSON object")
+    if "op" not in msg:
+        raise ProtocolError("message has no 'op'")
+    return msg
+
+
+def encode(message: Dict[str, Any]) -> str:
+    """One response line (compact JSON + newline)."""
+    return json.dumps(message, separators=(",", ":")) + "\n"
+
+
+def error_response(message: str,
+                   job_id: Optional[str] = None) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"ok": False, "error": message}
+    if job_id is not None:
+        out["id"] = job_id
+    return out
+
+
+def load_image_from_message(msg: Dict[str, Any]):
+    """Materialise the :class:`SegmentedImage` a message refers to."""
+    from repro.imaging.image import SegmentedImage
+    from repro.io import load_image_npz
+
+    path = msg.get("image_path")
+    if path is not None:
+        return load_image_npz(path)
+    inline = msg.get("image")
+    if inline is None:
+        raise ProtocolError("message carries neither image_path nor image")
+    if not isinstance(inline, dict) or "labels" not in inline:
+        raise ProtocolError("inline image needs a 'labels' array")
+    return SegmentedImage(
+        np.asarray(inline["labels"], dtype=np.int16),
+        spacing=tuple(inline.get("spacing", (1.0, 1.0, 1.0))),
+        origin=tuple(inline.get("origin", (0.0, 0.0, 0.0))),
+    )
+
+
+def request_from_message(msg: Dict[str, Any]) -> MeshRequest:
+    """Build the :class:`MeshRequest` a ``mesh``/``submit`` op describes."""
+    image = load_image_from_message(msg)
+    params = msg.get("params") or {}
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be an object")
+    unknown = set(params) - set(REQUEST_PARAMS)
+    if unknown:
+        raise ProtocolError(
+            f"unknown params: {', '.join(sorted(unknown))}"
+        )
+    return MeshRequest(image=image, **params)
+
+
+def job_response(job: Job, return_mesh: bool = False) -> Dict[str, Any]:
+    """The response body describing ``job``'s current state."""
+    out = job.summary()
+    out["ok"] = job.state in (JobState.QUEUED, JobState.RUNNING,
+                              JobState.DONE)
+    if (return_mesh and job.state is JobState.DONE
+            and job.result is not None):
+        out["result"] = job.result.to_dict()
+    return out

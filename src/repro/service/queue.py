@@ -1,0 +1,94 @@
+"""Bounded FIFO job queue with admission control and eager cancellation.
+
+Backpressure is explicit: :meth:`JobQueue.put` never blocks — when the
+queue is at capacity (or closed) it returns ``False`` and the service
+marks the job ``REJECTED``, so overload is a visible, countable outcome
+instead of an unbounded memory ramp.
+
+Cancellation of a queued job is a two-layer defence:
+
+* the canceller wins the ``QUEUED → CANCELLED`` compare-and-set on the
+  job itself, so even a job still sitting in the deque can never start
+  (workers must win ``QUEUED → RUNNING``, and only one CAS succeeds);
+* :meth:`remove` additionally drops the entry from the deque under the
+  queue lock, freeing its capacity slot immediately instead of lazily
+  at pop time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Optional
+
+from repro.service.jobs import Job, JobState
+
+
+class JobQueue:
+    """Bounded deque of queued jobs, condition-variable signalled."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: Deque[Job] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def put(self, job: Job) -> bool:
+        """Admit ``job``; False (not blocking) when full or closed."""
+        with self._cond:
+            if self._closed or len(self._items) >= self.capacity:
+                return False
+            self._items.append(job)
+            self._cond.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Next queued job, or ``None`` on timeout / drained-and-closed.
+
+        Jobs that lost their ``QUEUED`` state while waiting (cancelled,
+        or timed out by the canceller) are discarded here rather than
+        returned — the caller only ever sees jobs it may try to claim.
+        """
+        with self._cond:
+            while True:
+                while self._items:
+                    job = self._items.popleft()
+                    if job.state is JobState.QUEUED:
+                        return job
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+
+    def remove(self, job: Job) -> bool:
+        """Drop ``job`` from the deque (eager cancel); True iff found."""
+        with self._cond:
+            try:
+                self._items.remove(job)
+                return True
+            except ValueError:
+                return False
+
+    def close(self) -> None:
+        """Refuse new work and wake every waiting worker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain(self) -> list:
+        """Remove and return every still-queued job (shutdown path)."""
+        with self._cond:
+            out = list(self._items)
+            self._items.clear()
+            return out

@@ -1,0 +1,360 @@
+"""The meshing service: queue + worker pool + artifact cache + metrics.
+
+:class:`MeshingService` turns the one-shot meshers of :mod:`repro.api`
+into a long-running, observable system:
+
+* requests are admitted into a bounded :class:`JobQueue` (full queue →
+  ``REJECTED``, an explicit outcome, never silent drop);
+* a :class:`WorkerPool` of N threads claims jobs via the
+  ``QUEUED → RUNNING`` compare-and-set, honours per-job deadlines, and
+  retries transient failures with exponential backoff within a bounded
+  budget;
+* results are content-addressed: a finished mesh is stored under
+  ``hash(image bytes, canonical MeshParams)`` and an identical future
+  request returns it in O(hash); the EDT feature transform is cached
+  per *image*, so requests that share an image but differ in mesh
+  parameters still skip the EDT (the hook of
+  :mod:`repro.imaging.edt` is installed for the service's lifetime);
+* every stage feeds ``service.*`` metrics in the service's
+  :class:`~repro.observability.MetricsRegistry` and, when tracing is
+  enabled, emits one span per job.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Type
+
+from repro.api import MESHER_NAMES, MeshRequest, MeshResult, get_mesher
+from repro.imaging import edt as edt_module
+from repro.observability import Observability, ObservabilityConfig
+from repro.service.cache import ArtifactCache, EDTCacheAdapter
+from repro.service.jobs import (
+    Job,
+    JobState,
+    ServiceError,
+    TransientMeshError,
+)
+from repro.service.keys import cache_keys
+from repro.service.pool import WorkerPool
+from repro.service.queue import JobQueue
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance."""
+
+    n_workers: int = 4
+    queue_capacity: int = 64
+    #: artifact directory; ``None`` keeps the cache in memory only.
+    cache_dir: Optional[str] = None
+    memory_cache_entries: int = 64
+    #: retry budget for :class:`TransientMeshError` failures.
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    retry_backoff_cap: float = 2.0
+    #: default per-job deadline in seconds (``None`` = no deadline).
+    default_deadline: Optional[float] = None
+    #: install the process-wide EDT cache hook for this service's life.
+    install_edt_cache: bool = True
+    tracing: bool = False
+    transient_exceptions: Tuple[Type[BaseException], ...] = (
+        TransientMeshError,
+    )
+
+
+class MeshingService:
+    """Long-running meshing service over the :mod:`repro.api` meshers.
+
+    Start with :meth:`start` (or use as a context manager), feed it
+    :class:`~repro.api.MeshRequest` objects through :meth:`submit` /
+    :meth:`mesh`, and stop with :meth:`shutdown`.  Thread-safe.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.obs = Observability.from_config(
+            ObservabilityConfig(tracing=cfg.tracing)
+        )
+        self.registry = self.obs.registry
+        self.tracer = self.obs.tracer
+        self.cache = ArtifactCache(
+            cfg.cache_dir, memory_entries=cfg.memory_cache_entries
+        )
+        self.queue = JobQueue(cfg.queue_capacity)
+        self.pool = WorkerPool(
+            self.queue, self._process, cfg.n_workers,
+            on_crash=self._count_crash,
+        )
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._meshers: Dict[str, object] = {}
+        self._started = False
+        self._closed = False
+        self._edt_hook_prev: Optional[object] = None
+        self._edt_adapter: Optional[EDTCacheAdapter] = None
+        self._edt_stats_at_start = edt_module.CACHE_STATS.snapshot()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "MeshingService":
+        if self._started:
+            return self
+        self._started = True
+        if self.config.install_edt_cache:
+            self._edt_adapter = EDTCacheAdapter(self.cache)
+            self._edt_hook_prev = edt_module.set_feature_transform_cache(
+                self._edt_adapter
+            )
+        self.registry.gauge("service.workers").set(self.config.n_workers)
+        self.pool.start()
+        return self
+
+    def shutdown(self, wait: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop accepting work; drain (``wait=True``) or cancel what is
+        still queued, join the workers, and restore the EDT hook."""
+        if self._closed:
+            return
+        self._closed = True
+        if not wait:
+            for job in self.queue.drain():
+                if job.transition(JobState.QUEUED, JobState.CANCELLED):
+                    self.registry.counter("service.jobs.cancelled").inc()
+        self.queue.close()
+        if self._started:
+            self.pool.join(timeout)
+        if self.config.install_edt_cache and self._edt_adapter is not None:
+            # Only restore if the hook is still ours (a nested service
+            # may have replaced it and will restore its own previous).
+            current = edt_module.set_feature_transform_cache(
+                self._edt_hook_prev
+            )
+            if current is not self._edt_adapter:
+                edt_module.set_feature_transform_cache(current)
+
+    def __enter__(self) -> "MeshingService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- mesher registry -----------------------------------------------
+    def register_mesher(self, name: str, mesher: object) -> None:
+        """Overlay a mesher (tests inject fakes; plugins add backends).
+
+        Overlay names win over the built-in :func:`repro.api.get_mesher`
+        registry for this service only.
+        """
+        self._meshers[name] = mesher
+
+    def _mesher(self, name: str):
+        overlay = self._meshers.get(name)
+        if overlay is not None:
+            return overlay
+        return get_mesher(name)
+
+    # -- submission ----------------------------------------------------
+    def submit(self, request: MeshRequest,
+               deadline: Optional[float] = None,
+               job_id: Optional[str] = None) -> Job:
+        """Queue one request; returns its :class:`Job` immediately.
+
+        ``deadline`` is seconds-from-now; it covers queue wait *and*
+        run time.  A full (or shut-down) queue yields a ``REJECTED``
+        job, not an exception — admission control is an outcome the
+        caller inspects, and the metrics count it.
+        """
+        if request.mesher == "auto" or (
+            request.mesher in MESHER_NAMES
+            and request.mesher not in self._meshers
+        ):
+            request.validate()
+        if deadline is None:
+            deadline = self.config.default_deadline
+        abs_deadline = (
+            time.monotonic() + deadline if deadline is not None else None
+        )
+        if job_id is None:
+            job_id = f"job-{next(self._ids):06d}"
+        job = Job(job_id, request, deadline=abs_deadline)
+        with self._jobs_lock:
+            if job_id in self._jobs and not self._jobs[job_id].done:
+                raise ValueError(f"job id {job_id!r} already active")
+            self._jobs[job_id] = job
+        reg = self.registry
+        reg.counter("service.jobs.submitted").inc()
+        if self._closed or not self.queue.put(job):
+            job.finish(JobState.REJECTED,
+                       error="queue full or service shut down")
+            reg.counter("service.jobs.rejected").inc()
+        reg.gauge("service.queue.depth").set(len(self.queue))
+        return job
+
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; True iff it will never run.
+
+        Wins (or loses) the ``QUEUED → CANCELLED`` CAS against the
+        worker's ``QUEUED → RUNNING`` claim, then eagerly frees the
+        queue slot.  Running jobs are not interruptible.
+        """
+        job = self.job(job_id)
+        if job is None:
+            return False
+        if job.transition(JobState.QUEUED, JobState.CANCELLED):
+            self.queue.remove(job)
+            self.registry.counter("service.jobs.cancelled").inc()
+            self.registry.gauge("service.queue.depth").set(len(self.queue))
+            return True
+        return False
+
+    def wait(self, job: Job, timeout: Optional[float] = None) -> Job:
+        job.wait(timeout)
+        return job
+
+    def mesh(self, request: MeshRequest,
+             deadline: Optional[float] = None,
+             timeout: Optional[float] = None) -> MeshResult:
+        """Synchronous submit + wait; raises :class:`ServiceError` for
+        any terminal state other than ``DONE``."""
+        job = self.submit(request, deadline=deadline)
+        if not job.wait(timeout):
+            raise ServiceError(f"timed out waiting for {job.id}", job)
+        if job.state is not JobState.DONE or job.result is None:
+            detail = f": {job.error}" if job.error else ""
+            raise ServiceError(
+                f"{job.id} finished {job.state.value}{detail}", job
+            )
+        return job.result
+
+    # -- worker side ---------------------------------------------------
+    def _count_crash(self, job: Job, tb: str) -> None:
+        self.registry.counter("service.worker.crashes").inc()
+        self.registry.counter("service.jobs.failed").inc()
+
+    def _process(self, job: Job) -> None:
+        """Claim, run (with retries), and conclude one job."""
+        reg = self.registry
+        now = time.monotonic()
+        reg.histogram("service.stage.queue_wait_seconds").observe(
+            now - job.submitted_at
+        )
+        reg.gauge("service.queue.depth").set(len(self.queue))
+        if job.expired(now):
+            # Died waiting in line: never claim, never run.
+            if job.finish(JobState.TIMED_OUT,
+                          error="deadline expired while queued"):
+                reg.counter("service.jobs.timed_out").inc()
+            return
+        if not job.transition(JobState.QUEUED, JobState.RUNNING):
+            return  # cancelled between pop and claim
+        cfg = self.config
+        tracer = self.tracer
+        span = tracer.enabled
+        t0 = time.perf_counter()
+        if span:
+            tracer.begin(f"job:{job.id}", 0, t0)
+        try:
+            while True:
+                job.attempts += 1
+                try:
+                    result = self._execute(job)
+                except cfg.transient_exceptions as exc:
+                    if (job.attempts > cfg.max_retries
+                            or job.expired()):
+                        job.finish(
+                            JobState.FAILED,
+                            error=traceback.format_exc(),
+                        )
+                        reg.counter("service.jobs.failed").inc()
+                        return
+                    reg.counter("service.jobs.retries").inc()
+                    backoff = min(
+                        cfg.retry_backoff * (2.0 ** (job.attempts - 1)),
+                        cfg.retry_backoff_cap,
+                    )
+                    if job.deadline is not None:
+                        backoff = min(
+                            backoff, max(0.0, job.deadline - time.monotonic())
+                        )
+                    time.sleep(backoff)
+                    continue
+                except BaseException:
+                    job.finish(JobState.FAILED, error=traceback.format_exc())
+                    reg.counter("service.jobs.failed").inc()
+                    return
+                if job.expired():
+                    # The mesh is attached (salvageable), but the state
+                    # reflects that the caller's deadline was missed.
+                    job.finish(JobState.TIMED_OUT, result=result,
+                               error="deadline expired during run")
+                    reg.counter("service.jobs.timed_out").inc()
+                    return
+                job.finish(JobState.DONE, result=result)
+                reg.counter("service.jobs.completed").inc()
+                return
+        finally:
+            dt = time.perf_counter() - t0
+            reg.histogram("service.job.total_seconds").observe(dt)
+            if span:
+                tracer.end(f"job:{job.id}", 0, t0 + dt,
+                           state=job.state.value)
+
+    def _execute(self, job: Job) -> MeshResult:
+        """One attempt: cache lookup → mesher run → cache store."""
+        reg = self.registry
+        request = job.request
+        keys = cache_keys(request)
+        if keys is None:
+            reg.counter("service.jobs.uncacheable").inc()
+        else:
+            t0 = time.perf_counter()
+            cached = self.cache.get_mesh(keys[1])
+            reg.histogram("service.stage.cache_seconds").observe(
+                time.perf_counter() - t0
+            )
+            if cached is not None:
+                reg.counter("service.cache.hit").inc()
+                job.cache_hit = True
+                return cached
+            reg.counter("service.cache.miss").inc()
+        t0 = time.perf_counter()
+        result = self._mesher(request.resolved_mesher()).mesh(request)
+        reg.histogram("service.stage.mesh_seconds").observe(
+            time.perf_counter() - t0
+        )
+        if keys is not None:
+            t0 = time.perf_counter()
+            self.cache.put_mesh(keys[1], result)
+            reg.histogram("service.stage.cache_seconds").observe(
+                time.perf_counter() - t0
+            )
+        return result
+
+    # -- reporting -----------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Registry snapshot with live queue/cache/EDT gauges folded in.
+
+        EDT counters are deltas since this service started (the hook's
+        stats are process-wide).
+        """
+        reg = self.registry
+        reg.gauge("service.queue.depth").set(len(self.queue))
+        reg.gauge("service.workers.alive").set(self.pool.alive_workers)
+        edt_now = edt_module.CACHE_STATS.snapshot()
+        for name in ("hits", "misses", "computes"):
+            reg.gauge(f"edt.cache.{name}").set(
+                edt_now[name] - self._edt_stats_at_start[name]
+            )
+        for name, value in self.cache.stats_snapshot().items():
+            reg.gauge(f"service.cache.store.{name}").set(value)
+        return reg.snapshot()

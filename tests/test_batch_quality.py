@@ -1,0 +1,160 @@
+"""Batch quality kernels vs. the scalar oracles.
+
+The vectorized kernels in :mod:`repro.geometry.batch` must agree
+lane-for-lane with the scalar kernels in :mod:`repro.geometry.quality`
+(the scalar path stays in the tree precisely so these tests can use it
+as the oracle).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.batch import (
+    min_max_dihedral_many,
+    quality_screen,
+    radius_edge_many,
+    shortest_edges_many,
+)
+from repro.geometry.quality import (
+    min_max_dihedral,
+    radius_edge_ratio,
+    shortest_edge,
+)
+
+
+def random_quads(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-5.0, 5.0, size=(n, 4, 3))
+
+
+def as_points(quad):
+    return [tuple(map(float, p)) for p in quad]
+
+
+class TestShortestEdges:
+    def test_matches_scalar(self):
+        quads = random_quads(64)
+        got = shortest_edges_many(quads)
+        for lane, quad in enumerate(quads):
+            assert got[lane] == pytest.approx(
+                shortest_edge(*as_points(quad)), rel=1e-12)
+
+    def test_empty(self):
+        assert shortest_edges_many(np.empty((0, 4, 3))).shape == (0,)
+
+
+class TestRadiusEdge:
+    def test_matches_scalar(self):
+        quads = random_quads(64, seed=1)
+        got = radius_edge_many(quads)
+        for lane, quad in enumerate(quads):
+            assert got[lane] == pytest.approx(
+                radius_edge_ratio(*as_points(quad)), rel=1e-9)
+
+    def test_degenerate_flat_tet_is_inf(self):
+        # Four coplanar points: scalar circumradius_tet raises
+        # ZeroDivisionError internally; the batch kernel maps the lane
+        # to inf instead of crashing the whole batch.
+        flat = np.array([[[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]]],
+                        dtype=np.float64)
+        out = radius_edge_many(flat)
+        assert math.isinf(out[0])
+
+    def test_degenerate_repeated_vertex_is_inf(self):
+        dup = np.zeros((1, 4, 3))
+        dup[0, 1] = [1, 0, 0]
+        dup[0, 2] = [0, 1, 0]
+        dup[0, 3] = [1, 0, 0]  # same as vertex 1 -> shortest edge 0
+        out = radius_edge_many(dup)
+        assert math.isinf(out[0])
+
+
+class TestDihedrals:
+    def test_matches_scalar(self):
+        quads = random_quads(64, seed=2)
+        lo, hi = min_max_dihedral_many(quads)
+        for lane, quad in enumerate(quads):
+            slo, shi = min_max_dihedral(*as_points(quad))
+            assert lo[lane] == pytest.approx(slo, abs=1e-8)
+            assert hi[lane] == pytest.approx(shi, abs=1e-8)
+
+    def test_regular_tet(self):
+        # Regular tetrahedron: every dihedral is arccos(1/3) ~ 70.53 deg.
+        q = np.array([[[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]]],
+                     dtype=np.float64)
+        lo, hi = min_max_dihedral_many(q)
+        expect = math.degrees(math.acos(1.0 / 3.0))
+        assert lo[0] == pytest.approx(expect, abs=1e-9)
+        assert hi[0] == pytest.approx(expect, abs=1e-9)
+
+    def test_zero_area_face_contributes_zero(self):
+        # Vertex 2 collinear with the 0-1 edge: faces containing that
+        # edge pair have zero area; scalar convention is a 0 deg angle.
+        q = np.array([[[0, 0, 0], [1, 0, 0], [2, 0, 0], [0, 0, 1]]],
+                     dtype=np.float64)
+        lo, _hi = min_max_dihedral_many(q)
+        slo, _shi = min_max_dihedral(*as_points(q[0]))
+        assert lo[0] == pytest.approx(slo, abs=1e-9)
+        assert lo[0] == 0.0
+
+
+class TestQualityScreen:
+    def test_gathers_from_soa(self):
+        quads = random_quads(16, seed=3)
+        coords = quads.reshape(-1, 3)
+        tet_verts = np.arange(64, dtype=np.int64).reshape(16, 4)
+        ids = np.array([0, 5, 11, 15])
+        ratios, ses = quality_screen(coords, tet_verts, ids)
+        assert ratios.shape == (4,)
+        for out_i, tet_i in enumerate(ids):
+            pts = as_points(quads[tet_i])
+            assert ses[out_i] == pytest.approx(
+                shortest_edge(*pts), rel=1e-12)
+            assert ratios[out_i] == pytest.approx(
+                radius_edge_ratio(*pts), rel=1e-9)
+
+    def test_empty_ids(self):
+        ratios, ses = quality_screen(
+            np.zeros((4, 3)), np.zeros((1, 4), dtype=np.int64),
+            np.empty(0, dtype=np.int64))
+        assert ratios.shape == (0,) and ses.shape == (0,)
+
+
+def test_quality_report_matches_scalar_loop():
+    """quality_report (now batch-backed) equals a scalar re-derivation."""
+    from repro.core.extract import ExtractedMesh
+    from repro.geometry.quality import tet_volume
+    from repro.metrics.stats import quality_report
+
+    rng = np.random.default_rng(7)
+    verts = rng.uniform(0.0, 4.0, size=(20, 3))
+    tets = np.array([[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11],
+                     [12, 13, 14, 15], [16, 17, 18, 19]])
+    mesh = ExtractedMesh(
+        vertices=verts, tets=tets,
+        tet_labels=np.ones(len(tets), dtype=np.int32),
+        boundary_faces=np.array([[0, 1, 2]]),
+        boundary_labels=np.ones(1, dtype=np.int32),
+    )
+    rep = quality_report(mesh)
+
+    max_re = 0.0
+    min_d, max_d = 180.0, 0.0
+    vol = 0.0
+    for tet in tets:
+        pts = [tuple(map(float, verts[v])) for v in tet]
+        re = radius_edge_ratio(*pts)
+        if math.isfinite(re):
+            max_re = max(max_re, re)
+        lo, hi = min_max_dihedral(*pts)
+        min_d, max_d = min(min_d, lo), max(max_d, hi)
+        vol += abs(tet_volume(*pts))
+
+    assert rep.max_radius_edge == pytest.approx(max_re, rel=1e-9)
+    assert rep.min_dihedral_deg == pytest.approx(min_d, abs=1e-8)
+    assert rep.max_dihedral_deg == pytest.approx(max_d, abs=1e-8)
+    assert rep.total_volume == pytest.approx(vol, rel=1e-9)

@@ -1,0 +1,343 @@
+"""Meshing-service acceptance tests: cache, EDT sharing, concurrency.
+
+These exercise the PR's acceptance criteria end to end:
+
+* a cold run followed by an identical request is served from the
+  artifact cache — topology-identical and an order of magnitude faster;
+* two requests sharing an image but differing in mesh parameters
+  compute the EDT exactly once;
+* a mixed burst of concurrent requests over a small worker pool ends
+  with every job terminal, overflow rejected (not dropped), and
+  transient failures recovered within the retry budget;
+* cancelling a queued job wins the race against worker pickup.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import MeshRequest
+from repro.imaging import sphere_phantom
+from repro.service import (
+    Job,
+    JobState,
+    MeshingService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    TransientMeshError,
+)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return sphere_phantom(12)
+
+
+@pytest.fixture(scope="module")
+def template_result(image):
+    """A real (small) MeshResult for fake meshers to return."""
+    from repro.api import mesh
+    return mesh(MeshRequest(image=image, delta=3.0, mesher="sequential"))
+
+
+class FakeMesher:
+    """Scriptable mesher for overlay injection."""
+
+    name = "fake"
+
+    def __init__(self, result, delay=0.0, fail_first=0,
+                 exc_type=TransientMeshError, block_event=None):
+        self.result = result
+        self.delay = delay
+        self.fail_first = fail_first
+        self.exc_type = exc_type
+        self.block_event = block_event
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def mesh(self, request):
+        with self._lock:
+            self.calls += 1
+            n = self.calls
+        if self.block_event is not None:
+            self.block_event.wait(10.0)
+        if self.delay:
+            time.sleep(self.delay)
+        if n <= self.fail_first:
+            raise self.exc_type(f"injected failure #{n}")
+        return self.result
+
+
+def fake_request(image, seed=0, delta=3.0):
+    """A request routed to the 'fake' overlay mesher."""
+    return MeshRequest(image=image, delta=delta, mesher="fake", seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# cache behaviour
+# ---------------------------------------------------------------------------
+
+class TestArtifactCacheRoundTrip:
+    def test_warm_hit_is_topology_identical_and_fast(self, image, tmp_path):
+        """Cold run, then same request against a *fresh* service sharing
+        only the disk cache: the mesh must round-trip through JSON
+        byte-identically and come back >=10x faster."""
+        cache_dir = str(tmp_path / "artifacts")
+        req = MeshRequest(image=image, delta=3.0, mesher="sequential")
+
+        with ServiceClient(ServiceConfig(
+                n_workers=1, cache_dir=cache_dir)) as client:
+            t0 = time.perf_counter()
+            cold = client.mesh(req)
+            cold_seconds = time.perf_counter() - t0
+            snap = client.metrics()
+            assert snap["counters"]["service.cache.miss"] == 1
+
+        # Fresh service, empty memory LRU: the hit must come from disk,
+        # proving the serialization round-trip (not object identity).
+        with ServiceClient(ServiceConfig(
+                n_workers=1, cache_dir=cache_dir)) as client:
+            t0 = time.perf_counter()
+            warm = client.mesh(MeshRequest(
+                image=image, delta=3.0, mesher="sequential"))
+            warm_seconds = time.perf_counter() - t0
+            snap = client.metrics()
+            assert snap["counters"]["service.cache.hit"] == 1
+
+        assert warm is not cold
+        np.testing.assert_array_equal(warm.mesh.tets, cold.mesh.tets)
+        np.testing.assert_array_equal(warm.mesh.vertices, cold.mesh.vertices)
+        np.testing.assert_array_equal(warm.mesh.tet_labels,
+                                      cold.mesh.tet_labels)
+        np.testing.assert_array_equal(warm.mesh.boundary_faces,
+                                      cold.mesh.boundary_faces)
+        assert warm_seconds < cold_seconds / 10.0
+
+    def test_different_params_miss(self, image):
+        with ServiceClient(ServiceConfig(n_workers=1)) as client:
+            client.mesh(MeshRequest(image=image, delta=3.0,
+                                    mesher="sequential"))
+            client.mesh(MeshRequest(image=image, delta=4.0,
+                                    mesher="sequential"))
+            snap = client.metrics()
+            assert snap["counters"]["service.cache.miss"] == 2
+            assert snap["counters"].get("service.cache.hit", 0) == 0
+
+    def test_size_function_requests_are_uncacheable(self, image):
+        req = MeshRequest(image=image, delta=3.0, mesher="sequential",
+                          size_function=lambda p: 3.0)
+        with ServiceClient(ServiceConfig(n_workers=1)) as client:
+            client.mesh(req)
+            snap = client.metrics()
+            assert snap["counters"]["service.jobs.uncacheable"] == 1
+            assert "service.cache.miss" not in snap["counters"]
+
+
+class TestEDTSharedAcrossRequests:
+    def test_edt_computed_once_for_two_param_sets(self, image):
+        """Same image, different delta: mesh cache misses twice but the
+        feature transform is computed exactly once."""
+        with ServiceClient(ServiceConfig(n_workers=1)) as client:
+            client.mesh(MeshRequest(image=image, delta=3.0,
+                                    mesher="sequential"))
+            client.mesh(MeshRequest(image=image, delta=4.0,
+                                    mesher="sequential"))
+            snap = client.metrics()
+        assert snap["counters"]["service.cache.miss"] == 2
+        assert snap["gauges"]["edt.cache.computes"] == 1
+        assert snap["gauges"]["edt.cache.hits"] >= 1
+
+    def test_edt_hook_restored_after_shutdown(self, image):
+        from repro.imaging import edt as edt_module
+        before = edt_module.set_feature_transform_cache(None)
+        edt_module.set_feature_transform_cache(before)
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        service.shutdown()
+        after = edt_module.set_feature_transform_cache(None)
+        edt_module.set_feature_transform_cache(after)
+        assert after is before
+
+
+# ---------------------------------------------------------------------------
+# concurrency soak
+# ---------------------------------------------------------------------------
+
+class TestConcurrentMixedWorkload:
+    def test_soak_all_terminal_no_deadlock(self, image, template_result):
+        """32+ concurrent mixed requests over 4 workers: every job ends
+        terminal, overflow is REJECTED (never silently dropped), and
+        transient failures recover within the retry budget."""
+        cfg = ServiceConfig(n_workers=4, queue_capacity=16,
+                            max_retries=2, retry_backoff=0.001)
+        service = MeshingService(cfg).start()
+        flaky = FakeMesher(template_result, delay=0.01, fail_first=3)
+        service.register_mesher("fake", flaky)
+        try:
+            jobs = []
+            for i in range(36):
+                jobs.append(service.submit(
+                    fake_request(image, seed=i % 6)))
+            for job in jobs:
+                assert job.wait(30.0), f"{job.id} not terminal (deadlock?)"
+            states = [j.state for j in jobs]
+            assert all(s in (JobState.DONE, JobState.REJECTED)
+                       for s in states), states
+            n_rejected = sum(s is JobState.REJECTED for s in states)
+            snap = service.metrics_snapshot()
+            # 36 submitted into a 16-slot queue: the overflow is an
+            # explicit outcome, and the books balance exactly.
+            assert snap["counters"]["service.jobs.rejected"] == n_rejected
+            assert (snap["counters"]["service.jobs.completed"]
+                    == 36 - n_rejected)
+            # The three injected transient failures were retried, never
+            # surfaced as FAILED.
+            assert snap["counters"]["service.jobs.retries"] == 3
+            assert "service.jobs.failed" not in snap["counters"]
+            assert snap["gauges"]["service.workers.alive"] == 4
+        finally:
+            service.shutdown()
+
+    def test_submissions_from_many_threads(self, image, template_result):
+        """Admission itself is thread-safe: parallel submitters."""
+        service = MeshingService(ServiceConfig(
+            n_workers=4, queue_capacity=64)).start()
+        service.register_mesher("fake", FakeMesher(template_result))
+        jobs, lock = [], threading.Lock()
+
+        def submitter(k):
+            for i in range(8):
+                j = service.submit(fake_request(image, seed=k * 100 + i))
+                with lock:
+                    jobs.append(j)
+
+        try:
+            threads = [threading.Thread(target=submitter, args=(k,))
+                       for k in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(jobs) == 32
+            for job in jobs:
+                assert job.wait(30.0)
+                assert job.state is JobState.DONE
+            ids = [j.id for j in jobs]
+            assert len(set(ids)) == 32  # ids unique under contention
+        finally:
+            service.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# cancellation race
+# ---------------------------------------------------------------------------
+
+class TestCancelRace:
+    def test_cancel_queued_job_before_pickup(self, image, template_result):
+        """With the single worker wedged on a blocking mesher, a queued
+        job cancelled before pickup must never run."""
+        gate = threading.Event()
+        blocking = FakeMesher(template_result, block_event=gate)
+        service = MeshingService(ServiceConfig(
+            n_workers=1, queue_capacity=8)).start()
+        service.register_mesher("fake", blocking)
+        try:
+            wedge = service.submit(fake_request(image, seed=1))
+            # Wait until the worker has actually claimed the wedge job.
+            for _ in range(200):
+                if wedge.state is JobState.RUNNING:
+                    break
+                time.sleep(0.005)
+            assert wedge.state is JobState.RUNNING
+
+            victim = service.submit(fake_request(image, seed=2))
+            assert victim.state is JobState.QUEUED
+            calls_before = blocking.calls
+            assert service.cancel(victim.id) is True
+            assert victim.state is JobState.CANCELLED
+            # Eager removal: the queue slot is freed immediately.
+            assert len(service.queue) == 0
+
+            gate.set()
+            assert wedge.wait(10.0)
+            assert wedge.state is JobState.DONE
+            # The cancelled job was never handed to the mesher.
+            assert blocking.calls == calls_before
+            assert victim.state is JobState.CANCELLED
+        finally:
+            gate.set()
+            service.shutdown()
+
+    def test_cancel_loses_to_running_job(self, image, template_result):
+        gate = threading.Event()
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        service.register_mesher(
+            "fake", FakeMesher(template_result, block_event=gate))
+        try:
+            job = service.submit(fake_request(image))
+            for _ in range(200):
+                if job.state is JobState.RUNNING:
+                    break
+                time.sleep(0.005)
+            assert job.state is JobState.RUNNING
+            assert service.cancel(job.id) is False  # CAS lost: it runs
+            gate.set()
+            assert job.wait(10.0)
+            assert job.state is JobState.DONE
+        finally:
+            gate.set()
+            service.shutdown()
+
+    def test_cancel_unknown_job(self):
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        try:
+            assert service.cancel("job-999999") is False
+        finally:
+            service.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# facade semantics
+# ---------------------------------------------------------------------------
+
+class TestServiceClientFacade:
+    def test_mesh_raises_service_error_on_failure(self, image,
+                                                  template_result):
+        service = MeshingService(ServiceConfig(
+            n_workers=1, max_retries=0)).start()
+        service.register_mesher("fake", FakeMesher(
+            template_result, fail_first=99, exc_type=ValueError))
+        client = ServiceClient(service=service)
+        try:
+            with pytest.raises(ServiceError) as exc_info:
+                client.mesh(fake_request(image))
+            job = exc_info.value.job
+            assert isinstance(job, Job)
+            assert job.state is JobState.FAILED
+        finally:
+            service.shutdown()
+
+    def test_borrowed_service_survives_client_close(self, image):
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        try:
+            client = ServiceClient(service=service)
+            client.close()
+            job = service.submit(MeshRequest(
+                image=image, delta=3.0, mesher="sequential"))
+            assert job.wait(30.0)
+            assert job.state is JobState.DONE
+        finally:
+            service.shutdown()
+
+    def test_job_summary_is_json_safe(self, image):
+        import json
+        with ServiceClient(ServiceConfig(n_workers=1)) as client:
+            job = client.submit(MeshRequest(
+                image=image, delta=3.0, mesher="sequential"))
+            client.wait(job, 30.0)
+            doc = json.dumps(job.summary())
+            assert "DONE" in doc

@@ -1,0 +1,270 @@
+"""NDJSON protocol and front-ends: stdio stream and Unix socket.
+
+The stream front must answer every line — malformed JSON, unknown ops,
+bad params — with an error response and keep serving; the socket front
+must serve concurrent clients against one shared service.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import MeshResult
+from repro.imaging import sphere_phantom
+from repro.io import save_image_npz
+from repro.service import MeshingService, ServiceConfig, SocketServiceClient
+from repro.service.frontend import UnixSocketFrontend, serve_stream
+from repro.service.protocol import (
+    decode_line,
+    encode,
+    error_response,
+)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return sphere_phantom(12)
+
+
+@pytest.fixture(scope="module")
+def image_npz(image, tmp_path_factory):
+    path = tmp_path_factory.mktemp("img") / "sphere.npz"
+    save_image_npz(image, str(path))
+    return str(path)
+
+
+def run_stream(service, lines):
+    """Feed NDJSON lines through serve_stream; returns (exit, responses)."""
+    infile = io.StringIO("".join(json.dumps(m) + "\n" if isinstance(m, dict)
+                                 else m for m in lines))
+    outfile = io.StringIO()
+    code = serve_stream(service, infile, outfile)
+    responses = [json.loads(line) for line in
+                 outfile.getvalue().splitlines() if line]
+    return code, responses
+
+
+class TestDecodeEncode:
+    def test_round_trip(self):
+        msg = decode_line(encode({"op": "ping"}))
+        assert msg == {"op": "ping"}
+
+    @pytest.mark.parametrize("line", [
+        "not json\n", "[1, 2, 3]\n", '"just a string"\n',
+        '{"no_op": true}\n',
+    ])
+    def test_bad_lines_raise_protocol_error(self, line):
+        from repro.service.protocol import ProtocolError
+        with pytest.raises(ProtocolError):
+            decode_line(line)
+
+    def test_error_response_shape(self):
+        out = error_response("boom", "job-1")
+        assert out == {"ok": False, "error": "boom", "id": "job-1"}
+
+
+class TestStdioStream:
+    def test_full_session(self, image_npz):
+        """ping → mesh (miss) → mesh (hit) → submit/wait → metrics →
+        malformed line → shutdown, all on one stream, exit code 0."""
+        service = MeshingService(ServiceConfig(n_workers=2)).start()
+        try:
+            code, out = run_stream(service, [
+                {"op": "ping"},
+                {"op": "mesh", "image_path": image_npz,
+                 "params": {"mesher": "sequential", "delta": 3.0}},
+                {"op": "mesh", "image_path": image_npz,
+                 "params": {"mesher": "sequential", "delta": 3.0}},
+                {"op": "submit", "image_path": image_npz,
+                 "params": {"mesher": "sequential", "delta": 4.0},
+                 "id": "my-job"},
+                {"op": "wait", "id": "my-job"},
+                "this is not json\n",
+                {"op": "status", "id": "my-job"},
+                {"op": "metrics"},
+                {"op": "shutdown"},
+            ])
+        finally:
+            service.shutdown()
+        assert code == 0
+        ping, cold, warm, submitted, waited, bad, status, metrics, bye = out
+        assert ping == {"ok": True, "op": "pong"}
+        assert cold["ok"] and cold["state"] == "DONE"
+        assert cold["cache_hit"] is False and cold["n_tets"] > 0
+        assert warm["ok"] and warm["cache_hit"] is True
+        assert warm["n_tets"] == cold["n_tets"]
+        assert submitted["ok"] and submitted["id"] == "my-job"
+        assert waited["state"] == "DONE"
+        assert bad["ok"] is False and "bad JSON" in bad["error"]
+        assert status["state"] == "DONE"
+        assert metrics["metrics"]["counters"]["service.cache.hit"] == 1
+        assert bye == {"ok": True, "op": "shutdown"}
+
+    def test_inline_image(self, image):
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        try:
+            code, out = run_stream(service, [
+                {"op": "mesh",
+                 "image": {"labels": image.labels.tolist(),
+                           "spacing": list(image.spacing)},
+                 "params": {"mesher": "sequential", "delta": 3.0}},
+            ])
+        finally:
+            service.shutdown()
+        assert code == 0
+        assert out[0]["ok"] and out[0]["n_tets"] > 0
+
+    def test_return_mesh_inlines_arrays(self, image_npz):
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        try:
+            _, out = run_stream(service, [
+                {"op": "mesh", "image_path": image_npz,
+                 "params": {"mesher": "sequential", "delta": 3.0},
+                 "return_mesh": True},
+            ])
+        finally:
+            service.shutdown()
+        result = MeshResult.from_dict(out[0]["result"])
+        assert result.n_tets == out[0]["n_tets"]
+        assert np.asarray(result.mesh.tets).shape[1] == 4
+
+    def test_errors_answered_not_raised(self, image_npz):
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        try:
+            code, out = run_stream(service, [
+                {"op": "frobnicate"},
+                {"op": "mesh"},  # no image at all
+                {"op": "mesh", "image_path": "/nonexistent/img.npz"},
+                {"op": "mesh", "image_path": image_npz,
+                 "params": {"detla": 3.0}},  # typo'd param
+                {"op": "wait"},  # missing id
+                {"op": "status", "id": "job-404"},
+                {"op": "cancel", "id": "job-404"},
+            ])
+        finally:
+            service.shutdown()
+        assert code == 0
+        assert len(out) == 7
+        assert all(r["ok"] is False for r in out)
+        assert "unknown op" in out[0]["error"]
+        assert "image" in out[1]["error"]
+        assert "detla" in out[3]["error"]
+        assert "needs an 'id'" in out[4]["error"]
+        assert "unknown job" in out[5]["error"]
+
+    def test_eof_without_shutdown_is_clean(self):
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        try:
+            code, out = run_stream(service, [{"op": "ping"}])
+        finally:
+            service.shutdown()
+        assert code == 0 and len(out) == 1
+
+
+class TestUnixSocket:
+    def test_concurrent_clients_share_cache(self, image_npz, tmp_path):
+        sock_path = str(tmp_path / "svc.sock")
+        service = MeshingService(ServiceConfig(n_workers=2)).start()
+        front = UnixSocketFrontend(service, sock_path)
+        server = threading.Thread(target=front.serve_forever, daemon=True)
+        server.start()
+        try:
+            with SocketServiceClient(sock_path, timeout=60.0) as c1:
+                assert c1.request({"op": "ping"})["op"] == "pong"
+                cold = c1.mesh_path(image_npz, params={
+                    "mesher": "sequential", "delta": 3.0})
+                assert cold["state"] == "DONE"
+
+                # Second connection: same service, so the artifact cache
+                # and job namespace are shared.
+                with SocketServiceClient(sock_path, timeout=60.0) as c2:
+                    warm = c2.mesh_path(image_npz, params={
+                        "mesher": "sequential", "delta": 3.0})
+                    assert warm["cache_hit"] is True
+                    assert warm["n_tets"] == cold["n_tets"]
+                    metrics = c2.metrics()["metrics"]
+                    assert metrics["counters"]["service.cache.hit"] == 1
+
+                # submit on c1, observe on c2 path via status op
+                sub = c1.request({
+                    "op": "submit", "image_path": image_npz,
+                    "params": {"mesher": "sequential", "delta": 4.0}})
+                assert sub["ok"]
+                done = c1.request({"op": "wait", "id": sub["id"]})
+                assert done["state"] == "DONE"
+        finally:
+            front.stop()
+            server.join(5.0)
+            service.shutdown()
+
+    def test_shutdown_op_stops_server(self, tmp_path):
+        sock_path = str(tmp_path / "svc.sock")
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        front = UnixSocketFrontend(service, sock_path)
+        server = threading.Thread(target=front.serve_forever, daemon=True)
+        server.start()
+        try:
+            with SocketServiceClient(sock_path, timeout=10.0) as client:
+                assert client.request({"op": "shutdown"})["ok"] is True
+            server.join(5.0)
+            assert not server.is_alive()
+            import os
+            assert not os.path.exists(sock_path)  # socket file cleaned up
+        finally:
+            front.stop()
+            service.shutdown()
+
+    def test_malformed_line_keeps_connection(self, tmp_path):
+        sock_path = str(tmp_path / "svc.sock")
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        front = UnixSocketFrontend(service, sock_path)
+        server = threading.Thread(target=front.serve_forever, daemon=True)
+        server.start()
+        try:
+            with SocketServiceClient(sock_path, timeout=10.0) as client:
+                client._file.write(b"garbage\n")
+                client._file.flush()
+                bad = json.loads(client._file.readline())
+                assert bad["ok"] is False
+                # Connection still serves after the bad line.
+                assert client.request({"op": "ping"})["op"] == "pong"
+        finally:
+            front.stop()
+            server.join(5.0)
+            service.shutdown()
+
+
+class TestCliServe:
+    def test_serve_stdio_subprocess(self, image_npz, tmp_path):
+        """`repro serve` over pipes: the packaged CLI entry end to end."""
+        import subprocess
+        import sys
+        script = (
+            f"import json, sys\n"
+            f"from repro.cli import main\n"
+            f"sys.argv = ['repro', 'serve', '--workers', '1']\n"
+            f"sys.exit(main())\n"
+        )
+        lines = "".join(json.dumps(m) + "\n" for m in [
+            {"op": "ping"},
+            {"op": "mesh", "image_path": image_npz,
+             "params": {"mesher": "sequential", "delta": 3.0}},
+            {"op": "shutdown"},
+        ])
+        proc = subprocess.run(
+            [sys.executable, "-c", script], input=lines,
+            capture_output=True, text=True, timeout=300,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd="/root/repo",
+        )
+        assert proc.returncode == 0, proc.stderr
+        out = [json.loads(line) for line in proc.stdout.splitlines()
+               if line.startswith("{")]
+        assert out[0] == {"ok": True, "op": "pong"}
+        assert out[1]["state"] == "DONE" and out[1]["n_tets"] > 0
+        assert out[2] == {"ok": True, "op": "shutdown"}
