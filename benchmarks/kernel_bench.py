@@ -1,18 +1,21 @@
-"""Insertion hot-path micro-benchmark with a JSON artifact and a
+"""Kernel hot-path micro-benchmarks with a JSON artifact and a
 regression gate.
 
-Runs the canonical seeded insertion workload (the same one
-``test_micro_kernels.py::test_bench_insertion_throughput`` and the
-``tests/data/kernel_parity.json`` goldens use) through both kernel
+Runs three canonical seeded workloads (the same family the
+``tests/data/kernel_parity.json`` goldens pin) through both kernel
 paths:
 
-* ``python``  — the pure-Python filtered-predicate kernel
-  (accelerator disabled for the measurement);
-* ``accel``   — the C insertion accelerator, when it compiled.
+* ``insert``  — scalar hint-chained insertion, pure-Python vs the C
+  accelerator;
+* ``removal`` — vertex removal (build a triangulation, remove interior
+  vertices), pure-Python hole filling vs the C removal kernel;
+* ``batch``   — ``insert_many`` batched insertion vs the scalar accel
+  loop (amortised ctypes crossings).
 
 and writes ``BENCH_kernels.json`` (default:
-``benchmarks/results/BENCH_kernels.json``) holding both throughputs,
-the committed pre-overhaul baseline, and the accel/python speedup.
+``benchmarks/results/BENCH_kernels.json``, schema 2) holding the
+throughputs, the committed pre-overhaul baseline, and the
+accel/python speedups for every workload.
 
 ``--check-regression`` turns the run into a CI gate.  Absolute
 throughput is machine-dependent, so the gate is ratio-based: the
@@ -35,9 +38,28 @@ import pathlib
 import random
 import sys
 import time
+from contextlib import contextmanager
 
 from repro import _accel
-from repro.delaunay import Triangulation3D
+from repro.delaunay import RemovalError, Triangulation3D
+
+# Every ctypes entry point the kernel dispatches on.  Disabling the
+# accelerator for a measurement must null ALL of them — each call site
+# checks its own handle, so nulling only ``bw_insert`` would leave the
+# removal/batch/commit paths accelerated.
+_HANDLE_NAMES = ("bw_insert", "bw_commit", "bw_insert_many", "bw_remove")
+
+
+@contextmanager
+def _accel_disabled():
+    saved = {name: getattr(_accel, name) for name in _HANDLE_NAMES}
+    for name in _HANDLE_NAMES:
+        setattr(_accel, name, None)
+    try:
+        yield
+    finally:
+        for name, handle in saved.items():
+            setattr(_accel, name, handle)
 
 # Throughput of the pre-overhaul pure-Python kernel on the reference
 # machine (committed with the kernel overhaul PR; the "before" column
@@ -50,9 +72,22 @@ GATE_FRACTION = 0.8
 # Floor for the pure-Python path relative to itself: it must complete
 # the workload at all and not collapse (compiler-less CI fallback).
 PYTHON_FLOOR_INSERTS_PER_SECOND = 300.0
+# Accel/python vertex-removal speedup on the reference machine when the
+# C removal kernel landed (acceptance floor was 3x; gate allows a 20%
+# drop from the committed reference).
+REMOVAL_REFERENCE_SPEEDUP = 3.0
+# Batched insert_many vs the scalar accel loop on the reference machine.
+BATCH_REFERENCE_SPEEDUP = 1.2
 
 N_POINTS = 400
 SEED = 7
+
+# Removal workload: the insert_remove golden's shape (build, then strip
+# interior vertices).
+REMOVE_SEED = 21
+REMOVE_N_POINTS = 250
+REMOVE_COUNT = 80
+REMOVE_SHUFFLE_SEED = 5
 
 DEFAULT_OUTPUT = (
     pathlib.Path(__file__).parent / "results" / "BENCH_kernels.json"
@@ -76,30 +111,84 @@ def _insert_all(points):
     return tri
 
 
-def _measure(points, repeats):
+def _insert_batched(points):
+    tri = Triangulation3D((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    tri.insert_many(points)
+    return tri
+
+
+def _measure(points, repeats, fn=_insert_all):
     """Best-of-``repeats`` insertion throughput (inserts per second)."""
     best = float("inf")
     tri = None
     for _ in range(repeats):
         t0 = time.perf_counter()
-        tri = _insert_all(points)
+        tri = fn(points)
         dt = time.perf_counter() - t0
         best = min(best, dt)
     return len(points) / best, tri
 
 
+def _removal_workload():
+    rng = random.Random(REMOVE_SEED)
+    return [
+        tuple(rng.uniform(0.05, 0.95) for _ in range(3))
+        for _ in range(REMOVE_N_POINTS)
+    ]
+
+
+def _build_removal_tri():
+    """Fresh triangulation + deterministic victim order for one repeat.
+
+    The build always runs with whatever accelerator is loaded — only
+    the removal loop itself is timed (and, for the python measurement,
+    de-accelerated)."""
+    tri = Triangulation3D((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    inserted = tri.insert_many(_removal_workload())
+    verts = [v for v in inserted if v is not None]
+    random.Random(REMOVE_SHUFFLE_SEED).shuffle(verts)
+    return tri, verts
+
+
+def _remove_loop(tri, verts):
+    t0 = time.perf_counter()
+    n = 0
+    for v in verts:
+        try:
+            tri.remove_vertex(v)
+        except RemovalError:
+            continue
+        n += 1
+        if n >= REMOVE_COUNT:
+            break
+    return n, time.perf_counter() - t0
+
+
+def _measure_removals(repeats, use_accel):
+    """Best-of-``repeats`` vertex-removal throughput (removals/second)."""
+    best = float("inf")
+    tri = None
+    n_removed = 0
+    for _ in range(repeats):
+        tri, verts = _build_removal_tri()
+        if use_accel:
+            n, dt = _remove_loop(tri, verts)
+        else:
+            with _accel_disabled():
+                n, dt = _remove_loop(tri, verts)
+        best = min(best, dt)
+        n_removed = n
+    return n_removed / best, tri
+
+
 def run(fast=False, check_regression=False, output=DEFAULT_OUTPUT):
     repeats = 3 if fast else 7
     points = _workload()
-    saved = _accel.bw_insert
+    accel_available = _accel.bw_insert is not None
 
-    _accel.bw_insert = None
-    try:
+    with _accel_disabled():
         py_ips, py_tri = _measure(points, repeats)
-    finally:
-        _accel.bw_insert = saved
 
-    accel_available = saved is not None
     if accel_available:
         accel_ips, accel_tri = _measure(points, repeats)
         c = accel_tri.counters
@@ -115,14 +204,67 @@ def run(fast=False, check_regression=False, output=DEFAULT_OUTPUT):
         accel_detail = {"inserts_per_second": None}
         speedup = None
 
+    # --- vertex-removal workload -------------------------------------
+    rm_repeats = max(2, repeats // 2)  # each repeat rebuilds the mesh
+    py_rps, _ = _measure_removals(rm_repeats, use_accel=False)
+    if accel_available:
+        accel_rps, rm_tri = _measure_removals(rm_repeats, use_accel=True)
+        rm_c = rm_tri.counters
+        rm_speedup = accel_rps / py_rps
+        removal = {
+            "python_removals_per_second": round(py_rps, 1),
+            "accel_removals_per_second": round(accel_rps, 1),
+            "accel_removals": rm_c.accel_removals,
+            "accel_remove_retries": rm_c.accel_remove_retries,
+            "speedup": round(rm_speedup, 2),
+            "reference_speedup": REMOVAL_REFERENCE_SPEEDUP,
+        }
+    else:
+        accel_rps = None
+        rm_speedup = None
+        removal = {
+            "python_removals_per_second": round(py_rps, 1),
+            "accel_removals_per_second": None,
+            "speedup": None,
+            "reference_speedup": REMOVAL_REFERENCE_SPEEDUP,
+        }
+
+    # --- batched insertion workload ----------------------------------
+    if accel_available:
+        batch_ips, batch_tri = _measure(points, repeats, fn=_insert_batched)
+        bc = batch_tri.counters
+        batch_speedup = batch_ips / accel_ips
+        batch = {
+            "scalar_inserts_per_second": round(accel_ips, 1),
+            "batched_inserts_per_second": round(batch_ips, 1),
+            "batch_inserts": bc.accel_batch_inserts,
+            "ctypes_crossings": bc.accel_batch_calls,
+            "speedup": round(batch_speedup, 2),
+            "reference_speedup": BATCH_REFERENCE_SPEEDUP,
+        }
+    else:
+        batch_speedup = None
+        batch = {
+            "scalar_inserts_per_second": None,
+            "batched_inserts_per_second": None,
+            "speedup": None,
+            "reference_speedup": BATCH_REFERENCE_SPEEDUP,
+        }
+
     doc = {
-        "schema": 1,
+        "schema": 2,
         "workload": {
             "name": "insert-uniform-box",
             "seed": SEED,
             "n_points": N_POINTS,
             "repeats": repeats,
             "n_tets": py_tri.n_tets,
+            "removal": {
+                "seed": REMOVE_SEED,
+                "n_points": REMOVE_N_POINTS,
+                "n_removed": REMOVE_COUNT,
+                "repeats": rm_repeats,
+            },
         },
         "pre_overhaul_baseline": {
             "inserts_per_second": PRE_OVERHAUL_INSERTS_PER_SECOND,
@@ -135,6 +277,8 @@ def run(fast=False, check_regression=False, output=DEFAULT_OUTPUT):
             round(speedup, 2) if speedup is not None else None
         ),
         "reference_speedup": REFERENCE_SPEEDUP,
+        "removal": removal,
+        "batch": batch,
     }
 
     output = pathlib.Path(output)
@@ -146,21 +290,47 @@ def run(fast=False, check_regression=False, output=DEFAULT_OUTPUT):
         print(f"accel path  : {accel_ips:>10,.1f} inserts/s "
               f"(speedup {speedup:.2f}x, retries "
               f"{accel_detail['accel_retries']})")
+        print(f"removal     : {accel_rps:>10,.1f} removals/s vs "
+              f"{py_rps:,.1f} python ({rm_speedup:.2f}x, retries "
+              f"{removal['accel_remove_retries']})")
+        print(f"batched     : {batch['batched_inserts_per_second']:>10,.1f}"
+              f" inserts/s vs scalar accel ({batch_speedup:.2f}x, "
+              f"{batch['ctypes_crossings']} crossings)")
     else:
         print("accel path  : unavailable (no C compiler or REPRO_NO_ACCEL)")
+        print(f"removal     : {py_rps:>10,.1f} removals/s (python only)")
     print(f"wrote {output}")
 
     if not check_regression:
         return 0
     if accel_available:
+        failed = False
         floor = GATE_FRACTION * REFERENCE_SPEEDUP
         if speedup < floor:
             print(f"REGRESSION: accel/python speedup {speedup:.2f}x is "
                   f"below the gate {floor:.2f}x "
                   f"(80% of reference {REFERENCE_SPEEDUP}x)",
                   file=sys.stderr)
+            failed = True
+        rm_floor = GATE_FRACTION * REMOVAL_REFERENCE_SPEEDUP
+        if rm_speedup < rm_floor:
+            print(f"REGRESSION: removal speedup {rm_speedup:.2f}x is "
+                  f"below the gate {rm_floor:.2f}x "
+                  f"(80% of reference {REMOVAL_REFERENCE_SPEEDUP}x)",
+                  file=sys.stderr)
+            failed = True
+        batch_floor = GATE_FRACTION * BATCH_REFERENCE_SPEEDUP
+        if batch_speedup < batch_floor:
+            print(f"REGRESSION: batched-insert speedup {batch_speedup:.2f}x "
+                  f"is below the gate {batch_floor:.2f}x "
+                  f"(80% of reference {BATCH_REFERENCE_SPEEDUP}x)",
+                  file=sys.stderr)
+            failed = True
+        if failed:
             return 1
-        print(f"regression gate OK: speedup {speedup:.2f}x >= {floor:.2f}x")
+        print(f"regression gate OK: insert {speedup:.2f}x >= {floor:.2f}x, "
+              f"removal {rm_speedup:.2f}x >= {rm_floor:.2f}x, "
+              f"batch {batch_speedup:.2f}x >= {batch_floor:.2f}x")
     else:
         if py_ips < PYTHON_FLOOR_INSERTS_PER_SECOND:
             print(f"REGRESSION: python path {py_ips:.1f} inserts/s is "

@@ -34,9 +34,27 @@ DEFAULT_REPORT = RESULTS_DIR / "BENCH_trend.txt"
 
 
 def record(bench_path: pathlib.Path, history_path: pathlib.Path,
-           label: str) -> dict:
-    """Append one history record distilled from a BENCH_kernels.json."""
-    doc = json.loads(bench_path.read_text())
+           label: str):
+    """Append one history record distilled from a BENCH_kernels.json.
+
+    Returns the record, or ``None`` when the bench file is absent or
+    unreadable — a skipped/failed bench run must not take the trend
+    report (and the CI step behind it) down with it.
+    """
+    if not bench_path.exists():
+        print(f"warning: no benchmark results at {bench_path}; "
+              "nothing recorded", file=sys.stderr)
+        return None
+    try:
+        doc = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"warning: unreadable benchmark results {bench_path}: {exc}",
+              file=sys.stderr)
+        return None
+    if not isinstance(doc, dict) or not doc:
+        print(f"warning: empty benchmark results {bench_path}; "
+              "nothing recorded", file=sys.stderr)
+        return None
     accel = doc.get("accel_path", {})
     rec = {
         "label": label,
@@ -47,6 +65,9 @@ def record(bench_path: pathlib.Path, history_path: pathlib.Path,
         "accel_available": bool(accel.get("available")),
         "speedup": doc.get("speedup_accel_over_python"),
         "reference_speedup": doc.get("reference_speedup"),
+        # schema 2: vertex-removal and batched-insertion workloads
+        "removal_speedup": doc.get("removal", {}).get("speedup"),
+        "batch_speedup": doc.get("batch", {}).get("speedup"),
     }
     history_path.parent.mkdir(parents=True, exist_ok=True)
     with open(history_path, "a", encoding="utf-8") as fh:
@@ -84,12 +105,15 @@ def render(history: list, drift_threshold: float) -> str:
         "kernel benchmark trend (insert-uniform-box)",
         "",
         f"{'label':<24} {'python ips':>12} {'accel ips':>12} "
-        f"{'speedup':>8}  note",
-        "-" * 72,
+        f"{'speedup':>8} {'rm x':>7} {'batch x':>7}  note",
+        "-" * 88,
     ]
     best = max((r.get("speedup") or 0.0 for r in history), default=0.0)
+    best_rm = max((r.get("removal_speedup") or 0.0 for r in history),
+                  default=0.0)
     for r in history:
         speedup = r.get("speedup")
+        rm = r.get("removal_speedup")
         note = ""
         if not r.get("accel_available"):
             note = "accel unavailable"
@@ -97,11 +121,17 @@ def render(history: list, drift_threshold: float) -> str:
             drop = 1.0 - speedup / best
             if drop > drift_threshold:
                 note = f"DRIFT -{drop:.0%} vs best {best:.2f}x"
+            elif best_rm > 0 and rm is not None:
+                rm_drop = 1.0 - rm / best_rm
+                if rm_drop > drift_threshold:
+                    note = (f"RM DRIFT -{rm_drop:.0%} "
+                            f"vs best {best_rm:.2f}x")
         lines.append(
             f"{str(r.get('label', '?')):<24.24} "
             f"{_fmt(r.get('python_inserts_per_second'), 12)} "
             f"{_fmt(r.get('accel_inserts_per_second'), 12)} "
-            f"{_fmt(speedup, 8, 2)}  {note}"
+            f"{_fmt(speedup, 8, 2)} {_fmt(rm, 7, 2)} "
+            f"{_fmt(r.get('batch_speedup'), 7, 2)}  {note}"
         )
     if not history:
         lines.append("(no history recorded yet)")
@@ -127,8 +157,12 @@ def main(argv=None) -> int:
     history_path = pathlib.Path(args.history)
     if args.record:
         rec = record(pathlib.Path(args.record), history_path, args.label)
-        print(f"recorded {rec['label']}: speedup "
-              f"{rec['speedup'] if rec['speedup'] is not None else 'n/a'}")
+        if rec is None:
+            print("no benchmark results to record; rendering existing "
+                  "history (if any)")
+        else:
+            print(f"recorded {rec['label']}: speedup "
+                  f"{rec['speedup'] if rec['speedup'] is not None else 'n/a'}")
 
     report = render(load_history(history_path), args.drift_threshold)
     out = pathlib.Path(args.output)

@@ -1,18 +1,21 @@
-"""Optional C accelerator for the Bowyer-Watson insertion hot path.
+"""Optional C accelerator for the Bowyer-Watson hot paths.
 
-When a C compiler is available, :data:`bw_insert` holds a ctypes handle
-to the kernel in ``bw_kernel.c`` (compiled once, cached by source hash);
-otherwise it is ``None`` and the pure-Python kernel runs unchanged.  The
-C routine drives one whole sequential insert attempt (walk, cavity
-search, validation, commit) directly on the mesh's struct-of-arrays
-buffers.  On any inconclusive floating point filter it returns *without
-mutating anything* and the caller re-runs the Python filtered/exact
-path, so meshes are bit-identical with and without the accelerator —
-the C path is purely an execution strategy, never a semantic change.
+When a C compiler is available, :data:`bw_insert`, :data:`bw_commit`,
+:data:`bw_insert_many` and :data:`bw_remove` hold ctypes handles to the
+kernels in ``bw_kernel.c`` (compiled once, cached by source hash);
+otherwise they are ``None`` and the pure-Python kernels run unchanged.
+The C routines drive whole hot-loop bodies (walk, cavity search,
+validation, commit; batched insertion; gift-wrap hole filling) directly
+on the mesh's struct-of-arrays buffers.  On any inconclusive floating
+point filter they return *without mutating anything* and the caller
+re-runs the Python filtered/exact path, so meshes are bit-identical
+with and without the accelerator — the C path is purely an execution
+strategy, never a semantic change.
 
-Set ``REPRO_NO_ACCEL=1`` to disable the accelerator (e.g. to benchmark
-the pure-Python kernel, or to rule it out while debugging).  Compile
-and load failures degrade silently to the Python path.
+Set ``REPRO_ACCEL=0`` (or the older ``REPRO_NO_ACCEL=1``) to disable
+the accelerator (e.g. to benchmark the pure-Python kernel, or to rule
+it out while debugging).  Compile and load failures degrade silently to
+the Python path.
 """
 
 from __future__ import annotations
@@ -27,12 +30,16 @@ from pathlib import Path
 
 import numpy as np
 
-# Status codes returned by bw_insert (keep in sync with bw_kernel.c).
+# Status codes returned by bw_insert / bw_commit (keep in sync with
+# bw_kernel.c).
 OK = 0
 RETRY = 1
 ERR_DUP = 2
 ERR_FACE = 3
 ERR_CLOSED = 4
+
+# bw_remove returns a fill-tet count >= 0 or this retry sentinel.
+REMOVE_RETRY = -1
 
 _SRC = Path(__file__).with_name("bw_kernel.c")
 
@@ -43,10 +50,29 @@ _SCRATCH_CAP = 4096
 _TABLE_CAP = 16384  # power of two; >= 2 * 3 * _SCRATCH_CAP for sparsity
 _FREE_CAP = 256
 
+# Batched insertion: points per ctypes crossing, internal free-stack
+# depth, and replay-record capacity (the batch stops early, with
+# progress, when a record would overflow).
+_BATCH_CAP = 512
+_FSTK_CAP = 8192
+_REC_CAP = 1 << 16
 
-def _compile():
-    """Compile (cached) and load the kernel; None on any failure."""
+# Vertex removal: advancing-front entry slots (9 ints each), fill-tet
+# capacity, and the largest link the C path accepts.
+_ENT_CAP = 8192
+_FILL_CAP = 2048
+_LINK_CAP = 4096
+
+
+def _disabled() -> bool:
     if os.environ.get("REPRO_NO_ACCEL"):
+        return True
+    return os.environ.get("REPRO_ACCEL", "").strip() == "0"
+
+
+def _load():
+    """Compile (cached) and load the kernel library; None on failure."""
+    if _disabled():
         return None
     try:
         source = _SRC.read_bytes()
@@ -80,32 +106,49 @@ def _compile():
         except (OSError, subprocess.SubprocessError):
             return None
     try:
-        fn = ctypes.CDLL(str(so)).bw_insert
-    except (OSError, AttributeError):
+        return ctypes.CDLL(str(so))
+    except OSError:
+        return None
+
+
+def _handle(lib, name: str, nargs: int):
+    if lib is None:
+        return None
+    try:
+        fn = getattr(lib, name)
+    except AttributeError:
         return None
     fn.restype = ctypes.c_int64
-    fn.argtypes = [ctypes.c_void_p] * 16
+    fn.argtypes = [ctypes.c_void_p] * nargs
     return fn
 
 
-bw_insert = _compile()
+_LIB = _load()
+bw_insert = _handle(_LIB, "bw_insert", 16)
+bw_commit = _handle(_LIB, "bw_commit", 14)
+bw_insert_many = _handle(_LIB, "bw_insert_many", 19)
+bw_remove = _handle(_LIB, "bw_remove", 9)
 AVAILABLE = bw_insert is not None
 
 
 class AccelScratch:
-    """Per-triangulation scratch buffers + cached pointers for bw_insert.
+    """Per-consumer scratch buffers + cached pointers for the kernels.
 
-    The argument tuple of raw pointers is rebuilt only when one of the
+    The argument tuples of raw pointers are rebuilt only when one of the
     mesh's arrays is reallocated (growth), which keeps the per-call
     ctypes overhead to the function call itself.  The tag array and the
     edge hash table are epoch-stamped by the caller's generation
-    counter, so they are never cleared.
+    counter, so they are never cleared.  The batched-insertion and
+    removal buffers are allocated lazily on first use.
     """
 
     __slots__ = (
         "cav", "bnd", "newt", "stk", "ekey", "estamp", "eval_", "pairs",
         "free_top", "in_f", "in_i", "out_i", "tag",
-        "_coords", "_tv", "_adj", "_args",
+        "fstk", "fwin", "rec", "pts",
+        "faces", "link", "ents", "cand", "fill", "canon",
+        "_coords", "_tv", "_adj", "_args", "_args_commit", "_args_many",
+        "_args_remove",
     )
 
     def __init__(self) -> None:
@@ -122,10 +165,23 @@ class AccelScratch:
         self.in_i = np.zeros(16, dtype=np.int64)
         self.out_i = np.zeros(16, dtype=np.int64)
         self.tag = None
+        self.fstk = None
+        self.fwin = None
+        self.rec = None
+        self.pts = None
+        self.faces = None
+        self.link = None
+        self.ents = None
+        self.cand = None
+        self.fill = None
+        self.canon = None
         self._coords = None
         self._tv = None
         self._adj = None
         self._args = None
+        self._args_commit = None
+        self._args_many = None
+        self._args_remove = None
 
     def _bind(self, mesh) -> None:
         coords = mesh.coords
@@ -149,6 +205,21 @@ class AccelScratch:
                         self.ekey, self.estamp, self.eval_, self.pairs,
                         self.in_f, self.in_i, self.out_i)
         )
+        self._args_commit = tuple(
+            p(arr.ctypes.data)
+            for arr in (coords, tv, adj, self.free_top, self.cav,
+                        self.bnd, self.newt, self.ekey, self.estamp,
+                        self.eval_, self.pairs, self.in_f, self.in_i,
+                        self.out_i)
+        )
+        self._args_many = None  # rebuilt lazily (batch buffers)
+        self._args_remove = None
+
+    def _fill_window(self, mesh, n_free_total: int) -> int:
+        n_avail = n_free_total if n_free_total < _FREE_CAP else _FREE_CAP
+        if n_avail:
+            self.free_top[:n_avail] = mesh._free_tets[-n_avail:][::-1]
+        return n_avail
 
     def insert(self, mesh, px, py, pz, seed_tet, rng_state, gen, vnew,
                n_free_total) -> int:
@@ -158,19 +229,151 @@ class AccelScratch:
         in_f[0] = px
         in_f[1] = py
         in_f[2] = pz
-        n_avail = n_free_total if n_free_total < _FREE_CAP else _FREE_CAP
-        if n_avail:
-            self.free_top[:n_avail] = mesh._free_tets[-n_avail:][::-1]
+        n_avail = self._fill_window(mesh, n_free_total)
         in_i = self.in_i
         in_i[0] = seed_tet
         in_i[1] = rng_state
         in_i[2] = mesh.n_live_tets
         in_i[3] = gen
         in_i[4] = vnew
-        in_i[5] = len(mesh.tet_verts)
+        in_i[5] = mesh.tet_top
         in_i[6] = self._adj.shape[0]
         in_i[7] = n_avail
         in_i[8] = n_free_total
         in_i[9] = _SCRATCH_CAP
         in_i[10] = _TABLE_CAP
         return bw_insert(*self._args)
+
+    def commit(self, mesh, px, py, pz, gen, vnew, n_free_total,
+               cavity, boundary_codes) -> int:
+        """Commit a precomputed cavity (two-phase path); BW_* status.
+
+        ``cavity`` is the list of cavity tet ids, ``boundary_codes`` the
+        ``t*4+i`` codes in the Python kernel's emission order.  Returns
+        ``RETRY`` without calling C when the cavity exceeds the scratch.
+        """
+        ncav = len(cavity)
+        nb = len(boundary_codes)
+        if ncav > _SCRATCH_CAP or nb > _SCRATCH_CAP:
+            return RETRY
+        self._bind(mesh)
+        self.cav[:ncav] = cavity
+        self.bnd[:nb] = boundary_codes
+        in_f = self.in_f
+        in_f[0] = px
+        in_f[1] = py
+        in_f[2] = pz
+        n_avail = self._fill_window(mesh, n_free_total)
+        in_i = self.in_i
+        in_i[0] = gen
+        in_i[1] = vnew
+        in_i[2] = mesh.tet_top
+        in_i[3] = self._adj.shape[0]
+        in_i[4] = n_avail
+        in_i[5] = n_free_total
+        in_i[6] = _TABLE_CAP
+        in_i[7] = ncav
+        in_i[8] = nb
+        return bw_commit(*self._args_commit)
+
+    def _bind_many(self) -> None:
+        if self.fstk is None:
+            self.fstk = np.empty(_FSTK_CAP, dtype=np.int32)
+            self.fwin = np.empty(_SCRATCH_CAP, dtype=np.int32)
+            self.rec = np.empty(_REC_CAP, dtype=np.int32)
+            self.pts = np.empty((_BATCH_CAP, 3), dtype=np.float64)
+        if self._args_many is None:
+            p = ctypes.c_void_p
+            self._args_many = tuple(
+                p(arr.ctypes.data)
+                for arr in (self._coords, self._tv, self._adj, self.tag,
+                            self.free_top, self.cav, self.bnd, self.newt,
+                            self.stk, self.ekey, self.estamp, self.eval_,
+                            self.pairs, self.fstk, self.fwin, self.rec,
+                            self.pts, self.in_i, self.out_i)
+            )
+
+    def insert_many(self, mesh, points, seed_tet, rng_state, gen0,
+                    v_base, n_free_total) -> np.ndarray:
+        """Run one batched insertion crossing over ``points``.
+
+        ``points`` is a sequence of (x, y, z); at most ``_BATCH_CAP``
+        are attempted.  Returns the ``out_i`` array (``n_done``,
+        ``n_gens``, rng state, last located tet, counter totals, record
+        length, live/tail totals); replay records are in ``self.rec``.
+        """
+        self._bind(mesh)
+        self._bind_many()
+        npts = min(len(points), _BATCH_CAP)
+        self.pts[:npts] = points[:npts]
+        n_avail = n_free_total if n_free_total < _FSTK_CAP else _FSTK_CAP
+        if n_avail > _FREE_CAP:
+            free = np.asarray(mesh._free_tets[-n_avail:], dtype=np.int32)
+            if self.free_top.shape[0] < n_avail:
+                self.free_top = np.empty(n_avail, dtype=np.int32)
+                self._args = None
+                self._coords = None  # force pointer rebuild
+                self._bind(mesh)
+                self._bind_many()
+            self.free_top[:n_avail] = free[::-1]
+        else:
+            n_avail = self._fill_window(mesh, n_free_total)
+        in_i = self.in_i
+        in_i[0] = seed_tet
+        in_i[1] = rng_state
+        in_i[2] = mesh.n_live_tets
+        in_i[3] = gen0
+        in_i[4] = v_base
+        in_i[5] = mesh.tet_top
+        in_i[6] = self._adj.shape[0]
+        in_i[7] = n_avail
+        in_i[8] = n_free_total
+        in_i[9] = _SCRATCH_CAP
+        in_i[10] = _TABLE_CAP
+        in_i[11] = npts
+        in_i[12] = mesh.coords.shape[0]
+        in_i[13] = _FSTK_CAP
+        in_i[14] = _REC_CAP
+        bw_insert_many(*self._args_many)
+        return self.out_i
+
+    def _bind_remove(self, mesh) -> None:
+        self._bind(mesh)
+        if self.ents is None:
+            self.ents = np.empty(9 * _ENT_CAP, dtype=np.int32)
+            self.cand = np.empty(_LINK_CAP, dtype=np.int32)
+            self.fill = np.empty(4 * _FILL_CAP, dtype=np.int32)
+            self.canon = np.empty(4 * _FILL_CAP, dtype=np.int32)
+            self.faces = np.empty(5 * _ENT_CAP, dtype=np.int32)
+            self.link = np.empty(_LINK_CAP, dtype=np.int32)
+        if self._args_remove is None:
+            p = ctypes.c_void_p
+            self._args_remove = tuple(
+                p(arr.ctypes.data)
+                for arr in (self._coords, self.faces, self.link, self.ents,
+                            self.cand, self.fill, self.canon, self.in_i,
+                            self.out_i)
+            )
+
+    def remove(self, mesh, faces_flat, link_sorted, n_ball) -> int:
+        """Run the gift-wrap hole-filling kernel.
+
+        ``faces_flat`` is ``nh*5`` ints ([template0..3, slot] per hole
+        face in insertion order), ``link_sorted`` the sorted link vertex
+        ids.  Returns the fill-tet count (rows in ``self.fill``) or
+        ``REMOVE_RETRY``; never mutates the mesh.
+        """
+        nh = len(faces_flat) // 5
+        nl = len(link_sorted)
+        if nh > _ENT_CAP or nl > _LINK_CAP:
+            return REMOVE_RETRY
+        self._bind_remove(mesh)
+        self.faces[:5 * nh] = faces_flat
+        self.link[:nl] = link_sorted
+        in_i = self.in_i
+        in_i[0] = nh
+        in_i[1] = nl
+        in_i[2] = n_ball
+        in_i[3] = _ENT_CAP
+        in_i[4] = _FILL_CAP
+        return bw_remove(*self._args_remove)

@@ -1,9 +1,21 @@
-/* Bowyer-Watson insertion hot path.
+/* Bowyer-Watson kernels: insertion, batched insertion, pre-validated
+ * commit, and vertex-removal hole filling.
  *
  * Compiled on demand (see __init__.py) and driven through ctypes on the
- * mesh's struct-of-arrays buffers.  The routine performs ONE insertion
- * attempt: remembering walk -> cavity search -> validation -> closure
- * check -> commit.
+ * mesh's struct-of-arrays buffers.  Four entry points share the same
+ * building blocks:
+ *
+ * - bw_insert        one insertion attempt: remembering walk -> cavity
+ *                    search -> validation -> closure check -> commit.
+ * - bw_insert_many   a batch of insertion attempts amortizing the
+ *                    ctypes crossing; stops (with progress) at the
+ *                    first point it cannot finish conclusively.
+ * - bw_commit        validation + closure + commit of a cavity the
+ *                    caller already computed (the two-phase speculative
+ *                    path: Python acquires every vertex lock first,
+ *                    then this commits lock-free).
+ * - bw_remove        gift-wrap hole filling for vertex removal (the
+ *                    predicate-heavy inner loop of the removal path).
  *
  * Contract with the Python kernel (delaunay/triangulation.py):
  *
@@ -19,16 +31,18 @@
  * - Traversal orders replicate the Python implementation exactly — the
  *   walk's face order comes from the same inline LCG state, the cavity
  *   is enumerated by the same depth-first stack discipline, boundary
- *   faces are emitted in the same sequence, and new tet slots are drawn
- *   from the free-list top (LIFO) before fresh tail slots.  These orders
- *   determine new tet ids and therefore the entire downstream mesh, so
- *   they are part of the deterministic output contract
+ *   faces are emitted in the same sequence, new tet slots are drawn
+ *   from the free-list top (LIFO) before fresh tail slots, and the
+ *   removal front replicates dict popitem()/del semantics.  These
+ *   orders determine new tet ids and therefore the entire downstream
+ *   mesh, so they are part of the deterministic output contract
  *   (tests/test_kernel_parity.py).
- * - Mutation is strictly deferred: phase A (walk, cavity, validation,
- *   closure) only reads mesh arrays and writes caller-owned scratch;
- *   phase B writes the mesh arrays and cannot fail.  Error returns
- *   (duplicate point / point on a cavity face / open boundary) are
- *   decided before any mutation, mirroring InsertionError semantics.
+ * - Mutation is strictly deferred: the read phases (walk, cavity,
+ *   validation, closure, hole filling) only read mesh arrays and write
+ *   caller-owned scratch; the commit phase writes the mesh arrays and
+ *   cannot fail.  Error returns (duplicate point / point on a cavity
+ *   face / open boundary) are decided before any mutation, mirroring
+ *   InsertionError semantics.
  *
  * The edge hash table and the cavity tag array are epoch-stamped with
  * the caller's generation counter, so they are never cleared between
@@ -144,61 +158,27 @@ static int insphere_tet(const double *coords, const int32_t *v,
                       coords + 3 * (int64_t)v[3], ex, ey, ez);
 }
 
-/* One insertion attempt.
- *
- * in_f:  [px, py, pz]
- * in_i:  [seed_tet, rng_state, n_live_tets, gen, vnew, tail, cap_t,
- *         n_free_avail, n_free_total, scratch_cap, table_cap]
- * out_i: [ncav, nb, consumed_free, n_fresh, walk_steps, rng_state_out,
- *         located_tet, n_orient, n_insphere]
- *
- * tag is an epoch-stamped per-tet scratch (>= cap_t entries); gen and
- * gen+1 mark in-cavity / checked-out for this call only.  ekey/estamp/
- * eval form the epoch-stamped edge hash table (table_cap a power of 2).
- * free_top holds the next n_free_avail free-list pops (top first) out
- * of n_free_total total entries.
- */
-int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
-                  int64_t *tag, const int32_t *free_top, int32_t *cav,
-                  int32_t *bnd, int32_t *newt, int32_t *stk, int64_t *ekey,
-                  int64_t *estamp, int32_t *eval, int32_t *pairs,
-                  const double *in_f, const int64_t *in_i, int64_t *out_i)
+/* ---- phase A1: remembering walk (read-only).  *t_io / *state_io are
+ * updated in place; returns BW_OK when *t_io contains the point. ---- */
+static int64_t walk_locate(const double *coords, const int32_t *tv,
+                           const int32_t *adj, double px, double py,
+                           double pz, int64_t n_live, int64_t *t_io,
+                           uint64_t *state_io, int64_t *steps_io,
+                           int64_t *n_orient_io)
 {
-    const double px = in_f[0], py = in_f[1], pz = in_f[2];
-    int64_t t = in_i[0];
-    uint64_t state = (uint64_t)in_i[1];
-    const int64_t n_live = in_i[2];
-    const int64_t gen = in_i[3];
-    const int64_t genout = gen + 1;
-    const int32_t vnew = (int32_t)in_i[4];
-    const int64_t tail = in_i[5];
-    const int64_t cap_t = in_i[6];
-    const int64_t n_avail = in_i[7];
-    const int64_t n_free_total = in_i[8];
-    const int64_t scap = in_i[9];
-    const int64_t tcap = in_i[10];
-
-    int64_t ncav = 0, nb = 0, consumed = 0, nfresh = 0;
-    int64_t steps = 0, n_orient = 0, n_insphere = 0;
-
-#define FINISH(code)                                                        \
-    do {                                                                    \
-        out_i[0] = ncav; out_i[1] = nb;                                     \
-        out_i[2] = consumed; out_i[3] = nfresh;                             \
-        out_i[4] = steps; out_i[5] = (int64_t)state;                        \
-        out_i[6] = t; out_i[7] = n_orient; out_i[8] = n_insphere;           \
-        return (code);                                                      \
-    } while (0)
-
-    /* ---- phase A1: remembering walk (read-only) ---- */
+    int64_t t = *t_io;
+    uint64_t state = *state_io;
     const int64_t max_steps = n_live * 2 + 64;
+    int64_t steps = 0;
     for (;;) {
         if (steps >= max_steps)
             return BW_RETRY; /* cycling: let Python raise */
         steps++;
         const int32_t *v = tv + 4 * t;
-        if (v[0] < 0)
+        if (v[0] < 0) {
+            *steps_io += steps;
             return BW_RETRY; /* tet died under our feet */
+        }
         double pq[3] = {px, py, pz};
         const double *q[4] = {coords + 3 * (int64_t)v[0],
                               coords + 3 * (int64_t)v[1],
@@ -213,13 +193,17 @@ int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
             q[i] = pq;
             int s = orient3d_f(q[0], q[1], q[2], q[3]);
             q[i] = save;
-            n_orient++;
-            if (s == 2)
+            (*n_orient_io)++;
+            if (s == 2) {
+                *steps_io += steps;
                 return BW_RETRY;
+            }
             if (s < 0) {
                 int32_t nbr = adj[4 * t + i];
-                if (nbr < 0)
+                if (nbr < 0) {
+                    *steps_io += steps;
                     return BW_RETRY; /* escapes the box: Python raises */
+                }
                 t = nbr;
                 moved = 1;
                 break;
@@ -228,20 +212,36 @@ int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
         if (!moved)
             break;
     }
+    *t_io = t;
+    *state_io = state;
+    *steps_io += steps;
+    return BW_OK;
+}
 
-    /* ---- phase A2: cavity search (reads mesh, writes scratch) ---- */
+/* ---- phase A2: cavity search (reads mesh, writes scratch).  Emits the
+ * cavity tets into cav[] and boundary codes (tt*4+i) into bnd[] in the
+ * exact depth-first order of the Python kernel. ---- */
+static int64_t cavity_search(const double *coords, const int32_t *tv,
+                             const int32_t *adj, int64_t *tag, int32_t *cav,
+                             int32_t *bnd, int32_t *stk, double px, double py,
+                             double pz, int64_t t0, int64_t gen, int64_t scap,
+                             int64_t *ncav_out, int64_t *nb_out,
+                             int64_t *n_insphere_io)
+{
+    const int64_t genout = gen + 1;
+    int64_t ncav = 0, nb = 0;
     {
-        int s0 = insphere_tet(coords, tv + 4 * t, px, py, pz);
-        n_insphere++;
+        int s0 = insphere_tet(coords, tv + 4 * t0, px, py, pz);
+        (*n_insphere_io)++;
         if (s0 == 2)
             return BW_RETRY;
         if (s0 < 0)
-            FINISH(BW_ERR_DUP); /* located tet not in conflict */
+            return BW_ERR_DUP; /* located tet not in conflict */
     }
-    tag[t] = gen;
-    cav[ncav++] = (int32_t)t;
+    tag[t0] = gen;
+    cav[ncav++] = (int32_t)t0;
     int64_t sp = 0;
-    stk[sp++] = (int32_t)t;
+    stk[sp++] = (int32_t)t0;
     while (sp > 0) {
         int64_t tt = stk[--sp];
         const int32_t *arow = adj + 4 * tt;
@@ -263,7 +263,7 @@ int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
                 continue;
             }
             int s = insphere_tet(coords, tv + 4 * (int64_t)nbr, px, py, pz);
-            n_insphere++;
+            (*n_insphere_io)++;
             if (s == 2)
                 return BW_RETRY;
             if (s > 0) {
@@ -280,10 +280,32 @@ int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
             }
         }
     }
+    *ncav_out = ncav;
+    *nb_out = nb;
+    return BW_OK;
+}
 
-    /* ---- phase A3: validation — every new tet (boundary face with the
-     * cavity-side vertex replaced by p) must be strictly positively
-     * oriented, i.e. the cavity is star-shaped around p. ---- */
+/* ---- phases A3-B: validation, closure check, slot allocation, commit.
+ * cav/bnd hold a precomputed cavity; nothing is mutated on a non-OK
+ * return.  free_top holds the next n_avail free-list pops (top first)
+ * out of n_free_total total entries; allocation beyond the visible
+ * window (or past cap_t) RETRYs. ---- */
+static int64_t commit_cavity(const double *coords, int32_t *tv, int32_t *adj,
+                             const int32_t *free_top, const int32_t *cav,
+                             const int32_t *bnd, int32_t *newt, int64_t *ekey,
+                             int64_t *estamp, int32_t *eval, int32_t *pairs,
+                             double px, double py, double pz, int64_t gen,
+                             int32_t vnew, int64_t tail, int64_t cap_t,
+                             int64_t n_avail, int64_t n_free_total,
+                             int64_t tcap, int64_t ncav, int64_t nb,
+                             int64_t *consumed_out, int64_t *nfresh_out,
+                             int64_t *n_orient_io)
+{
+    int64_t consumed = 0, nfresh = 0;
+
+    /* A3: every new tet (boundary face with the cavity-side vertex
+     * replaced by p) must be strictly positively oriented, i.e. the
+     * cavity is star-shaped around p. */
     for (int64_t r = 0; r < nb; r++) {
         int64_t tt = bnd[r] >> 2;
         int ii = bnd[r] & 3;
@@ -293,17 +315,17 @@ int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
         for (int j = 0; j < 4; j++)
             q[j] = (j == ii) ? pq : coords + 3 * (int64_t)w[j];
         int o = orient3d_f(q[0], q[1], q[2], q[3]);
-        n_orient++;
+        (*n_orient_io)++;
         if (o == 2)
             return BW_RETRY;
         if (o < 0)
-            FINISH(BW_ERR_FACE);
+            return BW_ERR_FACE;
     }
 
-    /* ---- phase A4: closed-surface check + internal-face pairing.
-     * Each boundary-triangle edge must be shared by exactly two
-     * boundary faces; the two new tets over those faces are adjacent
-     * across the local slot opposite the edge. ---- */
+    /* A4: closed-surface check + internal-face pairing.  Each
+     * boundary-triangle edge must be shared by exactly two boundary
+     * faces; the two new tets over those faces are adjacent across the
+     * local slot opposite the edge. */
     if (3 * nb > tcap / 2)
         return BW_RETRY; /* keep the open-addressing table sparse */
     const uint64_t mask = (uint64_t)(tcap - 1);
@@ -339,7 +361,7 @@ int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
                 if (ekey[idx] == key) {
                     int32_t prev = eval[idx];
                     if (prev < 0) /* third face on one edge */
-                        FINISH(BW_ERR_CLOSED);
+                        return BW_ERR_CLOSED;
                     pairs[2 * npairs] = prev;
                     pairs[2 * npairs + 1] = (int32_t)(r * 4 + slot);
                     npairs++;
@@ -351,10 +373,10 @@ int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
         }
     }
     if (npairs * 2 != 3 * nb)
-        FINISH(BW_ERR_CLOSED); /* some edge only appeared once */
+        return BW_ERR_CLOSED; /* some edge only appeared once */
 
-    /* ---- phase A5: slot allocation (scratch only; mirrors the
-     * free-list LIFO pops then fresh tail slots of add_tets_batch) ---- */
+    /* A5: slot allocation (scratch only; mirrors the free-list LIFO
+     * pops then fresh tail slots of add_tets_batch). */
     for (int64_t r = 0; r < nb; r++) {
         int32_t slot;
         if (consumed < n_avail) {
@@ -370,7 +392,7 @@ int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
         newt[r] = slot;
     }
 
-    /* ---- phase B: commit (cannot fail) ---- */
+    /* phase B: commit (cannot fail). */
     for (int64_t r = 0; r < nb; r++) {
         int64_t tt = bnd[r] >> 2;
         int ii = bnd[r] & 3;
@@ -404,6 +426,457 @@ int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
         int32_t *q = tv + 4 * (int64_t)cav[j];
         q[0] = q[1] = q[2] = q[3] = -1;
     }
-    FINISH(BW_OK);
+    *consumed_out = consumed;
+    *nfresh_out = nfresh;
+    return BW_OK;
+}
+
+/* One insertion attempt.
+ *
+ * in_f:  [px, py, pz]
+ * in_i:  [seed_tet, rng_state, n_live_tets, gen, vnew, tail, cap_t,
+ *         n_free_avail, n_free_total, scratch_cap, table_cap]
+ * out_i: [ncav, nb, consumed_free, n_fresh, walk_steps, rng_state_out,
+ *         located_tet, n_orient, n_insphere]
+ *
+ * tag is an epoch-stamped per-tet scratch (>= cap_t entries); gen and
+ * gen+1 mark in-cavity / checked-out for this call only.  ekey/estamp/
+ * eval form the epoch-stamped edge hash table (table_cap a power of 2).
+ * free_top holds the next n_free_avail free-list pops (top first) out
+ * of n_free_total total entries.
+ */
+int64_t bw_insert(const double *coords, int32_t *tv, int32_t *adj,
+                  int64_t *tag, const int32_t *free_top, int32_t *cav,
+                  int32_t *bnd, int32_t *newt, int32_t *stk, int64_t *ekey,
+                  int64_t *estamp, int32_t *eval, int32_t *pairs,
+                  const double *in_f, const int64_t *in_i, int64_t *out_i)
+{
+    const double px = in_f[0], py = in_f[1], pz = in_f[2];
+    int64_t t = in_i[0];
+    uint64_t state = (uint64_t)in_i[1];
+    const int64_t gen = in_i[3];
+
+    int64_t ncav = 0, nb = 0, consumed = 0, nfresh = 0;
+    int64_t steps = 0, n_orient = 0, n_insphere = 0;
+    int64_t code;
+
+#define FINISH(c)                                                           \
+    do {                                                                    \
+        out_i[0] = ncav; out_i[1] = nb;                                     \
+        out_i[2] = consumed; out_i[3] = nfresh;                             \
+        out_i[4] = steps; out_i[5] = (int64_t)state;                        \
+        out_i[6] = t; out_i[7] = n_orient; out_i[8] = n_insphere;           \
+        return (c);                                                         \
+    } while (0)
+
+    code = walk_locate(coords, tv, adj, px, py, pz, in_i[2], &t, &state,
+                       &steps, &n_orient);
+    if (code != BW_OK)
+        return code;
+    code = cavity_search(coords, tv, adj, tag, cav, bnd, stk, px, py, pz, t,
+                         gen, in_i[9], &ncav, &nb, &n_insphere);
+    if (code == BW_RETRY)
+        return code;
+    if (code != BW_OK)
+        FINISH(code);
+    code = commit_cavity(coords, tv, adj, free_top, cav, bnd, newt, ekey,
+                         estamp, eval, pairs, px, py, pz, gen,
+                         (int32_t)in_i[4], in_i[5], in_i[6], in_i[7],
+                         in_i[8], in_i[10], ncav, nb, &consumed, &nfresh,
+                         &n_orient);
+    if (code == BW_RETRY)
+        return code;
+    FINISH(code);
 #undef FINISH
+}
+
+/* Commit a cavity the caller already computed and lock-validated (the
+ * two-phase speculative path).  cav holds ncav cavity tet ids, bnd the
+ * nb boundary codes (tt*4+i) in Python's emission order.
+ *
+ * in_f:  [px, py, pz]
+ * in_i:  [gen, vnew, tail, cap_t, n_avail, n_free_total, table_cap,
+ *         ncav, nb]
+ * out_i: [consumed_free, n_fresh, n_orient]
+ */
+int64_t bw_commit(const double *coords, int32_t *tv, int32_t *adj,
+                  const int32_t *free_top, const int32_t *cav,
+                  const int32_t *bnd, int32_t *newt, int64_t *ekey,
+                  int64_t *estamp, int32_t *eval, int32_t *pairs,
+                  const double *in_f, const int64_t *in_i, int64_t *out_i)
+{
+    int64_t consumed = 0, nfresh = 0, n_orient = 0;
+    int64_t code = commit_cavity(
+        coords, tv, adj, free_top, cav, bnd, newt, ekey, estamp, eval, pairs,
+        in_f[0], in_f[1], in_f[2], in_i[0], (int32_t)in_i[1], in_i[2],
+        in_i[3], in_i[4], in_i[5], in_i[6], in_i[7], in_i[8], &consumed,
+        &nfresh, &n_orient);
+    out_i[0] = consumed;
+    out_i[1] = nfresh;
+    out_i[2] = n_orient;
+    return code;
+}
+
+/* A batch of insertion attempts (the initial-sampling fast path).
+ *
+ * Caller guarantees the vertex free list is empty, so the k-th
+ * committed point gets vertex id v_base + k; this routine writes the
+ * new coords rows itself so later points' predicates see them.  The tet
+ * free list is maintained internally in fstk (initialized from the
+ * top-first window free_top); the batch stops — reporting progress —
+ * at the first point needing anything it cannot do conclusively
+ * in-place (filter failure, growth, deep free-list entries, scratch
+ * overflow, any error status).  The walk seed for point k+1 is the tet
+ * located for point k (remembering walk).
+ *
+ * Per committed insert, rec receives
+ *   [ncav, nb, consumed, cav ids..., new tet ids..., 4*nb vert ids...]
+ * which is exactly what the Python side needs to replay its own
+ * bookkeeping (free lists, epochs, v2t anchors) in order.
+ *
+ * in_f:  the (npts, 3) points
+ * in_i:  [seed_tet, rng_state, n_live, gen0, v_base, tail, cap_t,
+ *         n_avail, n_free_total, scratch_cap, table_cap, npts, cap_v,
+ *         fstk_cap, rec_cap]
+ * out_i: [n_done, n_gens, rng_state_out, last_located, walk_steps,
+ *         n_orient, n_insphere, cavity_tets_total, rec_len, n_live_out,
+ *         tail_out]
+ */
+int64_t bw_insert_many(double *coords, int32_t *tv, int32_t *adj,
+                       int64_t *tag, const int32_t *free_top, int32_t *cav,
+                       int32_t *bnd, int32_t *newt, int32_t *stk,
+                       int64_t *ekey, int64_t *estamp, int32_t *eval,
+                       int32_t *pairs, int32_t *fstk, int32_t *fwin,
+                       int32_t *rec, const double *in_f, const int64_t *in_i,
+                       int64_t *out_i)
+{
+    int64_t t = in_i[0];
+    uint64_t state = (uint64_t)in_i[1];
+    int64_t n_live = in_i[2];
+    int64_t gen = in_i[3];
+    int64_t vnew = in_i[4];
+    int64_t tail = in_i[5];
+    const int64_t cap_t = in_i[6];
+    const int64_t n_avail = in_i[7];
+    const int64_t deep = in_i[8] - in_i[7]; /* free entries below window */
+    const int64_t scap = in_i[9];
+    const int64_t tcap = in_i[10];
+    const int64_t npts = in_i[11];
+    const int64_t cap_v = in_i[12];
+    const int64_t fstk_cap = in_i[13];
+    const int64_t rec_cap = in_i[14];
+
+    int64_t sp = 0;
+    for (int64_t j = 0; j < n_avail; j++) /* bottom-up: top ends last */
+        fstk[sp++] = free_top[n_avail - 1 - j];
+
+    int64_t n_done = 0, n_gens = 0, steps = 0;
+    int64_t n_orient = 0, n_insphere = 0, cav_total = 0, rec_len = 0;
+
+    for (int64_t k = 0; k < npts; k++) {
+        if (vnew >= cap_v)
+            break; /* coords need growth: Python path */
+        const double px = in_f[3 * k];
+        const double py = in_f[3 * k + 1];
+        const double pz = in_f[3 * k + 2];
+        int64_t ncav = 0, nb = 0, consumed = 0, nfresh = 0;
+        int64_t t_try = t;
+        uint64_t state_try = state;
+        n_gens++;
+        if (walk_locate(coords, tv, adj, px, py, pz, n_live, &t_try,
+                        &state_try, &steps, &n_orient) != BW_OK)
+            break;
+        if (cavity_search(coords, tv, adj, tag, cav, bnd, stk, px, py, pz,
+                          t_try, gen, scap, &ncav, &nb,
+                          &n_insphere) != BW_OK)
+            break; /* RETRY and ERR_DUP both resolve on the scalar path */
+        /* Visible free window for this insert: the top min(sp, nb)
+         * stack entries, top first. */
+        int64_t win = sp < nb ? sp : nb;
+        for (int64_t j = 0; j < win; j++)
+            fwin[j] = fstk[sp - 1 - j];
+        if (rec_len + 3 + ncav + 5 * nb > rec_cap)
+            break;
+        if (sp + ncav > fstk_cap)
+            break;
+        if (commit_cavity(coords, tv, adj, fwin, cav, bnd, newt, ekey,
+                          estamp, eval, pairs, px, py, pz, gen,
+                          (int32_t)vnew, tail, cap_t, win, sp + deep, tcap,
+                          ncav, nb, &consumed, &nfresh, &n_orient) != BW_OK)
+            break;
+        /* committed: update the local allocator state + replay record */
+        sp -= consumed;
+        for (int64_t j = 0; j < ncav; j++)
+            fstk[sp++] = cav[j];
+        rec[rec_len++] = (int32_t)ncav;
+        rec[rec_len++] = (int32_t)nb;
+        rec[rec_len++] = (int32_t)consumed;
+        for (int64_t j = 0; j < ncav; j++)
+            rec[rec_len++] = cav[j];
+        for (int64_t r = 0; r < nb; r++)
+            rec[rec_len++] = newt[r];
+        for (int64_t r = 0; r < nb; r++) {
+            const int32_t *dv = tv + 4 * (int64_t)newt[r];
+            rec[rec_len++] = dv[0];
+            rec[rec_len++] = dv[1];
+            rec[rec_len++] = dv[2];
+            rec[rec_len++] = dv[3];
+        }
+        double *cr = coords + 3 * vnew;
+        cr[0] = px;
+        cr[1] = py;
+        cr[2] = pz;
+        vnew++;
+        tail += nfresh;
+        n_live += nb - ncav;
+        cav_total += ncav;
+        /* The located tet just died with the cavity; seed the next walk
+         * from the first new tet (the scalar path's hint convention). */
+        t = newt[0];
+        state = state_try;
+        gen += 2;
+        n_done++;
+    }
+
+    out_i[0] = n_done;
+    out_i[1] = n_gens;
+    out_i[2] = (int64_t)state;
+    out_i[3] = t;
+    out_i[4] = steps;
+    out_i[5] = n_orient;
+    out_i[6] = n_insphere;
+    out_i[7] = cav_total;
+    out_i[8] = rec_len;
+    out_i[9] = n_live;
+    out_i[10] = tail;
+    return n_done;
+}
+
+/* ---- vertex removal: gift-wrap hole filling ----------------------------
+ *
+ * Replicates Triangulation3D._fill_hole_giftwrap exactly for the
+ * conclusive case: an advancing front seeded with the hole's boundary
+ * faces, apex selection by empty-circumsphere sweep over the sorted
+ * link.  ANY inconclusive filter — which includes every exact zero, and
+ * therefore every cospherical tie and every degenerate sweep the Python
+ * code has special handling for — returns BW_REMOVE_RETRY, and the
+ * caller re-runs the pure-Python strategies.  Nothing is mutated: the
+ * routine only reads coords and writes caller-owned scratch.
+ *
+ * The front replicates Python dict semantics: entries are appended in
+ * insertion order, popitem() takes the most recently inserted alive
+ * entry, cancellation tombstones an entry in place.  Lookups scan the
+ * alive entries linearly — fronts are tens of faces, so this beats a
+ * hash table's constant factor.
+ *
+ * faces:  nh * 5 ints: [template0..3, slot] per hole face, in
+ *         hole_faces insertion order (= ball order).
+ * link:   nl sorted link vertex ids.
+ * ents:   entry scratch, ent_cap * 9 ints:
+ *         [key0, key1, key2, t0, t1, t2, t3, slot, alive].
+ * cand:   nl ints (candidate scratch).
+ * fill:   fill_cap * 4 output tet ids (template order, apex at slot).
+ * canon:  fill_cap * 4 sorted tet ids (duplicate detection).
+ * in_i:   [nh, nl, n_ball, ent_cap, fill_cap]
+ * out_i:  [n_orient, n_insphere]
+ * Returns n_fill >= 0, or -1 (retry: run the Python strategies).
+ */
+#define BW_REMOVE_RETRY (-1)
+
+int64_t bw_remove(const double *coords, const int32_t *faces,
+                  const int32_t *link, int32_t *ents, int32_t *cand,
+                  int32_t *fill, int32_t *canon, const int64_t *in_i,
+                  int64_t *out_i)
+{
+    const int64_t nh = in_i[0];
+    const int64_t nl = in_i[1];
+    const int64_t n_ball = in_i[2];
+    const int64_t ent_cap = in_i[3];
+    const int64_t fill_cap = in_i[4];
+    int64_t n_orient = 0, n_insphere = 0;
+    int64_t n_ents = 0, n_alive = 0, n_fill = 0;
+
+#define REMOVE_DONE(r)                                                      \
+    do {                                                                    \
+        out_i[0] = n_orient; out_i[1] = n_insphere;                         \
+        return (r);                                                         \
+    } while (0)
+
+    if (nh > ent_cap)
+        REMOVE_DONE(BW_REMOVE_RETRY);
+    for (int64_t f = 0; f < nh; f++) {
+        const int32_t *src = faces + 5 * f;
+        int32_t *e = ents + 9 * n_ents;
+        int32_t k[3];
+        int nk = 0;
+        for (int j = 0; j < 4; j++)
+            if (j != src[4])
+                k[nk++] = src[j];
+        /* sort the 3 face ids (the dict key) */
+        int32_t tmp;
+        if (k[0] > k[1]) { tmp = k[0]; k[0] = k[1]; k[1] = tmp; }
+        if (k[1] > k[2]) { tmp = k[1]; k[1] = k[2]; k[2] = tmp; }
+        if (k[0] > k[1]) { tmp = k[0]; k[0] = k[1]; k[1] = tmp; }
+        e[0] = k[0]; e[1] = k[1]; e[2] = k[2];
+        e[3] = src[0]; e[4] = src[1]; e[5] = src[2]; e[6] = src[3];
+        e[7] = src[4];
+        e[8] = 1;
+        n_ents++;
+        n_alive++;
+    }
+
+    const int64_t max_iter = 8 * n_ball + 64;
+    int64_t it = 0;
+    int64_t top = n_ents - 1;
+    while (n_alive > 0) {
+        if (++it > max_iter)
+            REMOVE_DONE(BW_REMOVE_RETRY); /* did not converge */
+        while (top >= 0 && !ents[9 * top + 8])
+            top--;
+        int32_t *e = ents + 9 * top;
+        e[8] = 0;
+        n_alive--;
+        top--; /* the next popitem starts below (appends move it back up) */
+        int32_t template_[4] = {e[3], e[4], e[5], e[6]};
+        const int slot = e[7];
+
+        const double *q[4];
+        for (int j = 0; j < 4; j++)
+            q[j] = coords + 3 * (int64_t)template_[j];
+
+        int64_t n_cand = 0;
+        int32_t best = -1;
+        for (int64_t w = 0; w < nl; w++) {
+            int32_t cv = link[w];
+            if (cv == template_[(slot + 1) & 3]
+                || cv == template_[(slot + 2) & 3]
+                || cv == template_[(slot + 3) & 3])
+                continue; /* face vertex */
+            const double *save = q[slot];
+            q[slot] = coords + 3 * (int64_t)cv;
+            int o = orient3d_f(q[0], q[1], q[2], q[3]);
+            q[slot] = save;
+            n_orient++;
+            if (o == 2)
+                REMOVE_DONE(BW_REMOVE_RETRY);
+            if (o < 0)
+                continue;
+            cand[n_cand++] = cv;
+            if (best < 0) {
+                best = cv;
+                continue;
+            }
+            const double *b0 = q[0], *b1 = q[1], *b2 = q[2], *b3 = q[3];
+            const double *bq[4] = {b0, b1, b2, b3};
+            bq[slot] = coords + 3 * (int64_t)best;
+            const double *cp = coords + 3 * (int64_t)cv;
+            int s = insphere_f(bq[0], bq[1], bq[2], bq[3], cp[0], cp[1],
+                               cp[2]);
+            n_insphere++;
+            if (s == 2)
+                REMOVE_DONE(BW_REMOVE_RETRY);
+            if (s > 0)
+                best = cv;
+        }
+        if (best < 0) /* no apex: Python raises -> strategy fallback */
+            REMOVE_DONE(BW_REMOVE_RETRY);
+        /* Dominance re-check.  A conclusive s > 0 makes Python raise
+         * (strategy fallback); an exact zero (cospherical tie) is never
+         * conclusive here, so the tie handling stays in Python. */
+        {
+            const double *bq[4];
+            for (int j = 0; j < 4; j++)
+                bq[j] = (j == slot) ? coords + 3 * (int64_t)best : q[j];
+            for (int64_t w = 0; w < n_cand; w++) {
+                if (cand[w] == best)
+                    continue;
+                const double *cp = coords + 3 * (int64_t)cand[w];
+                int s = insphere_f(bq[0], bq[1], bq[2], bq[3], cp[0], cp[1],
+                                   cp[2]);
+                n_insphere++;
+                if (s != -1)
+                    REMOVE_DONE(BW_REMOVE_RETRY);
+            }
+        }
+
+        int32_t nv[4] = {template_[0], template_[1], template_[2],
+                         template_[3]};
+        nv[slot] = best;
+        if (n_fill >= fill_cap)
+            REMOVE_DONE(BW_REMOVE_RETRY);
+        {
+            int32_t c[4] = {nv[0], nv[1], nv[2], nv[3]};
+            int32_t tmp;
+            for (int a = 0; a < 3; a++)
+                for (int b = 0; b < 3 - a; b++)
+                    if (c[b] > c[b + 1]) {
+                        tmp = c[b]; c[b] = c[b + 1]; c[b + 1] = tmp;
+                    }
+            for (int64_t m = 0; m < n_fill; m++) {
+                const int32_t *cm = canon + 4 * m;
+                if (cm[0] == c[0] && cm[1] == c[1] && cm[2] == c[2]
+                    && cm[3] == c[3])
+                    REMOVE_DONE(BW_REMOVE_RETRY); /* repeated tet */
+            }
+            int32_t *cm = canon + 4 * n_fill;
+            cm[0] = c[0]; cm[1] = c[1]; cm[2] = c[2]; cm[3] = c[3];
+        }
+        int32_t *out = fill + 4 * n_fill;
+        out[0] = nv[0]; out[1] = nv[1]; out[2] = nv[2]; out[3] = nv[3];
+        n_fill++;
+
+        /* Push / cancel the three faces containing the new apex. */
+        for (int j = 0; j < 4; j++) {
+            if (j == slot)
+                continue;
+            int32_t k[3];
+            int nk = 0;
+            for (int m = 0; m < 4; m++)
+                if (m != j)
+                    k[nk++] = nv[m];
+            int32_t tmp;
+            if (k[0] > k[1]) { tmp = k[0]; k[0] = k[1]; k[1] = tmp; }
+            if (k[1] > k[2]) { tmp = k[1]; k[1] = k[2]; k[2] = tmp; }
+            if (k[0] > k[1]) { tmp = k[0]; k[0] = k[1]; k[1] = tmp; }
+            int64_t found = -1;
+            for (int64_t m = n_ents - 1; m >= 0; m--) {
+                int32_t *em = ents + 9 * m;
+                if (em[8] && em[0] == k[0] && em[1] == k[1] && em[2] == k[2]) {
+                    found = m;
+                    break;
+                }
+            }
+            if (found >= 0) {
+                ents[9 * found + 8] = 0;
+                n_alive--;
+            } else {
+                if (n_ents >= ent_cap)
+                    REMOVE_DONE(BW_REMOVE_RETRY);
+                /* Flip parity so an apex beyond this face orients
+                 * positively: swap two slots other than j. */
+                int32_t fv[4] = {nv[0], nv[1], nv[2], nv[3]};
+                int o0 = -1, o1 = -1;
+                for (int m = 0; m < 4; m++) {
+                    if (m == j)
+                        continue;
+                    if (o0 < 0)
+                        o0 = m;
+                    else if (o1 < 0)
+                        o1 = m;
+                }
+                tmp = fv[o0]; fv[o0] = fv[o1]; fv[o1] = tmp;
+                int32_t *en = ents + 9 * n_ents;
+                en[0] = k[0]; en[1] = k[1]; en[2] = k[2];
+                en[3] = fv[0]; en[4] = fv[1]; en[5] = fv[2]; en[6] = fv[3];
+                en[7] = j;
+                en[8] = 1;
+                if (n_ents > top)
+                    top = n_ents;
+                n_ents++;
+                n_alive++;
+            }
+        }
+    }
+    REMOVE_DONE(n_fill);
+#undef REMOVE_DONE
 }

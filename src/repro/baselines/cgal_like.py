@@ -121,7 +121,7 @@ class CGALLikeMesher:
         if hit is not None and hit[0] == epoch:
             return hit[1], hit[2]
         pts = mesh.points
-        a, b, c, d = (pts[v] for v in mesh.tet_verts[t])
+        a, b, c, d = (pts[v] for v in mesh.tet_verts_arr[t].tolist())
         try:
             cc = circumcenter_tet(a, b, c, d)
             r = math.dist(cc, a)
@@ -156,14 +156,11 @@ class CGALLikeMesher:
     def refine(self) -> ExtractedMesh:
         """Run refinement to completion and extract the mesh."""
         t0 = time.perf_counter()
-        hint = None
-        for p in self._initial_surface_points():
-            try:
-                _, ntets, _ = self.tri.insert_point(p, hint)
-                hint = ntets[0]
-                self.stats.n_insertions += 1
-            except (InsertionError, PointLocationError):
-                continue
+        # Batched insertion: one ctypes crossing carries runs of sample
+        # points through the C kernel (scalar fallback per stopper);
+        # semantically identical to a hint-chained insert_point loop.
+        inserted = self.tri.insert_many(self._initial_surface_points())
+        self.stats.n_insertions += sum(1 for v in inserted if v is not None)
 
         from collections import deque
 
@@ -172,7 +169,7 @@ class CGALLikeMesher:
         ops = 0
         while queue:
             t, epoch = queue.popleft()
-            if mesh.tet_verts[t] is None or mesh.tet_epoch[t] != epoch:
+            if mesh.tet_verts_arr[t, 0] < 0 or mesh.tet_epoch[t] != epoch:
                 continue
             point = self._refinement_point(t)
             ops += 1
@@ -258,7 +255,7 @@ class CGALLikeMesher:
 
         tets, labels, bfaces, blabels = [], [], [], []
         for t, lab in keep.items():
-            tets.append([remap(v) for v in mesh.tet_verts[t]])
+            tets.append([remap(v) for v in mesh.tet_verts_arr[t].tolist()])
             labels.append(lab)
             for i in range(4):
                 nbr = mesh.tet_adj[t][i]

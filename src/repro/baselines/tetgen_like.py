@@ -74,7 +74,7 @@ class TetGenLikeMesher:
         if hit is not None and hit[0] == epoch:
             return hit[1], hit[2]
         pts = mesh.points
-        a, b, c, d = (pts[v] for v in mesh.tet_verts[t])
+        a, b, c, d = (pts[v] for v in mesh.tet_verts_arr[t].tolist())
         try:
             cc = circumcenter_tet(a, b, c, d)
             r = math.dist(cc, a)
@@ -120,15 +120,12 @@ class TetGenLikeMesher:
         t0 = time.perf_counter()
         mesh = self.tri.mesh
 
-        # Step 1: Delaunay triangulation of the PLC vertex set.
-        hint = None
-        for p in self.plc_vertices:
-            try:
-                _, ntets, _ = self.tri.insert_point(tuple(p), hint)
-                hint = ntets[0]
-                self.stats.n_insertions += 1
-            except (InsertionError, PointLocationError):
-                continue
+        # Step 1: Delaunay triangulation of the PLC vertex set (batched
+        # through the C kernel when available; scalar per stopper).
+        inserted = self.tri.insert_many(
+            [tuple(p) for p in self.plc_vertices]
+        )
+        self.stats.n_insertions += sum(1 for v in inserted if v is not None)
 
         # Local scale used by interiority probes: median PLC edge length.
         edges = self.plc_vertices[self.plc_faces[:, 0]] - \
@@ -142,7 +139,7 @@ class TetGenLikeMesher:
         ops = 0
         while queue:
             t, epoch = queue.popleft()
-            if mesh.tet_verts[t] is None or mesh.tet_epoch[t] != epoch:
+            if mesh.tet_verts_arr[t, 0] < 0 or mesh.tet_epoch[t] != epoch:
                 continue
             ops += 1
             if ops > self.max_operations:
@@ -175,7 +172,7 @@ class TetGenLikeMesher:
         mesh = self.tri.mesh
         keep: Dict[int, int] = {}
         for t in mesh.live_tets():
-            if any(self.tri.is_box_vertex(v) for v in mesh.tet_verts[t]):
+            if any(self.tri.is_box_vertex(v) for v in mesh.tet_verts_arr[t].tolist()):
                 continue
             if not self._keep_tet(t):
                 continue
@@ -195,7 +192,7 @@ class TetGenLikeMesher:
 
         tets, labels, bfaces, blabels = [], [], [], []
         for t, lab in keep.items():
-            tets.append([remap(v) for v in mesh.tet_verts[t]])
+            tets.append([remap(v) for v in mesh.tet_verts_arr[t].tolist()])
             labels.append(lab)
             for i in range(4):
                 nbr = mesh.tet_adj[t][i]

@@ -144,7 +144,7 @@ class RefineDomain:
         if hit is not None and hit[0] == epoch:
             return hit[1], hit[2]
         pts = mesh.points
-        a, b, c, d = (pts[v] for v in mesh.tet_verts[t])
+        a, b, c, d = (pts[v] for v in mesh.tet_verts_arr[t].tolist())
         try:
             cc = circumcenter_tet(a, b, c, d)
             r = math.dist(cc, a)
@@ -251,7 +251,7 @@ class RefineDomain:
             if nbr == HULL:
                 continue
             if touch is not None:
-                for w in mesh.tet_verts[nbr]:
+                for w in mesh.tet_verts_arr[nbr].tolist():
                     touch(w)
             c_n, _ = self.circumball(nbr)
             if self.image.label_at(c_n) == lab_t:
@@ -286,13 +286,13 @@ class RefineDomain:
         # be invalidated while we classify and compute (real-thread
         # safety for the lock-free classification reads below).
         if touch is not None:
-            verts = mesh.tet_verts[t]
-            if verts is None:
+            verts = mesh.tet_verts_arr[t].tolist()
+            if verts[0] < 0:
                 return OperationResult(rule="none", skipped=True,
                                        skip_reason="element died before lock")
             for w in verts:
                 touch(w)
-            if mesh.tet_verts[t] != verts:
+            if mesh.tet_verts_arr[t].tolist() != verts:
                 raise RollbackSignal(owner=-1)
         c, r = self.circumball(t)
         intersects = self.ball_intersects_surface(c, r)

@@ -79,7 +79,7 @@ def extract_mesh(domain: RefineDomain) -> ExtractedMesh:
     boundary_faces = []
     boundary_labels = []
     for t, lab in keep.items():
-        tets.append([remap(v) for v in mesh.tet_verts[t]])
+        tets.append([remap(v) for v in mesh.tet_verts_arr[t].tolist()])
         tet_labels.append(lab)
         adj = mesh.tet_adj[t]
         for i in range(4):

@@ -46,7 +46,7 @@ class PoorElementList:
         mesh = self._mesh
         while items:
             t, epoch = items.popleft()
-            if mesh.tet_verts[t] is not None and mesh.tet_epoch[t] == epoch:
+            if mesh.tet_verts_arr[t, 0] >= 0 and mesh.tet_epoch[t] == epoch:
                 self.live_count -= 1
                 return t
         self.live_count = 0
@@ -66,7 +66,7 @@ class PoorElementList:
         mesh = self._mesh
         while items and len(out) < k:
             t, epoch = items.popleft()
-            if mesh.tet_verts[t] is not None and mesh.tet_epoch[t] == epoch:
+            if mesh.tet_verts_arr[t, 0] >= 0 and mesh.tet_epoch[t] == epoch:
                 out.append(t)
         self.live_count = max(0, self.live_count - len(out))
         return out

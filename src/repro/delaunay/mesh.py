@@ -1,40 +1,49 @@
 """Low-level tetrahedral mesh storage with face-to-face adjacency.
 
-Storage layout (struct-of-arrays, free-list recycled).  Since the
-kernel overhaul the store is *dual*: NumPy arrays are authoritative for
-everything the vectorized kernels gather from, while plain Python
-mirrors are kept in lock-step for the scalar hot paths (indexing a
-Python list of tuples is several times faster than pulling ``np.float64``
-scalars out of an ndarray, and scalar arithmetic on ``np.float64`` is
-2-5x slower than on native floats).
+Storage layout (struct-of-arrays, free-list recycled).  The NumPy
+arrays are the *only* authority for tet connectivity since the mirror
+retirement: every consumer — the Python kernel, the vectorized batch
+predicates and the C accelerator — reads ``tet_verts_arr``/``tet_adj``
+directly (``row.tolist()`` turns a row into native ints once per tet,
+which is what the scalar hot paths index with).
 
 * ``coords``             – ``(capacity, 3) float64`` vertex coordinates.
 * ``points[v]``          – the same coordinates as a 3-tuple of floats
-                           (scalar mirror; identical bit patterns).
+                           (scalar mirror; identical bit patterns —
+                           kept because pulling ``np.float64`` scalars
+                           out of an ndarray is 2-5x slower than native
+                           float arithmetic).
 * ``timestamps[v]``      – global insertion counter, used by vertex
                            removal to replay link vertices in insertion
                            order (paper Section 4.2).
 * ``alive_vertex[v]``    – False once a vertex has been removed.
 * ``tet_verts_arr``      – ``(capacity, 4) int32`` vertex ids per tet;
                            ``-1`` rows for dead/recycled slots.
-* ``tet_verts[t]``       – the same ids as a 4-tuple (scalar mirror) or
-                           ``None`` for dead slots.
 * ``tet_adj``            – ``(capacity, 4) int32``; ``tet_adj[t][i]`` is
                            the tet sharing the face opposite local
                            vertex ``i``; ``HULL`` (-1) on the hull.
+* ``tet_top``            – one past the highest slot ever allocated
+                           (the array tail; dead slots below it are on
+                           the free list).
 * ``tet_cc[t]``          – cached circumsphere entry for the filtered
                            in-sphere fast path (see
                            :func:`repro.geometry.predicates.circumsphere_entry`);
                            ``None`` until first use, ``()`` for
                            degenerate tets.
-* ``v2t[v]``             – one live incident tet per vertex (point-location
-                           and ball-collection anchor).
+* ``v2t``                – ``int32`` array: one live incident tet per
+                           vertex (point-location and ball-collection
+                           anchor); ``HULL`` before the first incidence,
+                           ``DEAD`` after vertex removal.
+
+``tet_verts`` survives only as a read-only compatibility *view*
+(``mesh.tet_verts[t]`` -> 4-tuple or ``None``) for tests and cold
+paths; it materializes tuples on demand instead of mirroring state.
 
 All tetrahedra are stored positively oriented (``orient3d > 0``), which
 the in-sphere predicate requires.  Growth doubles the NumPy capacity, so
-long-lived references to ``coords``/``tet_verts_arr``/``tet_adj`` must
-be re-fetched from the mesh after any allocation (all in-tree callers
-hold them for at most one operation).
+long-lived references to ``coords``/``tet_verts_arr``/``tet_adj``/``v2t``
+must be re-fetched from the mesh after any allocation (all in-tree
+callers hold them for at most one operation).
 """
 
 from __future__ import annotations
@@ -61,6 +70,35 @@ class Tet:
     verts: Tuple[int, int, int, int]
 
 
+class _TetVertsView:
+    """Read-only tuple view over ``tet_verts_arr`` (compat shim).
+
+    Indexing returns the historical mirror's value: a 4-tuple of native
+    ints for live slots, ``None`` for dead ones.  Hot paths should read
+    ``tet_verts_arr`` directly instead.
+    """
+
+    __slots__ = ("_mesh",)
+
+    def __init__(self, mesh: "MeshArrays") -> None:
+        self._mesh = mesh
+
+    def __len__(self) -> int:
+        return self._mesh.tet_top
+
+    def __getitem__(self, t: int) -> Optional[Tuple[int, int, int, int]]:
+        row = self._mesh.tet_verts_arr[t].tolist()
+        if row[0] < 0:
+            return None
+        return tuple(row)
+
+    def __iter__(self):
+        arr = self._mesh.tet_verts_arr
+        for t in range(self._mesh.tet_top):
+            row = arr[t].tolist()
+            yield tuple(row) if row[0] >= 0 else None
+
+
 class MeshArrays:
     """Growable struct-of-arrays store for vertices and tetrahedra."""
 
@@ -70,8 +108,8 @@ class MeshArrays:
         "timestamps",
         "alive_vertex",
         "tet_verts_arr",
-        "tet_verts",
         "tet_adj",
+        "tet_top",
         "tet_epoch",
         "tet_cc",
         "v2t",
@@ -87,18 +125,22 @@ class MeshArrays:
         self.timestamps: List[int] = []
         self.alive_vertex: List[bool] = []
         self.tet_verts_arr = np.full((_INIT_T_CAP, 4), -1, dtype=np.int32)
-        self.tet_verts: List[Optional[Tuple[int, int, int, int]]] = []
         self.tet_adj = np.full((_INIT_T_CAP, 4), HULL, dtype=np.int32)
+        self.tet_top = 0
         # Epoch counter per slot: bumps every time the slot is reused, so
         # stale references (e.g. Poor Element List entries) can detect
         # that "their" tet died even if the id was recycled.
         self.tet_epoch: List[int] = []
         self.tet_cc: List[Optional[tuple]] = []
-        self.v2t: List[int] = []
+        self.v2t = np.full(_INIT_V_CAP, HULL, dtype=np.int32)
         self._free_tets: List[int] = []
         self._free_verts: List[int] = []
         self._clock = 0
         self.n_live_tets = 0
+
+    @property
+    def tet_verts(self) -> _TetVertsView:
+        return _TetVertsView(self)
 
     # ------------------------------------------------------------------
     # growth
@@ -108,6 +150,9 @@ class MeshArrays:
         grown = np.zeros((old.shape[0] * 2, 3), dtype=np.float64)
         grown[: old.shape[0]] = old
         self.coords = grown
+        anchors = np.full(grown.shape[0], HULL, dtype=np.int32)
+        anchors[: self.v2t.shape[0]] = self.v2t
+        self.v2t = anchors
 
     def _grow_tets(self, need: int) -> None:
         cap = self.tet_adj.shape[0]
@@ -132,7 +177,6 @@ class MeshArrays:
             self.points[v] = pt
             self.timestamps[v] = self._clock
             self.alive_vertex[v] = True
-            self.v2t[v] = HULL
         else:
             v = len(self.points)
             if v >= self.coords.shape[0]:
@@ -140,7 +184,7 @@ class MeshArrays:
             self.points.append(pt)
             self.timestamps.append(self._clock)
             self.alive_vertex.append(True)
-            self.v2t.append(HULL)
+        self.v2t[v] = HULL
         c = self.coords[v]
         c[0] = pt[0]
         c[1] = pt[1]
@@ -163,14 +207,13 @@ class MeshArrays:
         """Allocate a tet slot; adjacency starts as four HULL markers."""
         if self._free_tets:
             t = self._free_tets.pop()
-            self.tet_verts[t] = verts
             self.tet_epoch[t] += 1
             self.tet_cc[t] = None
         else:
-            t = len(self.tet_verts)
+            t = self.tet_top
+            self.tet_top = t + 1
             if t >= self.tet_adj.shape[0]:
                 self._grow_tets(t + 1)
-            self.tet_verts.append(verts)
             self.tet_epoch.append(0)
             self.tet_cc.append(None)
         tv = self.tet_verts_arr[t]
@@ -180,8 +223,9 @@ class MeshArrays:
         tv[3] = verts[3]
         adj = self.tet_adj[t]
         adj[0] = adj[1] = adj[2] = adj[3] = HULL
+        v2t = self.v2t
         for v in verts:
-            self.v2t[v] = t
+            v2t[v] = t
         self.n_live_tets += 1
         return t
 
@@ -198,9 +242,9 @@ class MeshArrays:
         """
         k = verts_rows.shape[0]
         free = self._free_tets
-        tvl = self.tet_verts
         epoch = self.tet_epoch
         ccs = self.tet_cc
+        top = self.tet_top
         tids: List[int] = []
         for _ in range(k):
             if free:
@@ -208,51 +252,42 @@ class MeshArrays:
                 epoch[t] += 1
                 ccs[t] = None
             else:
-                t = len(tvl)
-                tvl.append(None)
+                t = top
+                top += 1
                 epoch.append(0)
                 ccs.append(None)
             tids.append(t)
-        if len(tvl) > self.tet_adj.shape[0]:
-            self._grow_tets(len(tvl))
+        self.tet_top = top
+        if top > self.tet_adj.shape[0]:
+            self._grow_tets(top)
         idx = np.asarray(tids, dtype=np.intp)
         self.tet_verts_arr[idx] = verts_rows
         self.tet_adj[idx] = HULL
-        rows = verts_rows.tolist()
-        for r in range(k):
-            tvl[tids[r]] = tuple(rows[r])
         self.n_live_tets += k
         return tids
 
     def kill_tet(self, t: int) -> None:
-        self.tet_verts[t] = None
         self.tet_verts_arr[t] = -1
         self._free_tets.append(t)
         self.n_live_tets -= 1
 
     def kill_tets_batch(self, ts: Sequence[int]) -> None:
         """Kill several tets; free-list order matches per-tet kills."""
-        tvl = self.tet_verts
-        for t in ts:
-            tvl[t] = None
         self._free_tets.extend(ts)
         self.tet_verts_arr[np.asarray(ts, dtype=np.intp)] = -1
         self.n_live_tets -= len(ts)
 
     def is_live(self, t: int) -> bool:
-        return 0 <= t < len(self.tet_verts) and self.tet_verts[t] is not None
+        return 0 <= t < self.tet_top and self.tet_verts_arr[t, 0] >= 0
 
     def live_tets(self) -> Iterator[int]:
-        """Iterate ids of all live tetrahedra."""
-        tv = self.tet_verts
-        for t in range(len(tv)):
-            if tv[t] is not None:
-                yield t
+        """Iterate ids of all live tetrahedra (snapshot at call time)."""
+        live = self.tet_verts_arr[: self.tet_top, 0] >= 0
+        yield from np.flatnonzero(live).tolist()
 
     def live_tet_ids(self) -> np.ndarray:
         """Ids of all live tetrahedra as an int array (ascending)."""
-        n = len(self.tet_verts)
-        live = self.tet_verts_arr[:n, 0] >= 0
+        live = self.tet_verts_arr[: self.tet_top, 0] >= 0
         return np.flatnonzero(live)
 
     # ------------------------------------------------------------------
@@ -260,7 +295,7 @@ class MeshArrays:
     # ------------------------------------------------------------------
     def face_opposite(self, t: int, i: int) -> Tuple[int, int, int]:
         """Vertex ids of the face of ``t`` opposite local vertex ``i``."""
-        a, b, c, d = self.tet_verts[t]
+        a, b, c, d = self.tet_verts_arr[t].tolist()
         if i == 0:
             return (b, c, d)
         if i == 1:
@@ -271,7 +306,7 @@ class MeshArrays:
 
     def local_index(self, t: int, v: int) -> int:
         """Local index (0..3) of global vertex ``v`` inside tet ``t``."""
-        verts = self.tet_verts[t]
+        verts = self.tet_verts_arr[t].tolist()
         for i in range(4):
             if verts[i] == v:
                 return i
@@ -291,29 +326,30 @@ class MeshArrays:
 
     def incident_tets(self, v: int) -> List[int]:
         """All live tets incident to vertex ``v`` (breadth-first from v2t)."""
-        seed = self.v2t[v]
+        seed = int(self.v2t[v])
         if seed < 0 or not self.is_live(seed):
             seed = self._find_incident_slow(v)
             if seed is None:
                 return []
-        seed = int(seed)
+        tva = self.tet_verts_arr
+        tadj = self.tet_adj
         out = [seed]
         seen = {seed}
         stack = [seed]
         while stack:
             t = stack.pop()
-            verts = self.tet_verts[t]
-            adj = self.tet_adj[t]
+            verts = tva[t].tolist()
+            adj = tadj[t].tolist()
             for i in range(4):
-                nbr = int(adj[i])
+                nbr = adj[i]
                 if nbr < 0 or nbr in seen:
                     continue
                 # The face shared with nbr is opposite local vertex i; it
                 # contains v iff v is not the opposite vertex.
                 if verts[i] == v:
                     continue
-                nverts = self.tet_verts[nbr]
-                if nverts is None or v not in nverts:
+                nverts = tva[nbr].tolist()
+                if nverts[0] < 0 or v not in nverts:
                     continue
                 seen.add(nbr)
                 out.append(nbr)
@@ -321,8 +357,9 @@ class MeshArrays:
         return out
 
     def _find_incident_slow(self, v: int) -> Optional[int]:
+        tva = self.tet_verts_arr
         for t in self.live_tets():
-            if v in self.tet_verts[t]:
+            if v in tva[t].tolist():
                 self.v2t[v] = t
                 return t
         return None

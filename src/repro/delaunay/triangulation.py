@@ -49,7 +49,10 @@ rollbacks free of side effects.
 
 from __future__ import annotations
 
+import itertools
 import math
+import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -119,11 +122,15 @@ class KernelCounters:
         "cc_cached", "cc_computed",
         "scratch_reuses", "scratch_grows",
         "accel_inserts", "accel_retries",
+        "accel_batch_calls", "accel_batch_inserts",
+        "accel_removals", "accel_remove_retries",
+        "commits", "commit_seconds",
     )
 
     def __init__(self) -> None:
         for name in self.__slots__:
             setattr(self, name, 0)
+        self.commit_seconds = 0.0
 
     def snapshot(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -131,6 +138,10 @@ class KernelCounters:
     @property
     def mean_walk_length(self) -> float:
         return self.walk_steps / self.locate_calls if self.locate_calls else 0.0
+
+    @property
+    def mean_commit_seconds(self) -> float:
+        return self.commit_seconds / self.commits if self.commits else 0.0
 
 
 class Triangulation3D:
@@ -197,7 +208,7 @@ class Triangulation3D:
         # gate: a point is insertable when strictly inside the simplex
         # hull by a small safety margin.
         self._hull_planes = []
-        tv = self.mesh.tet_verts[0]
+        tv = self.mesh.tet_verts_arr[0].tolist()
         for i in range(4):
             face = [tv[j] for j in range(4) if j != i]
             a, b, c = (pts[w] for w in face)
@@ -231,12 +242,22 @@ class Triangulation3D:
         self._vgrid_inv = _GRID_RES / extent
         self._vgrid_cap = _GRID_RES ** 3 // 8
         # Epoch-tagged scratch for the cavity search (reused across
-        # operations; values: _cav_gen = in cavity, +1 = checked out).
+        # operations; values: gen = in cavity, gen+1 = checked out).
+        # Generations come from an itertools.count: next() is a single
+        # GIL-atomic operation, so concurrent speculative threads always
+        # draw distinct generation pairs.
         self._cav_tag: List[int] = []
-        self._cav_gen = 0
+        self._cav_gen = itertools.count(2, 2)
         self.counters = KernelCounters()
         # Lazily allocated scratch for the optional C insertion kernel.
         self._acc = None
+        # Serializes mesh mutation when speculative threads commit; the
+        # sequential paths never take it.
+        self._commit_lock = threading.Lock()
+        # Two-phase speculative insertion (acquire all locks up front,
+        # then commit lock-free in C).  Enabled by the threaded driver.
+        self._two_phase = False
+        self._tls = threading.local()
         # Scratch used by remove_vertex to pass the ball volume to the
         # fill verification.
         self._pending_ball_volume = 0.0
@@ -257,7 +278,7 @@ class Triangulation3D:
 
     def tet_points(self, t: int):
         pts = self.mesh.points
-        a, b, c, d = self.mesh.tet_verts[t]
+        a, b, c, d = self.mesh.tet_verts_arr[t].tolist()
         return pts[a], pts[b], pts[c], pts[d]
 
     def is_box_vertex(self, v: int) -> bool:
@@ -365,10 +386,10 @@ class Triangulation3D:
                     best_d = d
                     best_v = v
         if best_v is not None:
-            t = mesh.v2t[best_v]
-            if t >= 0 and mesh.tet_verts[t] is not None:
+            t = int(mesh.v2t[best_v])
+            if t >= 0 and mesh.tet_verts_arr[t, 0] >= 0:
                 if hint is not None:
-                    h = pts[mesh.tet_verts[hint][0]]
+                    h = pts[mesh.tet_verts_arr[hint, 0]]
                     dx = h[0] - x
                     dy = h[1] - y
                     dz = h[2] - z
@@ -376,7 +397,7 @@ class Triangulation3D:
                         counters.seed_hint_hits += 1
                         return hint
                 counters.seed_grid_hits += 1
-                return int(t)
+                return t
         if hint is not None:
             counters.seed_hint_hits += 1
             return hint
@@ -392,7 +413,7 @@ class Triangulation3D:
         """Find a tetrahedron containing ``p`` by a remembering walk."""
         mesh = self.mesh
         pts = mesh.points
-        tet_verts = mesh.tet_verts
+        tva = mesh.tet_verts_arr
         tet_adj = mesh.tet_adj
         orient = orient3d
         px = p[0]
@@ -414,8 +435,8 @@ class Triangulation3D:
         # compute_cavity.
         while steps < max_steps:
             steps += 1
-            verts = tet_verts[t]
-            if verts is None:  # invalidated under our feet
+            verts = tva[t].tolist()
+            if verts[0] < 0:  # invalidated under our feet
                 t = next(mesh.live_tets())
                 continue
             qa = pts[verts[0]]
@@ -464,7 +485,7 @@ class Triangulation3D:
         """
         mesh = self.mesh
         pts = mesh.points
-        a, b, c, d = mesh.tet_verts[t]
+        a, b, c, d = mesh.tet_verts_arr[t].tolist()
         e = circumsphere_entry(pts[a], pts[b], pts[c], pts[d])
         e = e if e is not None else ()
         mesh.tet_cc[t] = e
@@ -492,12 +513,12 @@ class Triangulation3D:
         mesh = self.mesh
         pts = mesh.points
         t0 = self.locate(p, hint, touch)
-        tet_verts = mesh.tet_verts
-        v0 = tet_verts[t0]
+        tva = mesh.tet_verts_arr
+        v0 = tva[t0].tolist()
         if touch is not None:
             for v in v0:
                 touch(v)
-            if tet_verts[t0] != v0:
+            if tva[t0].tolist() != v0:
                 # The seed died between location and locking: treat like
                 # a conflict and let the caller retry the element.
                 raise RollbackSignal(owner=-1)
@@ -547,14 +568,13 @@ class Triangulation3D:
 
         # Epoch-tagged scratch instead of per-call sets.
         tag = self._cav_tag
-        n_slots = len(tet_verts)
+        n_slots = mesh.tet_top
         if len(tag) < n_slots:
             tag.extend([0] * (n_slots - len(tag) + 1024))
             counters.scratch_grows += 1
         else:
             counters.scratch_reuses += 1
-        gen = self._cav_gen + 2
-        self._cav_gen = gen
+        gen = next(self._cav_gen)
         genout = gen + 1
 
         tet_adj = mesh.tet_adj
@@ -576,7 +596,7 @@ class Triangulation3D:
                 if tg == genout:
                     boundary.append((t, i))
                     continue
-                nverts = tet_verts[nbr]
+                nverts = tva[nbr].tolist()
                 if touch is not None:
                     for v in nverts:
                         touch(v)
@@ -648,6 +668,8 @@ class Triangulation3D:
             result = self._insert_point_c(p, hint)
             if result is not None:
                 return result
+        elif touch is not None and self._two_phase:
+            return self._insert_point_two_phase(p, hint, touch)
         return self._insert_point_py(p, hint, touch)
 
     def _insert_point_c(self, p: Sequence[float], hint: Optional[int]
@@ -677,9 +699,8 @@ class Triangulation3D:
         # C kernel succeeds (it only writes the id into tet rows; the
         # coordinates are passed separately).
         vnew = free_v[-1] if free_v else len(mesh.points)
-        gen = self._cav_gen + 2
-        self._cav_gen = gen
-        tail = len(mesh.tet_verts)
+        gen = next(self._cav_gen)
+        tail = mesh.tet_top
         status = acc.insert(mesh, px, py, pz, seed, self._walk_state, gen,
                             vnew, len(free_t))
         counters = self.counters
@@ -724,7 +745,6 @@ class Triangulation3D:
         mesh.add_vertex((px, py, pz))  # allocates exactly vnew
         if consumed:
             del free_t[-consumed:]
-        tvl = mesh.tet_verts
         epoch = mesh.tet_epoch
         ccs = mesh.tet_cc
         v2t = mesh.v2t
@@ -732,19 +752,16 @@ class Triangulation3D:
             t = new_tets[j]
             row = rows[j]
             if t < tail:  # recycled slot
-                tvl[t] = tuple(row)
                 epoch[t] += 1
                 ccs[t] = None
             else:  # fresh slots arrive in sequential tail order
-                tvl.append(tuple(row))
                 epoch.append(0)
                 ccs.append(None)
             v2t[row[0]] = t
             v2t[row[1]] = t
             v2t[row[2]] = t
             v2t[row[3]] = t
-        for t in cavity:
-            tvl[t] = None
+        mesh.tet_top = tail + int(out[3])
         free_t.extend(cavity)
         mesh.n_live_tets += nb - ncav
         self._vgrid[self._grid_key(px, py, pz)] = vnew
@@ -752,12 +769,388 @@ class Triangulation3D:
             self._regrid()
         return vnew, new_tets, cavity
 
+    # ------------------------------------------------------------------
+    # two-phase speculative insertion (threaded fast path)
+    # ------------------------------------------------------------------
+    def _compute_cavity_optimistic(self, p: Sequence[float],
+                                   hint: Optional[int]):
+        """Lock-free cavity computation for the two-phase threaded path.
+
+        Reads the mesh without holding any vertex lock, recording every
+        vertex seen (the lock set to acquire) and every tet whose
+        in-conflict status was decided, together with the tet's epoch at
+        read time.  The caller acquires all locks, then re-validates
+        each ``(tet, epoch)`` pair: a tet killed since shows a negative
+        row, a recycled slot a bumped epoch — either invalidates the
+        speculation.  Torn reads can only produce a *wrong* cavity,
+        never a crash: rows hold valid vertex ids or ``-1`` at every
+        instant, and any structural inconsistency surfaces as an index
+        or location error mapped to :class:`RollbackSignal`.
+
+        Returns ``(cavity, boundary, vlist, tested)``; ``cavity`` is
+        ``None`` when the located tet is not in strict conflict (a
+        duplicate point — the caller decides after validation whether it
+        was genuine).  The circumsphere cache is deliberately bypassed:
+        writing it without the row locked could publish a stale entry.
+        """
+        mesh = self.mesh
+        pts = mesh.points
+        tva = mesh.tet_verts_arr
+        tet_adj = mesh.tet_adj
+        epoch = mesh.tet_epoch
+        tls = self._tls
+        tag = getattr(tls, "tag", None)
+        if tag is None:
+            tag = tls.tag = []
+        try:
+            t0 = self.locate(p, hint)
+            n_slots = mesh.tet_top
+            if len(tag) < n_slots:
+                tag.extend([0] * (n_slots - len(tag) + 1024))
+            gen = next(self._cav_gen)
+            genout = gen + 1
+            e0 = epoch[t0]  # epoch before row: recycling bumps the epoch
+            v0 = tva[t0].tolist()
+            if v0[0] < 0:
+                raise RollbackSignal(owner=-1)
+            tested = [(t0, e0)]
+            vlist = list(v0)
+            vseen = set(v0)
+            s0 = insphere(pts[v0[0]], pts[v0[1]], pts[v0[2]], pts[v0[3]], p)
+            if s0 <= 0:
+                return None, None, vlist, tested
+            cavity = [t0]
+            tag[t0] = gen
+            boundary: List[Tuple[int, int]] = []
+            stack = [t0]
+            while stack:
+                t = stack.pop()
+                row = tet_adj[t].tolist()
+                for i in range(4):
+                    nbr = row[i]
+                    if nbr < 0:  # HULL
+                        boundary.append((t, i))
+                        continue
+                    if nbr >= len(tag):
+                        tag.extend([0] * (nbr - len(tag) + 1024))
+                    tg = tag[nbr]
+                    if tg == gen:
+                        continue
+                    if tg == genout:
+                        boundary.append((t, i))
+                        continue
+                    e = epoch[nbr]
+                    nverts = tva[nbr].tolist()
+                    if nverts[0] < 0:
+                        raise RollbackSignal(owner=-1)
+                    tested.append((nbr, e))
+                    for w in nverts:
+                        if w not in vseen:
+                            vseen.add(w)
+                            vlist.append(w)
+                    s = insphere(pts[nverts[0]], pts[nverts[1]],
+                                 pts[nverts[2]], pts[nverts[3]], p)
+                    if s > 0:
+                        tag[nbr] = gen
+                        cavity.append(nbr)
+                        stack.append(nbr)
+                    else:
+                        tag[nbr] = genout
+                        boundary.append((t, i))
+            return cavity, boundary, vlist, tested
+        except (IndexError, PointLocationError):
+            raise RollbackSignal(owner=-1) from None
+
+    def _insert_point_two_phase(self, p: Sequence[float],
+                                hint: Optional[int], touch: TouchFn
+                                ) -> Tuple[int, List[int], List[int]]:
+        """Speculative insertion: optimistic read, acquire-all, commit.
+
+        Phase 1 computes the cavity without holding a single lock, then
+        acquires every vertex lock up front; contention raises
+        :class:`RollbackSignal` from ``touch`` with no lock-state of our
+        own to unwind (the worker releases whatever was acquired).
+        Phase 2 re-validates the recorded ``(tet, epoch)`` pairs — any
+        concurrent conflicting operation must have locked at least three
+        of the vertices we now hold, so a successful validation cannot
+        go stale — and commits under the triangulation's commit lock,
+        through the C kernel when available (the pre-validated cavity
+        makes the commit a straight-line array transform), falling back
+        to the Python commit on an inconclusive filter.
+        """
+        cavity, boundary, vlist, tested = \
+            self._compute_cavity_optimistic(p, hint)
+        for v in vlist:
+            touch(v)
+        mesh = self.mesh
+        tva = mesh.tet_verts_arr
+        epoch = mesh.tet_epoch
+        for t, e in tested:
+            if tva[t, 0] < 0 or epoch[t] != e:
+                raise RollbackSignal(owner=-1)
+        if cavity is None:
+            # Validated under locks: the duplicate was genuine.
+            raise InsertionError(
+                f"point {tuple(p)} duplicates an existing vertex"
+            )
+        counters = self.counters
+        counters.cavity_calls += 1
+        counters.cavity_tets += len(cavity)
+        t0 = time.perf_counter()
+        with self._commit_lock:
+            result = None
+            if _accel.bw_commit is not None:
+                result = self._commit_insertion_c(p, cavity, boundary)
+            if result is None:
+                result = self._commit_insertion(p, cavity, boundary)
+        counters.commits += 1
+        counters.commit_seconds += time.perf_counter() - t0
+        return result
+
+    def _commit_insertion_c(self, p: Sequence[float], cavity: List[int],
+                            boundary: List[Tuple[int, int]]
+                            ) -> Optional[Tuple[int, List[int], List[int]]]:
+        """Commit a pre-validated cavity through the C kernel.
+
+        Caller holds ``_commit_lock`` and every vertex lock of the
+        cavity's closure.  Returns ``None`` on an inconclusive
+        orientation filter (caller falls back to the Python commit,
+        still under the same locks — no lock is dropped across the
+        retry).  Uses per-thread scratch so concurrent speculative
+        threads never share buffers.
+        """
+        mesh = self.mesh
+        tls = self._tls
+        acc = getattr(tls, "acc", None)
+        if acc is None:
+            acc = tls.acc = _accel.AccelScratch()
+        free_t = mesh._free_tets
+        free_v = mesh._free_verts
+        vnew = free_v[-1] if free_v else len(mesh.points)
+        gen = next(self._cav_gen)
+        tail = mesh.tet_top
+        px = float(p[0])
+        py = float(p[1])
+        pz = float(p[2])
+        codes = [t * 4 + i for t, i in boundary]
+        status = acc.commit(mesh, px, py, pz, gen, vnew, len(free_t),
+                            cavity, codes)
+        counters = self.counters
+        stats = STATS
+        out = acc.out_i
+        n_o = int(out[2])
+        stats.orient3d_calls += n_o
+        stats.orient3d_filtered += n_o
+        if status == _accel.RETRY:
+            counters.accel_retries += 1
+            return None
+        if status == _accel.ERR_FACE:
+            raise InsertionError(
+                "degenerate insertion: point lies on a cavity face"
+            )
+        if status == _accel.ERR_CLOSED:
+            raise InsertionError(
+                "degenerate insertion: cavity boundary is not a closed surface"
+            )
+        counters.accel_inserts += 1
+        ncav = len(cavity)
+        nb = len(boundary)
+        consumed = int(out[0])
+        new_tets = acc.newt[:nb].tolist()
+        rows = mesh.tet_verts_arr[acc.newt[:nb]].tolist()
+        mesh.add_vertex((px, py, pz))  # allocates exactly vnew
+        if consumed:
+            del free_t[-consumed:]
+        epoch = mesh.tet_epoch
+        ccs = mesh.tet_cc
+        v2t = mesh.v2t
+        for j in range(nb):
+            t = new_tets[j]
+            row = rows[j]
+            if t < tail:  # recycled slot
+                epoch[t] += 1
+                ccs[t] = None
+            else:
+                epoch.append(0)
+                ccs.append(None)
+            v2t[row[0]] = t
+            v2t[row[1]] = t
+            v2t[row[2]] = t
+            v2t[row[3]] = t
+        mesh.tet_top = tail + int(out[1])
+        free_t.extend(cavity)
+        mesh.n_live_tets += nb - ncav
+        self._vgrid[self._grid_key(px, py, pz)] = vnew
+        if len(mesh.points) > self._vgrid_cap:
+            self._regrid()
+        return vnew, new_tets, cavity
+
+    # ------------------------------------------------------------------
+    # batched insertion (initial sampling fast path)
+    # ------------------------------------------------------------------
+    def insert_many(self, points: Sequence[Sequence[float]],
+                    hint: Optional[int] = None, skip_errors: bool = True
+                    ) -> List[Optional[int]]:
+        """Insert a sequence of points; one result slot per input point.
+
+        Returns the new vertex id per point, or ``None`` where the
+        insertion was skipped (duplicate / degenerate / outside the
+        domain) — unless ``skip_errors`` is false, in which case the
+        first failure raises.  Semantically identical to a loop of
+        :meth:`insert_point` with hint chaining; when the C accelerator
+        is available and the vertex free list is empty (so new vertex
+        ids are contiguous — always true during the initial sampling
+        burst), runs of points are dispatched through one batched ctypes
+        crossing and only the stoppers (inconclusive filters, capacity
+        growth, errors) fall back to the scalar path.
+        """
+        results: List[Optional[int]] = []
+        mesh = self.mesh
+        n = len(points)
+        i = 0
+        while i < n:
+            if (n - i > 1 and _accel.bw_insert_many is not None
+                    and not mesh._free_verts):
+                done = self._insert_batch_c(points, i, results)
+                if done:
+                    i += done
+                    hint = self._last_located
+                    continue
+            try:
+                v, ntets, _ = self.insert_point(points[i], hint)
+            except (InsertionError, PointLocationError):
+                if not skip_errors:
+                    raise
+                results.append(None)
+            else:
+                hint = ntets[0]
+                results.append(v)
+            i += 1
+        return results
+
+    def _insert_batch_c(self, points: Sequence[Sequence[float]], start: int,
+                        results: List[Optional[int]]) -> int:
+        """One batched C crossing starting at ``points[start]``.
+
+        Appends the committed vertex ids to ``results`` and returns how
+        many points were committed (0 means the first point needs the
+        scalar path).  The C kernel walks, carves and commits each point
+        directly on the mesh arrays, maintaining its own free-list
+        stack; this glue replays the per-insert records to bring the
+        Python-side bookkeeping (points, timestamps, epochs, free
+        lists, v2t anchors, vertex grid, counters) to exactly the state
+        a scalar loop would have produced.  Batch and scalar paths may
+        locate through different seed tets, but cavity membership is
+        predicate-determined, so the resulting topology is identical.
+        """
+        mesh = self.mesh
+        acc = self._acc
+        if acc is None:
+            acc = self._acc = _accel.AccelScratch()
+        p0 = points[start]
+        seed = self._locate_seed(float(p0[0]), float(p0[1]), float(p0[2]))
+        free_t = mesh._free_tets
+        gen0 = next(self._cav_gen)
+        v_base = len(mesh.points)
+        out = acc.insert_many(mesh, points[start:start + _accel._BATCH_CAP],
+                              seed, self._walk_state, gen0, v_base,
+                              len(free_t))
+        n_done = int(out[0])
+        n_gens = int(out[1])
+        # Keep the shared generation allocator ahead of every generation
+        # the batch consumed (one per attempted point; one was already
+        # drawn above).
+        cav_gen = self._cav_gen
+        for _ in range(n_gens - 1):
+            next(cav_gen)
+        self._walk_state = int(out[2])
+        counters = self.counters
+        stats = STATS
+        n_o = int(out[5])
+        n_i = int(out[6])
+        stats.orient3d_calls += n_o
+        stats.orient3d_filtered += n_o
+        stats.insphere_calls += n_i
+        stats.insphere_filtered += n_i
+        counters.walk_steps += int(out[4])
+        if n_done == 0:
+            counters.accel_retries += 1
+            return 0
+        self._last_located = int(out[3])
+        counters.locate_calls += n_done
+        counters.cavity_calls += n_done
+        counters.cavity_tets += int(out[7])
+        counters.accel_inserts += n_done
+        counters.accel_batch_calls += 1
+        counters.accel_batch_inserts += n_done
+        rec = acc.rec
+        pos = 0
+        epoch = mesh.tet_epoch
+        ccs = mesh.tet_cc
+        v2t = mesh.v2t
+        tail = mesh.tet_top
+        gk = self._grid_key
+        vgrid = self._vgrid
+        for k in range(n_done):
+            p = points[start + k]
+            vnew = mesh.add_vertex(
+                (float(p[0]), float(p[1]), float(p[2]))
+            )
+            ncav = int(rec[pos])
+            nb = int(rec[pos + 1])
+            consumed = int(rec[pos + 2])
+            pos += 3
+            cav = rec[pos:pos + ncav].tolist()
+            pos += ncav
+            newt = rec[pos:pos + nb].tolist()
+            pos += nb
+            rows = rec[pos:pos + 4 * nb].tolist()
+            pos += 4 * nb
+            if consumed:
+                del free_t[-consumed:]
+            for j in range(nb):
+                t = newt[j]
+                if t < tail:  # recycled slot
+                    epoch[t] += 1
+                    ccs[t] = None
+                else:  # fresh slots arrive in sequential tail order
+                    epoch.append(0)
+                    ccs.append(None)
+                    tail = t + 1
+                b = 4 * j
+                v2t[rows[b]] = t
+                v2t[rows[b + 1]] = t
+                v2t[rows[b + 2]] = t
+                v2t[rows[b + 3]] = t
+            free_t.extend(cav)
+            mesh.n_live_tets += nb - ncav
+            vgrid[gk(p[0], p[1], p[2])] = vnew
+            if len(mesh.points) > self._vgrid_cap:
+                self._regrid()
+            results.append(vnew)
+        mesh.tet_top = tail
+        return n_done
+
     def _insert_point_py(self, p: Sequence[float],
                          hint: Optional[int] = None, touch: TouchFn = None
                          ) -> Tuple[int, List[int], List[int]]:
         """Pure-Python insertion (filtered predicates + exact fallback)."""
-        mesh = self.mesh
         cavity, boundary = self.compute_cavity(p, hint, touch)
+        return self._commit_insertion(p, cavity, boundary)
+
+    def _commit_insertion(self, p: Sequence[float], cavity: List[int],
+                          boundary: List[Tuple[int, int]]
+                          ) -> Tuple[int, List[int], List[int]]:
+        """Validate and commit a precomputed cavity (pure Python).
+
+        The tail of the historical ``_insert_point_py``: everything after
+        the cavity search.  Shared by the sequential Python path and the
+        two-phase speculative path (which computes the cavity lock-free,
+        then acquires every vertex lock before calling this).  Raises
+        :class:`InsertionError` with the triangulation untouched when the
+        cavity is degenerate.
+        """
+        mesh = self.mesh
         nb = len(boundary)
 
         bt = np.fromiter((b[0] for b in boundary), dtype=np.intp, count=nb)
@@ -849,11 +1242,15 @@ class Triangulation3D:
         # Scalar loop: the "last new tet wins" ordering is part of the
         # deterministic contract.
         v2t = mesh.v2t
-        tet_verts = mesh.tet_verts
         v2t[vnew] = new_tets[0]
-        for nt in new_tets:
-            for v in tet_verts[nt]:
-                v2t[v] = nt
+        nv_rows = new_verts.tolist()
+        for r in range(nb):
+            nt = new_tets[r]
+            row = nv_rows[r]
+            v2t[row[0]] = nt
+            v2t[row[1]] = nt
+            v2t[row[2]] = nt
+            v2t[row[3]] = nt
 
         # Store the circumsphere records computed during validation (the
         # quads held exactly the new tets' coordinates: boundary face + p).
@@ -899,8 +1296,9 @@ class Triangulation3D:
         if not ball:
             raise RemovalError(f"vertex {v} has no incident tetrahedra")
         if touch is not None:
+            tva = mesh.tet_verts_arr
             for t in ball:
-                for w in mesh.tet_verts[t]:
+                for w in tva[t].tolist():
                     touch(w)
 
         # Hole boundary: the face opposite v in each ball tet, plus its
@@ -918,28 +1316,44 @@ class Triangulation3D:
                     link_seen.add(w)
                     link.append(w)
 
-        from repro.geometry.quality import tet_volume
-
-        self._pending_ball_volume = sum(
-            abs(tet_volume(*self.tet_points(t))) for t in ball
+        self._pending_ball_volume = self._abs_volume_sum(
+            mesh.tet_verts_arr[np.asarray(ball, dtype=np.int64)]
         )
-        # Two fill strategies, both verified against the hole boundary
-        # before any mutation:
+        # Fill strategies, all verified against the hole boundary before
+        # any mutation:
+        #  0. the C gift-wrap kernel (sequential path only): identical
+        #     decisions to strategy 1 when every filter is conclusive,
+        #     RETRY into the Python strategies otherwise;
         #  1. boundary-conforming Delaunay gift-wrapping (advancing front
         #     seeded with the hole's own boundary faces, min-id tie-break);
         #  2. fallback: local Delaunay triangulation of the link replayed
         #     in global insertion-timestamp order (the paper's approach).
         fill = None
         errors = []
-        for strategy in (self._fill_hole_giftwrap, self._fill_hole_local_dt):
-            try:
-                candidate = strategy(p, link, hole_faces, ball)
-                self._verify_fill(candidate, hole_faces)
-            except RemovalError as exc:
-                errors.append(f"{strategy.__name__}: {exc}")
-                continue
-            fill = candidate
-            break
+        if touch is None and _accel.bw_remove is not None:
+            candidate = self._fill_hole_c(link, hole_faces, ball)
+            if candidate is None:
+                self.counters.accel_remove_retries += 1
+            else:
+                try:
+                    self._verify_fill(candidate, hole_faces)
+                except RemovalError as exc:
+                    errors.append(f"_fill_hole_c: {exc}")
+                    self.counters.accel_remove_retries += 1
+                else:
+                    fill = candidate
+                    self.counters.accel_removals += 1
+        if fill is None:
+            for strategy in (self._fill_hole_giftwrap,
+                             self._fill_hole_local_dt):
+                try:
+                    candidate = strategy(p, link, hole_faces, ball)
+                    self._verify_fill(candidate, hole_faces)
+                except RemovalError as exc:
+                    errors.append(f"{strategy.__name__}: {exc}")
+                    continue
+                fill = candidate
+                break
         if fill is None:
             raise RemovalError(
                 "ball re-triangulation failed (" + "; ".join(errors) + ")"
@@ -947,53 +1361,107 @@ class Triangulation3D:
         boundary_faces = set(hole_faces.keys())
 
         # ---- commit ----
-        # Resolve each boundary face's outside neighbor *and* the slot in
-        # that neighbor pointing back into the ball before killing any
-        # tet: killed slots get recycled by add_tet, which would make the
-        # stale back-pointers ambiguous.
-        ext: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
-        for key, (t, li) in hole_faces.items():
-            o = int(mesh.tet_adj[t][li])
-            j = mesh.neighbor_index(o, t) if o != HULL else -1
-            ext[key] = (o, j)
+        # Under speculative execution the mutation burst must not
+        # interleave with a two-phase insertion commit: concurrent
+        # operations are disjoint by the lock protocol, but the shared
+        # free lists and epoch lists are not safe to mutate from two
+        # threads at once.
+        commit_lock = self._commit_lock if touch is not None else None
+        if commit_lock is not None:
+            commit_lock.acquire()
+        try:
+            # Resolve each boundary face's outside neighbor *and* the
+            # slot in that neighbor pointing back into the ball before
+            # killing any tet: killed slots get recycled by add_tet,
+            # which would make the stale back-pointers ambiguous.
+            ext: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+            for key, (t, li) in hole_faces.items():
+                o = int(mesh.tet_adj[t][li])
+                j = mesh.neighbor_index(o, t) if o != HULL else -1
+                ext[key] = (o, j)
 
-        for t in ball:
-            mesh.kill_tet(t)
-        mesh.kill_vertex(v)
-        gkey = self._grid_key(p[0], p[1], p[2])
-        if self._vgrid.get(gkey) == v:
-            del self._vgrid[gkey]
+            for t in ball:
+                mesh.kill_tet(t)
+            mesh.kill_vertex(v)
+            gkey = self._grid_key(p[0], p[1], p[2])
+            if self._vgrid.get(gkey) == v:
+                del self._vgrid[gkey]
 
-        new_tets: List[int] = []
-        face_map: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
-        for tet in fill:
-            a, b, c, d = tet
-            if orient3d(pts[a], pts[b], pts[c], pts[d]) < 0:
-                tet = (b, a, c, d)
-            nt = mesh.add_tet(tet)
-            new_tets.append(nt)
-            for i in range(4):
-                f = tuple(sorted(tet[j] for j in range(4) if j != i))
-                if f in boundary_faces:
-                    o, j = ext[f]
-                    mesh.tet_adj[nt][i] = o
-                    if o != HULL:
-                        mesh.tet_adj[o][j] = nt
-                else:
-                    other = face_map.pop(f, None)
-                    if other is None:
-                        face_map[f] = (nt, i)
+            new_tets: List[int] = []
+            face_map: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+            for tet in fill:
+                a, b, c, d = tet
+                if orient3d(pts[a], pts[b], pts[c], pts[d]) < 0:
+                    tet = (b, a, c, d)
+                    a, b = b, a
+                nt = mesh.add_tet(tet)
+                new_tets.append(nt)
+                for i, f3 in enumerate(((b, c, d), (a, c, d),
+                                        (a, b, d), (a, b, c))):
+                    f = tuple(sorted(f3))
+                    if f in boundary_faces:
+                        o, j = ext[f]
+                        mesh.tet_adj[nt][i] = o
+                        if o != HULL:
+                            mesh.tet_adj[o][j] = nt
                     else:
-                        mesh.set_mutual_adjacency(nt, i, other[0], other[1])
+                        other = face_map.pop(f, None)
+                        if other is None:
+                            face_map[f] = (nt, i)
+                        else:
+                            mesh.set_mutual_adjacency(
+                                nt, i, other[0], other[1]
+                            )
 
-        for nt in new_tets:
-            for w in mesh.tet_verts[nt]:
-                mesh.v2t[w] = nt
+            tva = mesh.tet_verts_arr
+            v2t = mesh.v2t
+            for nt in new_tets:
+                for w in tva[nt].tolist():
+                    v2t[w] = nt
+        finally:
+            if commit_lock is not None:
+                commit_lock.release()
         return new_tets, ball
 
     # ------------------------------------------------------------------
     # hole-filling strategies for vertex removal
     # ------------------------------------------------------------------
+    def _fill_hole_c(self, link, hole_faces, ball):
+        """C gift-wrap fill; ``None`` means "run the Python strategies".
+
+        Marshals the hole boundary (in ``hole_faces`` insertion order —
+        the order ``_fill_hole_giftwrap``'s dict front replicates) and
+        the sorted link into the accelerator scratch and runs the
+        advancing-front kernel.  Every conclusive decision it makes is
+        identical to the Python strategy's exact arithmetic; any
+        inconclusive filter, cospherical tie or degeneracy returns the
+        retry sentinel with nothing mutated.  The caller still runs
+        ``_verify_fill`` on the result, so the C path sits behind the
+        same safety net as the Python strategies.
+        """
+        mesh = self.mesh
+        acc = self._acc
+        if acc is None:
+            acc = self._acc = _accel.AccelScratch()
+        tva = mesh.tet_verts_arr
+        faces_flat: List[int] = []
+        for t, li in hole_faces.values():
+            faces_flat.extend(tva[t].tolist())
+            faces_flat.append(li)
+        n = acc.remove(mesh, faces_flat, sorted(link), len(ball))
+        out = acc.out_i
+        n_o = int(out[0])
+        n_i = int(out[1])
+        stats = STATS
+        stats.orient3d_calls += n_o
+        stats.orient3d_filtered += n_o
+        stats.insphere_calls += n_i
+        stats.insphere_filtered += n_i
+        if n < 0:
+            return None
+        flat = acc.fill[:4 * n].tolist()
+        return [tuple(flat[4 * j:4 * j + 4]) for j in range(n)]
+
     def _fill_hole_giftwrap(self, p, link, hole_faces, ball):
         """Delaunay gift-wrapping of the removal ball.
 
@@ -1012,7 +1480,7 @@ class Triangulation3D:
         # oriented tet on the *remaining hole* side of the face.
         front: Dict[Tuple[int, int, int], Tuple[List[int], int]] = {}
         for key, (t, li) in hole_faces.items():
-            template = list(mesh.tet_verts[t])
+            template = mesh.tet_verts_arr[t].tolist()
             front[key] = (template, li)
 
         link_sorted = sorted(link)
@@ -1137,7 +1605,7 @@ class Triangulation3D:
         for lt, s in zip(lids.tolist(), signs.tolist()):
             if s <= 0:
                 continue
-            lverts = lmesh.tet_verts[lt]
+            lverts = lmesh.tet_verts_arr[lt].tolist()
             if any(lw not in l2g for lw in lverts):
                 continue
             fill.append(tuple(l2g[lw] for lw in lverts))
@@ -1153,14 +1621,10 @@ class Triangulation3D:
         guards against abstractly-paired but geometrically overlapping
         configurations.
         """
-        from repro.geometry.quality import tet_volume
-
-        mesh = self.mesh
-        pts = mesh.points
         face_count: Dict[Tuple[int, int, int], int] = {}
-        for tet in fill:
-            for i in range(4):
-                f = tuple(sorted(tet[j] for j in range(4) if j != i))
+        for a, b, c, d in fill:
+            for f3 in ((b, c, d), (a, c, d), (a, b, d), (a, b, c)):
+                f = tuple(sorted(f3))
                 face_count[f] = face_count.get(f, 0) + 1
         if any(c > 2 for c in face_count.values()):
             raise RemovalError("fill face shared by more than two tets")
@@ -1168,13 +1632,32 @@ class Triangulation3D:
         if boundary != set(hole_faces.keys()):
             raise RemovalError("fill does not tile the removal ball")
 
-        fill_volume = sum(
-            abs(tet_volume(pts[a], pts[b], pts[c], pts[d]))
-            for (a, b, c, d) in fill
+        fill_volume = self._abs_volume_sum(
+            np.asarray(fill, dtype=np.int64)
         )
         ball_volume = self._pending_ball_volume
         if abs(fill_volume - ball_volume) > 1e-6 * max(1.0, ball_volume):
             raise RemovalError("fill volume does not match ball volume")
+
+    def _abs_volume_sum(self, vrows: np.ndarray) -> float:
+        """Sum of |tet volume| over (n, 4) vertex-id rows, batched.
+
+        Only feeds the removal tolerance check (1e-6 relative), so the
+        numpy summation-order difference vs a scalar loop is harmless.
+        """
+        P = self.mesh.coords[vrows]
+        d = P[:, 3]
+        ad = P[:, 0] - d
+        bd = P[:, 1] - d
+        cd = P[:, 2] - d
+        # explicit cross/dot: np.cross pays moveaxis overhead per call,
+        # which dominates at removal-ball sizes (~25 rows)
+        vol6 = (
+            ad[:, 0] * (bd[:, 1] * cd[:, 2] - bd[:, 2] * cd[:, 1])
+            + ad[:, 1] * (bd[:, 2] * cd[:, 0] - bd[:, 0] * cd[:, 2])
+            + ad[:, 2] * (bd[:, 0] * cd[:, 1] - bd[:, 1] * cd[:, 0])
+        )
+        return float(np.abs(vol6).sum()) / 6.0
 
     # ------------------------------------------------------------------
     # validation (test / debug helpers)
@@ -1184,7 +1667,7 @@ class Triangulation3D:
         mesh = self.mesh
         pts = mesh.points
         for t in mesh.live_tets():
-            verts = mesh.tet_verts[t]
+            verts = mesh.tet_verts_arr[t].tolist()
             a, b, c, d = (pts[verts[0]], pts[verts[1]], pts[verts[2]], pts[verts[3]])
             assert orient3d(a, b, c, d) > 0, f"tet {t} not positively oriented"
             adj = mesh.tet_adj[t]
@@ -1194,7 +1677,7 @@ class Triangulation3D:
                     continue
                 assert mesh.is_live(nbr), f"tet {t} adj to dead tet {nbr}"
                 face = set(mesh.face_opposite(t, i))
-                nface_ok = face.issubset(set(mesh.tet_verts[nbr]))
+                nface_ok = face.issubset(set(mesh.tet_verts_arr[nbr].tolist()))
                 assert nface_ok, f"face mismatch {t}/{nbr}"
                 j = mesh.neighbor_index(nbr, t)
                 assert set(mesh.face_opposite(nbr, j)) == face, \
@@ -1221,7 +1704,7 @@ class Triangulation3D:
         pv = mesh.coords[lv]
         ccs = mesh.tet_cc
         for t in mesh.live_tets():
-            verts = mesh.tet_verts[t]
+            verts = mesh.tet_verts_arr[t].tolist()
             ent = ccs[t]
             if ent is None:
                 ent = self._cc_entry(t)

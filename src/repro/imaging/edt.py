@@ -63,22 +63,20 @@ class EDTResult:
         return tuple(int(x) for x in np.unravel_index(flat, self.shape))
 
 
-def _scan_line(f: np.ndarray, feat: np.ndarray, w2: float) -> None:
-    """One 1D lower-envelope pass, in place.
+def _scan_line_lists(f_in: list, feat_in: list, w2: float):
+    """One 1D lower-envelope pass over plain Python lists.
 
-    ``f`` holds the current squared distances along the line, ``feat``
-    the carried feature ids.  After the call, ``f[i]`` is
-    ``min_j (i-j)^2 * w2 + f_in[j]`` and ``feat[i]`` the feature of the
-    minimising ``j``.  Classic Felzenszwalb-Huttenlocher parabolas.
+    ``f_in`` holds the current squared distances along the line,
+    ``feat_in`` the carried feature ids.  Returns ``(out_f, out_feat)``
+    where ``out_f[i]`` is ``min_j (i-j)^2 * w2 + f_in[j]`` and
+    ``out_feat[i]`` the feature of the minimising ``j``, or ``None``
+    when no site reaches the line yet (distances stay infinite).
+    Classic Felzenszwalb-Huttenlocher parabolas.
     """
-    n = f.shape[0]
-    # Work on plain Python lists: elementwise numpy indexing boxes a
-    # scalar per access and dominates the runtime of this hot loop.
-    f_in = f.tolist()
-    feat_in = feat.tolist()
+    n = len(f_in)
     finite = [q for q in range(n) if f_in[q] != _INF]
     if not finite:
-        return  # no sites reach this line yet; distances stay infinite
+        return None
 
     m = len(finite)
     v = [0] * m          # parabola vertex positions
@@ -112,42 +110,69 @@ def _scan_line(f: np.ndarray, feat: np.ndarray, w2: float) -> None:
         p = v[k]
         out_f[q] = (q - p) * (q - p) * w2 + f_in[p]
         out_feat[q] = feat_in[p]
-    f[:] = out_f
-    feat[:] = out_feat
+    return out_f, out_feat
+
+
+def _scan_line(f: np.ndarray, feat: np.ndarray, w2: float) -> None:
+    """In-place 1D envelope pass on numpy line views (scalar shim)."""
+    out = _scan_line_lists(f.tolist(), feat.tolist(), w2)
+    if out is None:
+        return
+    f[:] = out[0]
+    feat[:] = out[1]
 
 
 def _pass_axis(dist2: np.ndarray, feat: np.ndarray, axis: int, w: float,
                pool: Optional[ThreadPoolExecutor]) -> None:
-    """Run the 1D envelope scan over every line along ``axis``."""
+    """Run the 1D envelope scan over every line along ``axis``.
+
+    Lines are batched per 2D slab: one ``.tolist()`` and one write-back
+    covers a whole plane of lines, amortising the numpy boxing overhead
+    that a per-line conversion pays ``shape[u] * shape[v]`` times.  The
+    per-line arithmetic (``_scan_line_lists``) is unchanged, so results
+    are bit-identical to the row-at-a-time formulation.
+    """
     w2 = w * w
-    # Basic slicing keeps views for any axis (a moveaxis+reshape would
-    # silently copy for non-last axes and the pass would mutate the copy).
-    other = [a for a in range(3) if a != axis]
-    shape = dist2.shape
-    indexers = []
-    for u in range(shape[other[0]]):
-        for v in range(shape[other[1]]):
-            key = [slice(None)] * 3
-            key[other[0]] = u
-            key[other[1]] = v
-            indexers.append(tuple(key))
-    n_lines = len(indexers)
+    # Fix one non-scan dimension per slab, chosen so the scan axis is
+    # the slab's *last* dimension whenever possible (tolist() rows are
+    # then the scan lines).  Only axis 0 needs a transpose.  Basic
+    # slicing keeps views, so the write-back mutates the real arrays.
+    fix_dim = 0 if axis == 2 else 2
+    transpose = axis == 0
+    n_slabs = dist2.shape[fix_dim]
 
     def run(lo: int, hi: int) -> None:
-        for r in range(lo, hi):
-            key = indexers[r]
-            line_d = dist2[key]
-            line_f = feat[key]
-            _scan_line(line_d, line_f, w2)
+        key = [slice(None)] * 3
+        for u in range(lo, hi):
+            key[fix_dim] = u
+            skey = tuple(key)
+            slab_d = dist2[skey]
+            slab_f = feat[skey]
+            rows_d = (slab_d.T if transpose else slab_d).tolist()
+            rows_f = (slab_f.T if transpose else slab_f).tolist()
+            changed = False
+            for r in range(len(rows_d)):
+                out = _scan_line_lists(rows_d[r], rows_f[r], w2)
+                if out is not None:
+                    rows_d[r], rows_f[r] = out
+                    changed = True
+            if not changed:
+                continue  # no sites reach this slab; leave it infinite
+            if transpose:
+                slab_d[:] = np.asarray(rows_d, dtype=np.float64).T
+                slab_f[:] = np.asarray(rows_f, dtype=np.int64).T
+            else:
+                slab_d[:] = rows_d
+                slab_f[:] = rows_f
 
     if pool is None:
-        run(0, n_lines)
+        run(0, n_slabs)
     else:
         n_chunks = pool._max_workers * 4
-        step = max(1, (n_lines + n_chunks - 1) // n_chunks)
+        step = max(1, (n_slabs + n_chunks - 1) // n_chunks)
         futures = [
-            pool.submit(run, lo, min(lo + step, n_lines))
-            for lo in range(0, n_lines, step)
+            pool.submit(run, lo, min(lo + step, n_slabs))
+            for lo in range(0, n_slabs, step)
         ]
         for fut in futures:
             fut.result()

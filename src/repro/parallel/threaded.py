@@ -135,6 +135,13 @@ def _parallel_mesh_image(
     worker thread (the tracer's ring buffer takes GIL-atomic appends).
     """
     domain = RefineDomain(image, delta=delta, size_function=size_function)
+    # Real threads use the two-phase insertion protocol: compute the
+    # cavity optimistically without locks, acquire every vertex lock up
+    # front, validate, then commit — through the C kernel when
+    # available.  The protocol is identical with and without the
+    # accelerator (the commit falls back to the Python batch commit), so
+    # REPRO_ACCEL=0 produces the same meshes.
+    domain.tri._two_phase = True
     if placement is None:
         placement = flat_placement(n_threads)
     shared = SharedState(n_threads, obs=obs)

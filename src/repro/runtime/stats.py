@@ -119,6 +119,9 @@ def publish_kernel_stats(registry: "MetricsRegistry", counters,
         counters.cavity_tets / counters.cavity_calls
         if counters.cavity_calls else 0.0
     )
+    registry.gauge("kernel.mean_commit_seconds").set(
+        counters.mean_commit_seconds
+    )
     for name, value in predicate_delta.items():
         registry.gauge(f"kernel.predicates.{name}").set(value)
     decisions = (predicate_delta.get("orient3d_calls", 0)
@@ -157,6 +160,12 @@ def kernel_report(counters, predicate_delta: Dict[str, int]) -> str:
         f"  mean cavity size      {mean_cavity:>10.2f}",
         f"accelerated inserts     {counters.accel_inserts:>10}"
         f"  (retries {counters.accel_retries})",
+        f"  batched               {counters.accel_batch_inserts:>10}"
+        f"  ({counters.accel_batch_calls} crossings)",
+        f"accelerated removals    {counters.accel_removals:>10}"
+        f"  (retries {counters.accel_remove_retries})",
+        f"two-phase commits       {counters.commits:>10}"
+        f"  (mean {counters.mean_commit_seconds * 1e6:.1f} us)",
         f"predicate decisions     {decisions:>10}",
         f"  orient3d/insphere     {o_calls:>6}/{i_calls}"
         f"  cc-entry {cc}  batch {batch}",

@@ -47,6 +47,49 @@ def replay_insert(seed, n_points, lo=0.02, hi=0.98):
     return tri
 
 
+def replay_insert_many(seed, n_points, lo=0.02, hi=0.98):
+    rng = random.Random(seed)
+    pts = [
+        tuple(rng.uniform(lo, hi) for _ in range(3))
+        for _ in range(n_points)
+    ]
+    tri = Triangulation3D((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    inserted = tri.insert_many(pts)
+    return tri, sum(1 for v in inserted if v is not None)
+
+
+def replay_insert_remove(case, lo=0.05, hi=0.95):
+    rng = random.Random(case["seed"])
+    tri = Triangulation3D((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    verts = []
+    hint = None
+    for _ in range(case["n_points"]):
+        p = tuple(rng.uniform(lo, hi) for _ in range(3))
+        v, ntets, _ = tri.insert_point(p, hint)
+        verts.append(v)
+        hint = ntets[0]
+    order = list(verts)
+    random.Random(5).shuffle(order)
+    removed = 0
+    for v in order[:80]:
+        try:
+            tri.remove_vertex(v)
+            removed += 1
+        except RemovalError:
+            pass
+    return tri, removed
+
+
+# Every ctypes entry point the kernel dispatches on; disabling the
+# accelerator for a parity run must null all of them.
+ALL_ACCEL_HANDLES = ("bw_insert", "bw_commit", "bw_insert_many", "bw_remove")
+
+
+def disable_accel(monkeypatch):
+    for name in ALL_ACCEL_HANDLES:
+        monkeypatch.setattr(_accel, name, None)
+
+
 class TestInsertGoldens:
     @pytest.mark.parametrize(
         "case", GOLDEN["insert"], ids=lambda c: f"seed{c['seed']}"
@@ -67,29 +110,93 @@ class TestInsertGoldens:
 class TestInsertRemoveGolden:
     def test_insert_remove_topology(self):
         case = GOLDEN["insert_remove"]
-        rng = random.Random(case["seed"])
-        tri = Triangulation3D((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
-        verts = []
-        hint = None
-        for _ in range(case["n_points"]):
-            p = tuple(rng.uniform(0.05, 0.95) for _ in range(3))
-            v, ntets, _ = tri.insert_point(p, hint)
-            verts.append(v)
-            hint = ntets[0]
-        order = list(verts)
-        random.Random(5).shuffle(order)
-        removed = 0
-        for v in order[:80]:
-            try:
-                tri.remove_vertex(v)
-                removed += 1
-            except RemovalError:
-                pass
+        tri, removed = replay_insert_remove(case)
         assert removed == case["n_removed"]
         assert tri.n_vertices == case["n_vertices"]
         assert tri.n_tets == case["n_tets"]
         assert topo_hash(tri.mesh) == case["topology_sha256"]
         tri.validate_topology()
+
+
+class TestBatchedInsertGoldens:
+    """``insert_many`` must produce the same topology as the scalar
+    hint-chained loop the insert goldens pin — on both kernel paths."""
+
+    @pytest.mark.parametrize(
+        "case", GOLDEN["insert_many"], ids=lambda c: f"seed{c['seed']}"
+    )
+    def test_batched_topology_matches_golden(self, case):
+        tri, n_ok = replay_insert_many(case["seed"], case["n_points"])
+        assert n_ok == case["n_inserted"]
+        assert tri.n_vertices == case["n_vertices"]
+        assert tri.n_tets == case["n_tets"]
+        assert topo_hash(tri.mesh) == case["topology_sha256"]
+        tri.validate_topology()
+
+    def test_python_path_reproduces_goldens(self, monkeypatch):
+        disable_accel(monkeypatch)
+        case = GOLDEN["insert_many"][-1]
+        tri, n_ok = replay_insert_many(case["seed"], case["n_points"])
+        assert n_ok == case["n_inserted"]
+        assert topo_hash(tri.mesh) == case["topology_sha256"]
+        assert tri.counters.accel_batch_inserts == 0
+
+    def test_batched_matches_scalar_golden(self):
+        # The batched path changes walk seeds (each insert walks from
+        # the previous insert's first new tet inside C) but cavity
+        # membership is geometric, so the topology hash must equal the
+        # scalar insert golden for the same seed.
+        batched = {c["seed"]: c for c in GOLDEN["insert_many"]}
+        scalar = {c["seed"]: c for c in GOLDEN["insert"]}
+        for seed, case in batched.items():
+            assert case["topology_sha256"] == \
+                scalar[seed]["topology_sha256"]
+
+    @pytest.mark.skipif(
+        not _accel.AVAILABLE, reason="C accelerator unavailable"
+    )
+    def test_batch_kernel_engaged(self):
+        case = GOLDEN["insert_many"][0]
+        tri, _ = replay_insert_many(case["seed"], case["n_points"])
+        c = tri.counters
+        # nearly everything rides a batch; crossings stay amortised
+        assert c.accel_batch_inserts > case["n_points"] * 0.9
+        assert c.accel_batch_calls <= 10
+
+
+class TestRemovalParity:
+    """The C removal kernel and the Python strategies must agree."""
+
+    def test_python_path_reproduces_golden(self, monkeypatch):
+        disable_accel(monkeypatch)
+        case = GOLDEN["insert_remove"]
+        tri, removed = replay_insert_remove(case)
+        assert removed == case["n_removed"]
+        assert topo_hash(tri.mesh) == case["topology_sha256"]
+        assert tri.counters.accel_removals == 0
+
+    @pytest.mark.skipif(
+        not _accel.AVAILABLE, reason="C accelerator unavailable"
+    )
+    def test_removal_kernel_engaged(self):
+        case = GOLDEN["insert_remove"]
+        tri, removed = replay_insert_remove(case)
+        c = tri.counters
+        assert c.accel_removals > removed * 0.8
+        assert c.accel_remove_retries < removed // 5 + 2
+
+    @pytest.mark.skipif(
+        not _accel.AVAILABLE, reason="C accelerator unavailable"
+    )
+    def test_both_removal_paths_agree_off_golden(self, monkeypatch):
+        case = {"seed": 77, "n_points": 180}
+        fast, fast_removed = replay_insert_remove(case)
+        disable_accel(monkeypatch)
+        slow, slow_removed = replay_insert_remove(case)
+        assert fast_removed == slow_removed
+        assert fast.n_vertices == slow.n_vertices
+        assert fast.n_tets == slow.n_tets
+        assert topo_hash(fast.mesh) == topo_hash(slow.mesh)
 
 
 class TestRefineGoldens:

@@ -1,10 +1,90 @@
 """Lock-hygiene invariants: no operation leaks vertex locks."""
 
+import random
+
 import pytest
 
+from repro.delaunay import RollbackSignal, Triangulation3D
 from repro.imaging import sphere_phantom
 from repro.parallel import parallel_mesh_image
 from repro.simnuma import SimEngine, simulate_parallel_refinement
+
+
+def _seeded_tri(n=60, seed=3, two_phase=True):
+    rng = random.Random(seed)
+    tri = Triangulation3D((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    for _ in range(n):
+        tri.insert_point(tuple(rng.uniform(0.1, 0.9) for _ in range(3)))
+    tri._two_phase = two_phase
+    return tri
+
+
+def _topo(tri):
+    mesh = tri.mesh
+    return sorted(
+        tuple(sorted(mesh.tet_verts[t])) for t in mesh.live_tets()
+    )
+
+
+class TestTwoPhaseLockHygiene:
+    """Acquire-all-then-commit: every vertex lock is taken before any
+    mutation, and a C-commit RETRY never drops a held lock."""
+
+    def test_all_locks_acquired_before_any_mutation(self):
+        tri = _seeded_tri()
+        mesh = tri.mesh
+        observed = []
+
+        def touch(v):
+            observed.append((mesh.n_live_tets, mesh.tet_top,
+                             len(mesh.points)))
+
+        tri.insert_point((0.421, 0.537, 0.618), touch=touch)
+        # Every touch call saw the same pre-commit mesh: the lock
+        # acquisition phase finished before the first mutation.
+        assert len(observed) >= 4
+        assert len(set(observed)) == 1
+
+    def test_rollback_mid_acquisition_leaves_mesh_untouched(self):
+        tri = _seeded_tri()
+        before = _topo(tri)
+        acquired = []
+
+        def touch(v):
+            acquired.append(v)
+            if len(acquired) == 3:
+                raise RollbackSignal(owner=1)
+
+        with pytest.raises(RollbackSignal):
+            tri.insert_point((0.421, 0.537, 0.618), touch=touch)
+        # Nothing was committed; the caller (worker loop) releases the
+        # locks it recorded, so there is no lock to leak here.
+        assert _topo(tri) == before
+        tri.validate_topology()
+        # The triangulation is still operable.
+        tri.insert_point((0.421, 0.537, 0.618))
+        tri.validate_topology()
+
+    def test_c_retry_falls_back_without_dropping_locks(self, monkeypatch):
+        # Force the C commit to report RETRY: the Python batch commit
+        # must finish the insertion under the *same* held locks (no
+        # release/re-acquire, no extra touch calls).
+        point = (0.421, 0.537, 0.618)
+        ref = _seeded_tri()
+        ref_touch = []
+        ref.insert_point(point, touch=ref_touch.append)
+        ref_hash = _topo(ref)
+
+        tri = _seeded_tri()
+        monkeypatch.setattr(
+            Triangulation3D, "_commit_insertion_c",
+            lambda self, *a, **k: None,
+        )
+        seen = []
+        tri.insert_point(point, touch=seen.append)
+        assert seen == ref_touch  # identical acquisition, no re-locking
+        assert _topo(tri) == ref_hash
+        tri.validate_topology()
 
 
 class TestSimulatorLockHygiene:

@@ -5,8 +5,15 @@ final mesh passes the same validity/quality checks as a sequential run
 — plus protocol liveness at small thread counts.
 """
 
+import hashlib
+import os
+import pathlib
+import subprocess
+import sys
+
 import pytest
 
+from repro import _accel
 from repro.imaging import shell_phantom, sphere_phantom
 from repro.metrics import quality_report
 from repro.parallel import parallel_mesh_image
@@ -56,3 +63,59 @@ class TestParallelThreads:
         assert res.totals["operations"] > 0
         assert res.wall_time > 0
         assert len(res.thread_stats) == 4
+
+
+def _topo_hash(mesh):
+    tets = sorted(
+        tuple(sorted(mesh.tet_verts[t])) for t in mesh.live_tets()
+    )
+    blob = ";".join(",".join(map(str, t)) for t in tets).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+_DETERMINISM_SNIPPET = """
+import hashlib
+from repro.imaging import sphere_phantom
+from repro.parallel.threaded import _parallel_mesh_image
+from repro import _accel
+assert _accel.bw_insert is None, "REPRO_ACCEL=0 must disable the accel"
+res = _parallel_mesh_image(sphere_phantom(12), n_threads=1, delta=3.0,
+                           seed=0, timeout=240.0)
+mesh = res.domain.tri.mesh
+tets = sorted(tuple(sorted(mesh.tet_verts[t])) for t in mesh.live_tets())
+blob = ";".join(",".join(map(str, t)) for t in tets).encode()
+print(hashlib.sha256(blob).hexdigest())
+"""
+
+
+class TestThreadedDeterminism:
+    """The two-phase C fast path must not change the threaded refiner's
+    output: at one thread the schedule is deterministic, so the mesh
+    with the C commit engaged must be bit-identical (topology hash) to
+    a ``REPRO_ACCEL=0`` run of the same workload."""
+
+    @pytest.mark.skipif(
+        not _accel.AVAILABLE, reason="C accelerator unavailable"
+    )
+    def test_single_thread_matches_python_path(self):
+        from repro.parallel.threaded import _parallel_mesh_image
+
+        res = _parallel_mesh_image(sphere_phantom(12), n_threads=1,
+                                   delta=3.0, seed=0, timeout=240.0)
+        counters = res.domain.tri.counters
+        # the C fast path actually carried the commits...
+        assert counters.commits > 0
+        assert counters.accel_inserts > 0
+        assert counters.mean_commit_seconds > 0.0
+        accel_hash = _topo_hash(res.domain.tri.mesh)
+
+        src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+        env = dict(os.environ, REPRO_ACCEL="0", PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-c", _DETERMINISM_SNIPPET],
+            capture_output=True, text=True, env=env, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        python_hash = proc.stdout.strip().splitlines()[-1]
+        # ...and produced the identical mesh.
+        assert accel_hash == python_hash
