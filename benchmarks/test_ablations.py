@@ -19,7 +19,7 @@ from benchmarks.conftest import publish
 from repro.core.domain import RefineDomain
 from repro.core.refiner import SequentialRefiner
 from repro.reporting import Table
-from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma import _simulate_parallel_refinement as simulate_parallel_refinement
 
 
 @pytest.mark.benchmark(group="ablations")

@@ -14,7 +14,7 @@ from benchmarks.bench_util import delta_for_elements, oracle_for
 from benchmarks.conftest import WEAK_TARGET, publish
 from repro.core.domain import RefineDomain
 from repro.reporting import Table
-from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma import _simulate_parallel_refinement as simulate_parallel_refinement
 
 THREADS = (16, 32, 64, 128, 176)
 

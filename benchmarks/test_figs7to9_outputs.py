@@ -12,7 +12,7 @@ import pytest
 
 from benchmarks.conftest import publish
 from repro.baselines import CGALLikeMesher, TetGenLikeMesher
-from repro.core import mesh_image
+from repro.core import _mesh_image as mesh_image
 from repro.io import save_off_surface, save_vtk
 from repro.reporting import Table
 

@@ -16,7 +16,7 @@ from benchmarks.bench_util import delta_for_elements, oracle_for
 from benchmarks.conftest import WEAK_TARGET, publish
 from repro.core.domain import RefineDomain
 from repro.reporting import Table
-from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma import _simulate_parallel_refinement as simulate_parallel_refinement
 
 THREAD_COUNTS = (128, 256)
 CMS = ("aggressive", "random", "global", "local")

@@ -16,7 +16,7 @@ from benchmarks.bench_util import delta_for_elements, oracle_for
 from benchmarks.conftest import THREAD_STEPS, WEAK_TARGET, publish
 from repro.core.domain import RefineDomain
 from repro.reporting import Table, format_si
-from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma import _simulate_parallel_refinement as simulate_parallel_refinement
 
 
 def run_weak_scaling(image, label):

@@ -14,7 +14,7 @@ from benchmarks.bench_util import delta_for_elements, oracle_for
 from benchmarks.conftest import THREAD_STEPS, WEAK_TARGET, publish
 from repro.core.domain import RefineDomain
 from repro.reporting import Table, format_si
-from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma import _simulate_parallel_refinement as simulate_parallel_refinement
 from repro.simnuma.counters import HTCounterModel
 
 CORES = tuple(c for c in THREAD_STEPS)

@@ -17,7 +17,7 @@ import pytest
 
 from benchmarks.conftest import publish
 from repro.baselines import CGALLikeMesher, TetGenLikeMesher
-from repro.core import mesh_image
+from repro.core import _mesh_image as mesh_image
 from repro.imaging.isosurface import SurfaceOracle
 from repro.metrics import hausdorff_distance, quality_report
 from repro.reporting import Table

@@ -12,7 +12,7 @@ import sys
 
 from repro.imaging import sphere_phantom
 from repro.reporting import Table
-from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma import _simulate_parallel_refinement
 
 
 def main() -> None:
@@ -25,7 +25,7 @@ def main() -> None:
          "contention s", "total overhead s", "livelock"],
     )
     for cm in ("aggressive", "random", "global", "local"):
-        r = simulate_parallel_refinement(
+        r = _simulate_parallel_refinement(
             image, threads, delta=2.5, cm=cm, livelock_horizon=1.0,
         )
         table.add_row([

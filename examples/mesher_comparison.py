@@ -12,7 +12,7 @@ import sys
 import time
 
 from repro.baselines import CGALLikeMesher, TetGenLikeMesher
-from repro.core import mesh_image
+from repro.api import MeshRequest, mesh as mesh_api
 from repro.imaging import SurfaceOracle, knee_phantom
 from repro.metrics import hausdorff_distance, quality_report
 from repro.reporting import Table
@@ -28,7 +28,8 @@ def main() -> None:
 
     # --- PI2M ---
     t0 = time.perf_counter()
-    res = mesh_image(image, delta=2.5)
+    res = mesh_api(MeshRequest(image=image, delta=2.5,
+                   mesher="sequential"))
     t_pi2m = time.perf_counter() - t0
     q = quality_report(res.mesh)
     d = hausdorff_distance(res.mesh, image, oracle)

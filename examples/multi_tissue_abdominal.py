@@ -15,7 +15,8 @@ Run:  python examples/multi_tissue_abdominal.py [n]
 import sys
 from collections import Counter
 
-from repro.core import mesh_image, radial
+from repro.api import MeshRequest, mesh as mesh_api
+from repro.core import radial
 from repro.imaging import abdominal_phantom
 from repro.io import save_tetgen, save_vtk
 from repro.metrics import quality_report
@@ -40,13 +41,14 @@ def main() -> None:
     )
     sf = radial(roi_center, near=2.5, far=8.0, radius=0.5 * n)
 
-    result = mesh_image(image, delta=2.5, size_function=sf)
+    result = mesh_api(MeshRequest(image=image, delta=2.5,
+                                  size_function=sf, mesher="sequential"))
     mesh = result.mesh
 
     q = quality_report(mesh)
     print(f"\nMesh: {mesh.n_tets} tets, {mesh.n_vertices} vertices, "
           f"{len(mesh.boundary_faces)} boundary faces "
-          f"in {result.stats.wall_time:.1f}s")
+          f"in {result.timings['refine_seconds']:.1f}s")
     print(f"Quality: {q.row()}")
 
     table = Table("Per-tissue elements", ["tissue", "label", "elements"])

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py [n] [delta]
 
 import sys
 
-from repro.core import mesh_image
+from repro.api import MeshRequest, mesh
 from repro.imaging import sphere_phantom
 from repro.io import save_off_surface, save_vtk
 from repro.metrics import hausdorff_distance, quality_report
@@ -24,32 +24,35 @@ def main() -> None:
     image = sphere_phantom(n)
 
     print(f"Meshing with delta={delta} (radius-edge < 2, planar angles > 30deg)")
-    result = mesh_image(image, delta=delta)
-    mesh = result.mesh
+    result = mesh(MeshRequest(image=image, delta=delta,
+                              mesher="sequential"))
+    tetmesh = result.mesh
     stats = result.stats
 
-    print(f"\n  elements           : {mesh.n_tets}")
-    print(f"  vertices           : {mesh.n_vertices}")
-    print(f"  boundary triangles : {len(mesh.boundary_faces)}")
-    print(f"  wall time          : {stats.wall_time:.2f} s")
-    print(f"  rate               : {stats.tets_per_second:,.0f} tets/s")
-    print(f"  operations         : {stats.n_operations} "
-          f"({stats.n_insertions} insertions, {stats.n_removals} removals)")
-    print(f"  rules fired        : {stats.rule_counts}")
+    print(f"\n  elements           : {tetmesh.n_tets}")
+    print(f"  vertices           : {tetmesh.n_vertices}")
+    print(f"  boundary triangles : {len(tetmesh.boundary_faces)}")
+    print(f"  wall time          : {result.timings['refine_seconds']:.2f} s")
+    print(f"  rate               : {stats['elements_per_second']:,.0f} tets/s")
+    print(f"  operations         : {stats['operations']} "
+          f"({stats['insertions']} insertions, "
+          f"{stats['removals']} removals)")
+    print(f"  rules fired        : {stats['rule_counts']}")
 
-    q = quality_report(mesh)
+    q = quality_report(tetmesh)
     print(f"\n  max radius-edge ratio        : {q.max_radius_edge:.3f}")
     print(f"  dihedral angles (min, max)   : ({q.min_dihedral_deg:.1f}, "
           f"{q.max_dihedral_deg:.1f}) deg")
     print(f"  min boundary planar angle    : "
           f"{q.min_boundary_planar_angle_deg:.1f} deg")
 
-    d = hausdorff_distance(mesh, image, result.domain.oracle)
+    domain = result.extras["domain"]
+    d = hausdorff_distance(tetmesh, image, domain.oracle)
     print(f"  two-sided Hausdorff distance : {d:.2f} "
-          f"(delta = {result.domain.delta})")
+          f"(delta = {domain.delta})")
 
-    save_vtk(mesh, "quickstart_mesh.vtk")
-    save_off_surface(mesh, "quickstart_surface.off")
+    save_vtk(tetmesh, "quickstart_mesh.vtk")
+    save_off_surface(tetmesh, "quickstart_surface.off")
     print("\nWrote quickstart_mesh.vtk and quickstart_surface.off")
 
 

@@ -12,7 +12,7 @@ Run:  python examples/smoothing_cfd.py [n]
 
 import sys
 
-from repro.core import mesh_image
+from repro.api import MeshRequest, mesh
 from repro.imaging import SurfaceOracle, vascular_phantom
 from repro.io import save_off_surface, save_vtk
 from repro.metrics import hausdorff_distance, quality_report
@@ -26,15 +26,16 @@ def main() -> None:
     oracle = SurfaceOracle(image)
     print(f"Vascular phantom {image.shape}: vessel tree inside tissue")
 
-    result = mesh_image(image, delta=2.0)
-    mesh = result.mesh
-    print(f"Meshed: {mesh.n_tets} tets, "
-          f"{len(mesh.boundary_faces)} boundary faces")
+    result = mesh(MeshRequest(image=image, delta=2.0,
+                              mesher="sequential"))
+    tetmesh = result.mesh
+    print(f"Meshed: {tetmesh.n_tets} tets, "
+          f"{len(tetmesh.boundary_faces)} boundary faces")
 
-    q_before = quality_report(mesh)
-    d_before = hausdorff_distance(mesh, image, oracle)
+    q_before = quality_report(tetmesh)
+    d_before = hausdorff_distance(tetmesh, image, oracle)
 
-    smoothed, stats = smooth_mesh(mesh, oracle, iterations=4)
+    smoothed, stats = smooth_mesh(tetmesh, oracle, iterations=4)
     q_after = quality_report(smoothed)
     d_after = hausdorff_distance(smoothed, image, oracle)
 

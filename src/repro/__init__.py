@@ -5,9 +5,9 @@ Image-to-Mesh Conversion for Finite Element Simulations" (SC 2012).
 
 Quick tour
 ----------
+>>> from repro.api import MeshRequest, mesh
 >>> from repro.imaging import sphere_phantom
->>> from repro.core import mesh_image
->>> result = mesh_image(sphere_phantom(24), delta=2.5)
+>>> result = mesh(MeshRequest(image=sphere_phantom(24), delta=2.5))
 >>> result.mesh.n_tets > 0
 True
 

@@ -21,10 +21,11 @@ metrics-registry snapshot and timings, plus non-serialisable extras
 that need them.  ``MeshResult.to_dict`` / ``from_dict`` round-trip the
 serialisable portion.
 
-The classic entry points (``repro.core.mesh_image``,
-``repro.parallel.parallel_mesh_image``,
-``repro.simnuma.simulate_parallel_refinement``) remain as deprecation
-shims over the same implementations.
+This module is the only supported entry point: the classic PR-1
+functions (``repro.core.mesh_image``, ``repro.parallel.
+parallel_mesh_image``, ``repro.simnuma.simulate_parallel_refinement``)
+have been removed; their implementations live on as the underscore
+functions this facade calls.
 """
 
 from __future__ import annotations
@@ -303,7 +304,7 @@ class ThreadedMesher:
 class SimulatedMesher:
     """PI2M refinement on the simulated cc-NUMA machine (Sections 5-6).
 
-    Unlike the classic ``simulate_parallel_refinement`` (which reports
+    Unlike the classic ``_simulate_parallel_refinement`` (which reports
     counts only), the unified path also extracts the final mesh so the
     result shape matches every other mesher.
     """

@@ -168,12 +168,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         default_deadline=args.deadline,
         tracing=bool(getattr(args, "trace_out", None)),
+        executor=args.executor,
     )
     service = MeshingService(config).start()
+    if service.executor_fallback:
+        print("process executor unavailable (no shared memory); "
+              "falling back to threads", file=sys.stderr)
     try:
         if args.socket:
             print(f"serving on unix socket {args.socket} "
-                  f"({args.workers} workers)", file=sys.stderr)
+                  f"({args.workers} {service.executor} workers)",
+                  file=sys.stderr)
             frontend = UnixSocketFrontend(service, args.socket)
             try:
                 code = frontend.serve_forever()
@@ -308,7 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the meshing service (NDJSON jobs on stdio or a socket)",
     )
     p.add_argument("--workers", type=int, default=4,
-                   help="worker threads (default 4)")
+                   help="worker threads/processes (default 4)")
+    p.add_argument("--executor", choices=("thread", "process"),
+                   default=None,
+                   help="run meshing in worker threads (default) or in "
+                        "spawned processes over shared-memory arenas; "
+                        "also settable via REPRO_EXECUTOR")
     p.add_argument("--queue-capacity", type=int, default=64,
                    help="admission queue bound; overflow is REJECTED")
     p.add_argument("--cache-dir", default=None, metavar="DIR",

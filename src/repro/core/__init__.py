@@ -1,12 +1,13 @@
 """PI2M core: the paper's primary contribution.
 
-High-level entry point::
+High-level entry point: :func:`repro.api.mesh` ::
 
-    from repro.core import mesh_image
+    from repro.api import MeshRequest, mesh
     from repro.imaging import sphere_phantom
 
-    result = mesh_image(sphere_phantom(32), delta=2.0)
-    print(result.mesh.n_tets, result.stats.tets_per_second)
+    result = mesh(MeshRequest(image=sphere_phantom(32), delta=2.0,
+                              mesher="sequential"))
+    print(result.mesh.n_tets, result.stats["elements_per_second"])
 
 Lower-level pieces — :class:`RefineDomain` (rules R1-R6),
 :class:`SequentialRefiner`, :func:`extract_mesh` — compose the same way
@@ -15,7 +16,6 @@ the parallel refiners use them.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -36,7 +36,7 @@ from repro.imaging.image import SegmentedImage
 
 @dataclass
 class MeshingResult:
-    """Bundle returned by :func:`mesh_image`."""
+    """Bundle returned by :func:`_mesh_image` / :func:`repro.api.mesh`."""
 
     mesh: ExtractedMesh
     stats: RefineStats
@@ -52,7 +52,7 @@ def _mesh_image(
     max_operations: Optional[int] = None,
     obs=None,
 ) -> MeshingResult:
-    """Implementation behind :func:`mesh_image` and ``repro.api``.
+    """Sequential meshing implementation behind ``repro.api.mesh``.
 
     ``obs`` is an optional :class:`repro.observability.Observability`
     bundle; when given, the domain build / refinement / extraction
@@ -88,46 +88,6 @@ def _make_domain(image, delta, size_function, radius_edge_bound,
     )
 
 
-def mesh_image(
-    image: SegmentedImage,
-    delta: Optional[float] = None,
-    size_function: Optional[SizeFunction] = None,
-    radius_edge_bound: float = 2.0,
-    planar_angle_bound_deg: float = 30.0,
-    max_operations: Optional[int] = None,
-) -> MeshingResult:
-    """One-call image-to-mesh conversion (sequential).
-
-    .. deprecated::
-        Use :func:`repro.api.mesh` with a
-        :class:`repro.api.MeshRequest` — it returns a uniform
-        :class:`repro.api.MeshResult` across every mesher and carries
-        the observability configuration.  This shim remains for
-        backward compatibility and forwards unchanged.
-
-    Parameters mirror the paper's knobs: ``delta`` controls the surface
-    sampling density (fidelity; Theorem 1 gives an O(delta^2) Hausdorff
-    bound), ``radius_edge_bound`` the element quality (rule R4, paper
-    value 2), ``planar_angle_bound_deg`` the boundary triangle quality
-    (rule R3, paper value 30), and ``size_function`` custom element
-    density (rule R5).
-    """
-    warnings.warn(
-        "repro.core.mesh_image is deprecated; use repro.api.mesh with a "
-        "MeshRequest (mesher='sequential')",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _mesh_image(
-        image,
-        delta=delta,
-        size_function=size_function,
-        radius_edge_bound=radius_edge_bound,
-        planar_angle_bound_deg=planar_angle_bound_deg,
-        max_operations=max_operations,
-    )
-
-
 __all__ = [
     "RefineDomain",
     "VertexKind",
@@ -138,7 +98,7 @@ __all__ = [
     "PointGrid",
     "ExtractedMesh",
     "extract_mesh",
-    "mesh_image",
+    "_mesh_image",
     "MeshingResult",
     "SizeFunction",
     "constant",

@@ -9,6 +9,6 @@ asynchronous interleaving — the final mesh passes the same validity
 checks as a sequential run.
 """
 
-from repro.parallel.threaded import ParallelResult, parallel_mesh_image
+from repro.parallel.threaded import ParallelResult, _parallel_mesh_image
 
-__all__ = ["parallel_mesh_image", "ParallelResult"]
+__all__ = ["ParallelResult", "_parallel_mesh_image"]

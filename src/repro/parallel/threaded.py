@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import threading
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -241,43 +240,4 @@ def _parallel_mesh_image(
         wall_time=wall,
         thread_stats=stats,
         totals=totals,
-    )
-
-
-def parallel_mesh_image(
-    image: SegmentedImage,
-    n_threads: int = 4,
-    delta: Optional[float] = None,
-    size_function: Optional[SizeFunction] = None,
-    cm: str = "local",
-    lb: str = "rws",
-    placement: Optional[Placement] = None,
-    seed: int = 0,
-    timeout: Optional[float] = None,
-) -> ParallelResult:
-    """Image-to-mesh conversion on real threads (speculative execution).
-
-    .. deprecated::
-        Use :func:`repro.api.mesh` with a
-        :class:`repro.api.MeshRequest` (``mesher='threaded'``) — the
-        unified entry point returns a :class:`repro.api.MeshResult` and
-        carries the observability configuration.  This shim forwards
-        unchanged.
-    """
-    warnings.warn(
-        "repro.parallel.parallel_mesh_image is deprecated; use "
-        "repro.api.mesh with a MeshRequest (mesher='threaded')",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _parallel_mesh_image(
-        image,
-        n_threads=n_threads,
-        delta=delta,
-        size_function=size_function,
-        cm=cm,
-        lb=lb,
-        placement=placement,
-        seed=seed,
-        timeout=timeout,
     )

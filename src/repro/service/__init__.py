@@ -1,4 +1,4 @@
-"""Async meshing service: job queue, worker pool, artifact cache.
+"""Async meshing service: job queue, worker pools, artifact cache.
 
 This package turns the one-shot meshers of :mod:`repro.api` into a
 long-running service (the layer the paper's real-time pitch implies and
@@ -8,32 +8,50 @@ follow-on work — I2M inside clinical pipelines — makes explicit):
   machine, with CAS transitions that make cancellation race-free;
 * :mod:`repro.service.queue` — bounded FIFO admission queue
   (backpressure → ``REJECTED``, never silent drops);
-* :mod:`repro.service.pool` — worker threads with deadline, bounded
-  retry and crash containment;
+* :mod:`repro.service.pool` — claiming worker threads with deadline,
+  bounded retry and crash containment, plus the **process executor**:
+  spawned worker processes meshing into shared-memory arenas
+  (:mod:`repro.delaunay.arena`), with crash detection, deadline kills
+  and arena reclamation;
+* :mod:`repro.service.procworker` — the worker-process side (payload
+  rebuild, arena publish, plugin meshers);
 * :mod:`repro.service.cache` / :mod:`repro.service.keys` —
   content-addressed artifact store (meshes by
   ``hash(image, canonical params)``, EDT feature transforms by image
   hash) with an in-memory LRU over an atomic-write disk layout;
 * :mod:`repro.service.service` — :class:`MeshingService`, the
   orchestrator, feeding ``service.*`` metrics and per-job trace spans;
-* :mod:`repro.service.client` — the synchronous in-process facade and
-  the Unix-socket NDJSON client;
+  pick the executor with ``ServiceConfig(executor="thread"|"process")``;
+* :mod:`repro.service.client` — :func:`connect`, the one client entry
+  point for every transport, returning a uniform :class:`Client`;
 * :mod:`repro.service.protocol` / :mod:`repro.service.frontend` —
-  the ``repro serve`` wire protocol over stdio or a Unix socket.
+  the versioned ``repro serve`` wire protocol over stdio or a Unix
+  socket.
 
 Quickstart::
 
     from repro.api import MeshRequest
-    from repro.service import ServiceClient, ServiceConfig
+    from repro.service import ServiceConfig, connect
 
-    with ServiceClient(ServiceConfig(n_workers=4,
-                                     cache_dir=".mesh-cache")) as client:
+    with connect(config=ServiceConfig(n_workers=4,
+                                      executor="process",
+                                      cache_dir=".mesh-cache")) as client:
         result = client.mesh(MeshRequest(image=image, delta=2.0))
         again = client.mesh(MeshRequest(image=image, delta=2.0))  # cache hit
+
+The same two calls work against a remote server: replace the
+``connect(config=...)`` with ``connect("/run/repro.sock")``.
 """
 
 from repro.service.cache import ArtifactCache, EDTCacheAdapter
-from repro.service.client import ServiceClient, SocketServiceClient
+from repro.service.client import (
+    Client,
+    InProcessClient,
+    ServiceClient,
+    SocketClient,
+    SocketServiceClient,
+    connect,
+)
 from repro.service.jobs import (
     TERMINAL_STATES,
     Job,
@@ -42,25 +60,44 @@ from repro.service.jobs import (
     TransientMeshError,
 )
 from repro.service.keys import cache_keys, image_content_key, request_key
-from repro.service.pool import WorkerPool
+from repro.service.pool import (
+    DeadlineKilled,
+    ProcessWorkerPool,
+    RemoteMeshError,
+    WorkerCrashed,
+    WorkerPool,
+    process_support_available,
+)
+from repro.service.protocol import PROTOCOL_VERSION
 from repro.service.queue import JobQueue
-from repro.service.service import MeshingService, ServiceConfig
+from repro.service.service import EXECUTORS, MeshingService, ServiceConfig
 
 __all__ = [
     "ArtifactCache",
+    "Client",
+    "DeadlineKilled",
     "EDTCacheAdapter",
+    "EXECUTORS",
+    "InProcessClient",
     "Job",
     "JobQueue",
     "JobState",
     "MeshingService",
+    "PROTOCOL_VERSION",
+    "ProcessWorkerPool",
+    "RemoteMeshError",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "SocketClient",
     "SocketServiceClient",
     "TERMINAL_STATES",
     "TransientMeshError",
+    "WorkerCrashed",
     "WorkerPool",
     "cache_keys",
+    "connect",
     "image_content_key",
+    "process_support_available",
     "request_key",
 ]

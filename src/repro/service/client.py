@@ -1,39 +1,113 @@
-"""Client facades: in-process synchronous, and NDJSON-over-socket.
+"""One client API for every transport: ``repro.service.connect()``.
 
-:class:`ServiceClient` is the way tests, examples and embedding Python
-code talk to the service: it owns (or borrows) a
-:class:`~repro.service.service.MeshingService` and exposes the blocking
-``mesh()`` call plus the async ``submit``/``wait``/``cancel`` trio.
+:func:`connect` is the single documented entry point for talking to a
+meshing service.  The ``target`` picks the transport; the object that
+comes back always implements the same :class:`Client` interface —
+``mesh`` / ``submit`` / ``wait`` / ``status`` / ``cancel`` /
+``metrics`` / ``close``, usable as a context manager::
 
-:class:`SocketServiceClient` speaks the newline-delimited-JSON protocol
-of :mod:`repro.service.frontend` over a Unix domain socket — the
-out-of-process counterpart (``repro serve --socket PATH``).
+    from repro.api import MeshRequest
+    from repro.service import ServiceConfig, connect
+
+    # in-process: spins up (and owns) a MeshingService
+    with connect(config=ServiceConfig(n_workers=4)) as client:
+        result = client.mesh(MeshRequest(image=image, delta=2.0))
+
+    # same calls over a Unix socket (`repro serve --socket PATH`)
+    with connect("/run/repro.sock") as client:
+        result = client.mesh(MeshRequest(image=image, delta=2.0))
+
+Target forms:
+
+========================= =========================================
+``None``                    in-process service (from ``config``, or
+                            borrow an already-running ``service``)
+``"/path/to.sock"``         Unix-socket NDJSON (``unix://`` prefix
+                            also accepted)
+``"scheme://..."``          reserved for future transports → error
+========================= =========================================
+
+Across transports, ``submit`` returns the job **id** (a string) and
+``wait``/``status`` return the JSON-safe job summary dict — the
+lowest common denominator both transports can honour.  ``mesh`` always
+returns a full :class:`~repro.api.MeshResult`.  The in-process client
+additionally exposes ``.service`` (and ``job(id)``) for callers that
+want the richer :class:`~repro.service.jobs.Job` objects; the socket
+client exposes ``request()`` for raw protocol access.
+
+The socket client negotiates the protocol version on connect (the
+``hello`` op) and refuses to proceed against a server speaking a
+different version.
+
+:class:`ServiceClient` and :class:`SocketServiceClient` — the pre-
+``connect`` entry points — remain as thin deprecation shims with
+their historical interfaces.
 """
 
 from __future__ import annotations
 
 import json
 import socket
-from typing import Any, Dict, Optional
+import warnings
+from typing import Any, Dict, Optional, Union
 
 from repro.api import MeshRequest, MeshResult
 from repro.service.jobs import Job, ServiceError
+from repro.service.protocol import PROTOCOL_VERSION, REQUEST_PARAMS
 from repro.service.service import MeshingService, ServiceConfig
 
 
-class ServiceClient:
-    """Synchronous facade over an in-process :class:`MeshingService`.
+class Client:
+    """The transport-agnostic client interface (see module docstring).
 
-    Usage::
+    Concrete transports subclass this; user code should obtain
+    instances via :func:`connect` and program against these methods
+    only.
+    """
 
-        from repro.service import ServiceClient, ServiceConfig
+    def mesh(self, request: MeshRequest,
+             deadline: Optional[float] = None,
+             timeout: Optional[float] = None) -> MeshResult:
+        """Submit and wait; raises :class:`ServiceError` unless DONE."""
+        raise NotImplementedError
 
-        with ServiceClient(ServiceConfig(n_workers=2)) as client:
-            result = client.mesh(MeshRequest(image=image, delta=2.0))
+    def submit(self, request: MeshRequest,
+               deadline: Optional[float] = None) -> str:
+        """Queue a request; returns the job id immediately."""
+        raise NotImplementedError
 
-    When constructed with an already-running ``service`` the client
-    borrows it (and ``close()`` leaves it running); otherwise the
-    client owns its service's lifecycle.
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the job is terminal; returns its summary."""
+        raise NotImplementedError
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """Non-blocking job summary."""
+        raise NotImplementedError
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; True iff it will never run."""
+        raise NotImplementedError
+
+    def metrics(self) -> Dict[str, Any]:
+        """Service metrics snapshot."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InProcessClient(Client):
+    """:class:`Client` over a :class:`MeshingService` in this process.
+
+    Owns the service it builds from ``config``; borrows (and leaves
+    running) a ``service`` passed in.
     """
 
     def __init__(self, config: Optional[ServiceConfig] = None,
@@ -41,14 +115,234 @@ class ServiceClient:
         self._owns_service = service is None
         self.service = service or MeshingService(config).start()
 
-    # -- one-call path -------------------------------------------------
     def mesh(self, request: MeshRequest,
              deadline: Optional[float] = None,
              timeout: Optional[float] = None) -> MeshResult:
-        """Submit and wait; raises :class:`ServiceError` unless DONE."""
-        return self.service.mesh(request, deadline=deadline, timeout=timeout)
+        return self.service.mesh(request, deadline=deadline,
+                                 timeout=timeout)
 
-    # -- async trio ----------------------------------------------------
+    def submit(self, request: MeshRequest,
+               deadline: Optional[float] = None) -> str:
+        return self.service.submit(request, deadline=deadline).id
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> Dict[str, Any]:
+        job = self._job(job_id)
+        job.wait(timeout)
+        return job.summary()
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._job(job_id).summary()
+
+    def cancel(self, job_id: str) -> bool:
+        return self.service.cancel(job_id)
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.service.metrics_snapshot()
+
+    def close(self) -> None:
+        if self._owns_service:
+            self.service.shutdown()
+
+    # -- in-process extras ---------------------------------------------
+    def job(self, job_id: str) -> Optional[Job]:
+        """The live :class:`Job` (in-process escape hatch)."""
+        return self.service.job(job_id)
+
+    def result(self, job_id: str) -> Optional[MeshResult]:
+        """The finished job's full result, if it is DONE."""
+        job = self.service.job(job_id)
+        return job.result if job is not None else None
+
+    def _job(self, job_id: str) -> Job:
+        job = self.service.job(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+
+class SocketClient(Client):
+    """:class:`Client` over the Unix-socket NDJSON front-end.
+
+    One request-response exchange per call on a persistent
+    connection; the protocol version is negotiated up front.  Stdlib
+    only.
+    """
+
+    def __init__(self, path: str, timeout: Optional[float] = None,
+                 negotiate: bool = True):
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        self._sock.connect(path)
+        self._file = self._sock.makefile("rwb")
+        if negotiate:
+            hello = self.request({"op": "hello", "v": PROTOCOL_VERSION})
+            if not hello.get("ok") or hello.get("v") != PROTOCOL_VERSION:
+                self.close()
+                raise ServiceError(
+                    f"protocol version mismatch: client speaks "
+                    f"{PROTOCOL_VERSION}, server answered {hello!r}"
+                )
+
+    # -- raw protocol --------------------------------------------------
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message, read one response line."""
+        self._file.write(json.dumps(message).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    # -- Client interface ----------------------------------------------
+    def mesh(self, request: MeshRequest,
+             deadline: Optional[float] = None,
+             timeout: Optional[float] = None) -> MeshResult:
+        msg = self._message("mesh", request)
+        if deadline is not None:
+            msg["deadline"] = deadline
+        if timeout is not None:
+            msg["wait_timeout"] = timeout
+        msg["return_mesh"] = True
+        out = self.request(msg)
+        if not out.get("ok") or out.get("state") != "DONE":
+            raise ServiceError(
+                f"{out.get('id', '<job>')} finished "
+                f"{out.get('state', 'with error')}"
+                f"{': ' + out['error'] if out.get('error') else ''}"
+            )
+        return MeshResult.from_dict(out["result"])
+
+    def submit(self, request: MeshRequest,
+               deadline: Optional[float] = None) -> str:
+        msg = self._message("submit", request)
+        if deadline is not None:
+            msg["deadline"] = deadline
+        out = self.request(msg)
+        if not out.get("ok"):
+            raise ServiceError(out.get("error", "submit failed"))
+        return out["id"]
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> Dict[str, Any]:
+        msg: Dict[str, Any] = {"op": "wait", "id": job_id}
+        if timeout is not None:
+            msg["wait_timeout"] = timeout
+        return self.request(msg)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "status", "id": job_id})
+
+    def cancel(self, job_id: str) -> bool:
+        return bool(self.request({"op": "cancel", "id": job_id}).get("ok"))
+
+    def metrics(self) -> Dict[str, Any]:
+        out = self.request({"op": "metrics"})
+        return out.get("metrics", out)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    # -- convenience ---------------------------------------------------
+    def mesh_path(self, image_path: str,
+                  params: Optional[Dict[str, Any]] = None,
+                  **options: Any) -> Dict[str, Any]:
+        """Synchronous mesh of an on-disk ``.npz`` image; raw response.
+
+        The efficient remote form — the volume stays off the wire.
+        """
+        msg: Dict[str, Any] = {"op": "mesh", "image_path": image_path}
+        if params:
+            msg["params"] = params
+        msg.update(options)
+        return self.request(msg)
+
+    @staticmethod
+    def _message(op: str, request: MeshRequest) -> Dict[str, Any]:
+        """Encode a MeshRequest as a wire message (image inlined)."""
+        if request.size_function is not None:
+            raise ServiceError(
+                "size_function requests cannot cross the socket"
+            )
+        image = request.image
+        params = {}
+        defaults = MeshRequest.__dataclass_fields__
+        for key in REQUEST_PARAMS:
+            value = getattr(request, key)
+            if value != defaults[key].default:
+                params[key] = value
+        msg: Dict[str, Any] = {
+            "op": op,
+            "image": {
+                "labels": image.labels.tolist(),
+                "spacing": list(image.spacing),
+                "origin": list(image.origin),
+            },
+        }
+        if params:
+            msg["params"] = params
+        return msg
+
+
+def connect(target: Union[None, str, MeshingService] = None, *,
+            config: Optional[ServiceConfig] = None,
+            service: Optional[MeshingService] = None,
+            timeout: Optional[float] = None) -> Client:
+    """Open a :class:`Client` on ``target`` (see module docstring).
+
+    ``target=None`` builds an in-process service from ``config`` (or
+    borrows ``service``); a path string connects to a Unix-socket
+    server; URL schemes other than ``unix://`` are reserved and
+    rejected.
+    """
+    if isinstance(target, MeshingService):
+        return InProcessClient(service=target)
+    if target is None:
+        return InProcessClient(config=config, service=service)
+    if not isinstance(target, str):
+        target = str(target)
+    if "://" in target:
+        scheme, _, rest = target.partition("://")
+        if scheme != "unix":
+            raise ValueError(
+                f"unsupported transport {scheme!r} in {target!r}; "
+                "only in-process (None) and unix:// sockets exist today"
+            )
+        target = rest
+    return SocketClient(target, timeout=timeout)
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims (pre-connect entry points)
+# ---------------------------------------------------------------------------
+
+class ServiceClient:
+    """Deprecated: use :func:`repro.service.connect` instead.
+
+    Historical synchronous facade; ``submit`` returns a
+    :class:`~repro.service.jobs.Job` and ``wait`` takes one, unlike
+    the unified :class:`Client`.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 service: Optional[MeshingService] = None):
+        warnings.warn(
+            "ServiceClient is deprecated; use repro.service.connect()",
+            DeprecationWarning, stacklevel=2,
+        )
+        self._owns_service = service is None
+        self.service = service or MeshingService(config).start()
+
+    def mesh(self, request: MeshRequest,
+             deadline: Optional[float] = None,
+             timeout: Optional[float] = None) -> MeshResult:
+        return self.service.mesh(request, deadline=deadline,
+                                 timeout=timeout)
+
     def submit(self, request: MeshRequest,
                deadline: Optional[float] = None) -> Job:
         return self.service.submit(request, deadline=deadline)
@@ -59,7 +353,6 @@ class ServiceClient:
     def cancel(self, job_id: str) -> bool:
         return self.service.cancel(job_id)
 
-    # -- introspection -------------------------------------------------
     def metrics(self) -> Dict[str, Any]:
         return self.service.metrics_snapshot()
 
@@ -74,53 +367,31 @@ class ServiceClient:
         self.close()
 
 
-class SocketServiceClient:
-    """NDJSON client for ``repro serve --socket PATH``.
-
-    One request-response exchange per :meth:`request` call; the
-    connection persists across calls.  Stdlib only.
-    """
+class SocketServiceClient(SocketClient):
+    """Deprecated: use ``repro.service.connect(path)`` instead."""
 
     def __init__(self, path: str, timeout: Optional[float] = None):
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        if timeout is not None:
-            self._sock.settimeout(timeout)
-        self._sock.connect(path)
-        self._file = self._sock.makefile("rwb")
-
-    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one message, read one response line."""
-        self._file.write(json.dumps(message).encode("utf-8") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError("service closed the connection")
-        return json.loads(line.decode("utf-8"))
-
-    def mesh_path(self, image_path: str,
-                  params: Optional[Dict[str, Any]] = None,
-                  **options: Any) -> Dict[str, Any]:
-        """Convenience: synchronous mesh of an on-disk ``.npz`` image."""
-        msg: Dict[str, Any] = {"op": "mesh", "image_path": image_path}
-        if params:
-            msg["params"] = params
-        msg.update(options)
-        return self.request(msg)
+        warnings.warn(
+            "SocketServiceClient is deprecated; use "
+            "repro.service.connect(path)",
+            DeprecationWarning, stacklevel=2,
+        )
+        # No hello handshake: the historical client never sent one,
+        # and shims must not change observable wire behaviour.
+        super().__init__(path, timeout=timeout, negotiate=False)
 
     def metrics(self) -> Dict[str, Any]:
+        # Historical shape: the raw response envelope, metrics under
+        # the "metrics" key (the unified client returns them bare).
         return self.request({"op": "metrics"})
 
-    def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
 
-    def __enter__(self) -> "SocketServiceClient":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-
-__all__ = ["ServiceClient", "SocketServiceClient", "ServiceError"]
+__all__ = [
+    "Client",
+    "InProcessClient",
+    "ServiceClient",
+    "ServiceError",
+    "SocketClient",
+    "SocketServiceClient",
+    "connect",
+]

@@ -28,7 +28,17 @@ class ServiceFrontend:
 
     def handle(self, msg: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
         """Answer one message → ``(response, shutdown_requested)``."""
+        try:
+            protocol.check_version(msg)
+        except protocol.ProtocolError as exc:
+            # Version reject names the server's version so a newer
+            # client can renegotiate instead of guessing.
+            out = protocol.error_response(str(exc), msg.get("id"))
+            out["v"] = protocol.PROTOCOL_VERSION
+            return out, False
         op = msg.get("op")
+        if op == "hello":
+            return protocol.hello_response(), False
         if op == "ping":
             return {"ok": True, "op": "pong"}, False
         if op == "shutdown":

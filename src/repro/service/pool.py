@@ -1,20 +1,53 @@
-"""Worker pool: N daemon threads draining the job queue.
+"""Worker pools: queue-draining threads, and meshing processes.
 
-The pool is deliberately dumb — it pulls jobs and hands them to the
-processing callable (the service's ``_process``), which owns claiming,
-deadlines, retries and metrics.  The loop survives anything the
-processor lets escape: an unexpected exception fails the job with its
-traceback and is counted, but never kills the thread, so one poisoned
-request cannot take a worker slot out of service.
+:class:`WorkerPool` is deliberately dumb — it pulls jobs and hands
+them to the processing callable (the service's ``_process``), which
+owns claiming, deadlines, retries and metrics.  The loop survives
+anything the processor lets escape: an unexpected exception fails the
+job with its traceback and is counted, but never kills the thread, so
+one poisoned request cannot take a worker slot out of service.
+
+:class:`ProcessWorkerPool` adds the process executor underneath that
+same thread pool: the claiming thread checks out a worker *slot* — a
+lazily-spawned OS process paired over a duplex pipe — ships the job's
+payload, and blocks on the reply while the child meshes into a
+shared-memory arena (:mod:`repro.delaunay.arena`).  The parent keeps
+everything stateful (cache lookups, the CAS claim, retry/backoff,
+metrics); the child holds no job state a crash could lose, and the
+parent picks the arena *name* before the child exists, so cleanup
+after a dead worker is a by-name :func:`~repro.delaunay.arena.reclaim`
+— no handshake required with a corpse.
+
+Failure taxonomy seen by the service:
+
+* :class:`DeadlineKilled` — the job's deadline passed while the child
+  meshed; the child is killed (``SIGKILL``), the arena reclaimed, the
+  job concluded ``TIMED_OUT``.  Threads cannot do this: a wedged
+  C-level mesher is unkillable in-process, a worker process is not.
+* :class:`WorkerCrashed` — the child died mid-job (OOM kill,
+  segfault, ``os._exit``); arena reclaimed, job ``FAILED``, slot
+  respawned on next use.
+* :class:`~repro.service.jobs.TransientMeshError` — re-raised
+  verbatim in the parent so the bounded-retry path applies unchanged.
+* :class:`RemoteMeshError` — any other child-side exception, carrying
+  the remote traceback.
 """
 
 from __future__ import annotations
 
+import itertools
+import multiprocessing
+import os
 import threading
+import time
 import traceback
-from typing import Callable, List, Optional
+from typing import Callable, FrozenSet, List, Optional
 
-from repro.service.jobs import Job, JobState
+import numpy as np
+
+from repro.delaunay import arena as arena_mod
+from repro.service import procworker
+from repro.service.jobs import Job, JobState, TransientMeshError
 from repro.service.queue import JobQueue
 
 _POLL_SECONDS = 0.1
@@ -85,3 +118,278 @@ class WorkerPool:
     @property
     def alive_workers(self) -> int:
         return sum(1 for t in self._threads if t.is_alive())
+
+
+# ---------------------------------------------------------------------------
+# process executor
+# ---------------------------------------------------------------------------
+
+class DeadlineKilled(RuntimeError):
+    """The worker process was killed because the job's deadline passed."""
+
+
+class WorkerCrashed(RuntimeError):
+    """The worker process died mid-job (exit, signal, OOM)."""
+
+
+class RemoteMeshError(RuntimeError):
+    """A non-transient exception escaped the mesher in the worker
+    process; the message is the remote traceback."""
+
+
+def process_support_available() -> bool:
+    """True iff the process executor can run here: working named
+    shared memory and a spawnable interpreter."""
+    if not arena_mod.available():
+        return False
+    try:
+        multiprocessing.get_context("spawn")
+    except ValueError:  # pragma: no cover
+        return False
+    return True
+
+
+class _WorkerSlot:
+    """One lazily-spawned worker process + its parent-side pipe end."""
+
+    def __init__(self, pool: "ProcessWorkerPool", idx: int):
+        self.pool = pool
+        self.idx = idx
+        self.proc = None
+        self.conn = None
+        self.spawned = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+    def ensure_started(self) -> None:
+        if self.alive:
+            return
+        self.discard()
+        ctx = self.pool._ctx
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=procworker.worker_main,
+            args=(child_conn, self.pool._worker_init),
+            name=f"{self.pool.name}-{self.idx}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self.proc, self.conn = proc, parent_conn
+        self.spawned += 1
+
+    def discard(self) -> None:
+        """Forget the current process (it is dead or being killed)."""
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+        self.proc, self.conn = None, None
+
+    def kill(self) -> None:
+        proc = self.proc
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(5.0)
+        self.discard()
+
+    def run(self, payload: dict, deadline: Optional[float],
+            arena_name: Optional[str]):
+        """Ship one job, await the reply, materialise the result."""
+        self.ensure_started()
+        body = dict(payload)
+        body["arena"] = arena_name
+        try:
+            self.conn.send(("run", body))
+        except (BrokenPipeError, OSError) as exc:
+            self.kill()
+            raise WorkerCrashed(f"worker pipe broken at send: {exc}")
+        kind, reply = self._await_reply(deadline)
+        if kind == "ok":
+            return self._collect(arena_name, reply)
+        if kind == "transient":
+            raise TransientMeshError(reply)
+        raise RemoteMeshError(reply)
+
+    def _await_reply(self, deadline: Optional[float]):
+        conn, proc = self.conn, self.proc
+        while True:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.kill()
+                    raise DeadlineKilled(
+                        "deadline expired during run; worker killed"
+                    )
+                step = min(0.05, remaining)
+            else:
+                step = 0.05
+            try:
+                if conn.poll(step):
+                    return conn.recv()
+            except (EOFError, OSError):
+                self.kill()
+                raise WorkerCrashed("worker pipe closed mid-job")
+            if not proc.is_alive():
+                # Grab a reply that raced the exit, if any.
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                code = proc.exitcode
+                self.kill()
+                raise WorkerCrashed(
+                    f"worker process died mid-job (exit code {code})"
+                )
+
+    @staticmethod
+    def _collect(arena_name: Optional[str], reply: dict):
+        from repro.api import MeshResult
+        from repro.core.extract import ExtractedMesh
+
+        meta = reply["meta"]
+        if reply["transport"] == "pipe":
+            arrays = reply["arrays"]
+        else:
+            att = arena_mod.SharedArena.attach(arena_name)
+            try:
+                arrays = {
+                    field: np.array(att.get(f"res:{field}"), copy=True)
+                    for field in procworker.RESULT_FIELDS
+                }
+            finally:
+                att.close()
+        return MeshResult(
+            mesh=ExtractedMesh(**arrays),
+            mesher=meta["mesher"],
+            stats=meta["stats"],
+            metrics=meta["metrics"],
+            timings=meta["timings"],
+        )
+
+
+class ProcessWorkerPool:
+    """N worker-process slots checked out by the service's threads.
+
+    Slots spawn lazily (a thread-only workload never pays process
+    startup) and respawn lazily after a crash or deadline kill.  The
+    pool owns arena naming — ``repro-arena-<pid>-w<slot>-<seq>`` — and
+    guarantees reclamation in every outcome via ``finally``.
+    """
+
+    def __init__(self, n_workers: int, cache_dir: Optional[str] = None,
+                 plugins: Optional[tuple] = None,
+                 name: str = "mesh-procworker"):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.name = name
+        self._ctx = multiprocessing.get_context("spawn")
+        specs = (plugins if plugins is not None
+                 else procworker.plugin_specs_from_env())
+        self._worker_init = {"plugins": specs, "cache_dir": cache_dir}
+        #: mesher names the plugins provide — loaded parent-side only
+        #: to learn the *names* (remotability); the instances run in
+        #: the workers.
+        self._plugin_names: FrozenSet[str] = frozenset(
+            procworker.load_plugins(specs)
+        )
+        self._slots = [_WorkerSlot(self, i) for i in range(n_workers)]
+        self._free: List[_WorkerSlot] = list(self._slots)
+        self._cond = threading.Condition()
+        self._seq = itertools.count(1)
+        self._closed = False
+
+    # -- routing -------------------------------------------------------
+    def remotable(self, request, overlays=()) -> bool:
+        """Can this request run in a worker process?
+
+        Not remotable: requests carrying a live ``size_function``
+        (unpicklable by contract) and requests routed at a mesher
+        overlaid parent-side (tests' fakes live only in this process).
+        Those fall back to inline execution on the claiming thread —
+        exactly the thread executor's semantics.
+        """
+        from repro.api import MESHER_NAMES
+
+        if request.size_function is not None:
+            return False
+        name = request.resolved_mesher()
+        if name in overlays:
+            return False
+        return name in MESHER_NAMES or name in self._plugin_names
+
+    # -- execution -----------------------------------------------------
+    def run(self, request, deadline: Optional[float] = None):
+        """Run one request in a worker process; returns a MeshResult.
+
+        Raises :class:`DeadlineKilled`, :class:`WorkerCrashed`,
+        :class:`~repro.service.jobs.TransientMeshError` or
+        :class:`RemoteMeshError` (see module docstring).
+        """
+        slot = self._checkout()
+        arena_name = (
+            f"{arena_mod.ARENA_PREFIX}{os.getpid()}"
+            f"-w{slot.idx}-{next(self._seq)}"
+            if arena_mod.available() else None
+        )
+        try:
+            payload = procworker.build_payload(request)
+            return slot.run(payload, deadline, arena_name)
+        finally:
+            if arena_name is not None:
+                arena_mod.reclaim(arena_name)
+            self._checkin(slot)
+
+    def _checkout(self) -> _WorkerSlot:
+        with self._cond:
+            while not self._free:
+                if self._closed:
+                    raise RuntimeError("process pool is shut down")
+                self._cond.wait(0.1)
+            if self._closed:
+                raise RuntimeError("process pool is shut down")
+            return self._free.pop()
+
+    def _checkin(self, slot: _WorkerSlot) -> None:
+        with self._cond:
+            self._free.append(slot)
+            self._cond.notify()
+
+    # -- lifecycle -----------------------------------------------------
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop every worker process and sweep this pool's arenas.
+
+        Call after the claiming threads have drained (no job in
+        flight): live workers get a polite ``exit`` message, then the
+        stragglers are killed.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        deadline = time.monotonic() + timeout
+        for slot in self._slots:
+            if slot.proc is None:
+                continue
+            if slot.proc.is_alive() and slot.conn is not None:
+                try:
+                    slot.conn.send(("exit",))
+                except (BrokenPipeError, OSError):
+                    pass
+            slot.proc.join(max(0.1, deadline - time.monotonic()))
+            slot.kill()
+        # Crash windows can leave segments between "created" and
+        # "reclaimed"; sweep everything this pool could have named.
+        arena_mod.sweep(f"{arena_mod.ARENA_PREFIX}{os.getpid()}-")
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for s in self._slots if s.alive)
+
+    @property
+    def spawned_total(self) -> int:
+        return sum(s.spawned for s in self._slots)

@@ -1,0 +1,219 @@
+"""Worker-process side of the process executor.
+
+:func:`worker_main` is the entry point a spawned worker runs: a loop
+over a duplex pipe, one ``("run", body)`` message per job.  For each
+job the worker
+
+1. rebuilds the :class:`~repro.api.MeshRequest` from the picklable
+   payload (the label volume, spacing/origin and the flat param dict);
+2. creates the shared-memory arena whose *name* the parent chose (the
+   parent never creates it — that way a worker crash leaves nothing
+   the parent cannot reclaim by name), and meshes inside
+   :func:`~repro.delaunay.arena.arena_scope`, so every ``MeshArrays``
+   column the triangulation allocates lives in shared memory;
+3. publishes the extracted result arrays into the arena under
+   ``res:*`` tags and answers with a small JSON-safe meta message —
+   the big arrays never cross the pipe; the parent attaches the arena,
+   copies them out, and unlinks every segment.
+
+When shared memory is unavailable (or arena creation fails at
+runtime), the worker degrades to ``transport="pipe"`` and sends the
+arrays pickled — slower, never wrong.
+
+Extra meshers come from the ``REPRO_WORKER_PLUGINS`` environment
+variable: a comma-separated list of ``module:callable`` specs, each
+callable returning ``{name: mesher}``.  Tests use this to install
+crashing/sleeping meshers *inside* the worker process.
+
+Failure taxonomy on the wire: ``("transient", str)`` for
+:class:`~repro.service.jobs.TransientMeshError` (the parent re-raises
+it so the service's bounded-retry path applies), ``("error", tb)`` for
+anything else.
+"""
+
+from __future__ import annotations
+
+import importlib
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.delaunay import arena as arena_mod
+
+#: result-array tags published into the arena (``res:<field>``).
+RESULT_FIELDS = (
+    "vertices", "tets", "tet_labels", "boundary_faces", "boundary_labels",
+)
+
+PLUGIN_ENV = "REPRO_WORKER_PLUGINS"
+
+
+def load_plugins(specs) -> Dict[str, Any]:
+    """Import each ``module:callable`` spec → merged ``{name: mesher}``.
+
+    Bad specs are skipped (a worker must come up even if a plugin is
+    broken; the job routed at the missing mesher fails cleanly).
+    """
+    meshers: Dict[str, Any] = {}
+    for spec in specs or ():
+        spec = spec.strip()
+        if not spec or ":" not in spec:
+            continue
+        mod_name, _, fn_name = spec.partition(":")
+        try:
+            registry = getattr(importlib.import_module(mod_name), fn_name)()
+            meshers.update(registry)
+        except Exception:
+            continue
+    return meshers
+
+
+def plugin_specs_from_env(environ=None) -> Tuple[str, ...]:
+    import os
+
+    raw = (environ or os.environ).get(PLUGIN_ENV, "")
+    return tuple(s for s in (p.strip() for p in raw.split(",")) if s)
+
+
+def build_payload(request) -> Dict[str, Any]:
+    """Parent side: the picklable job body for one request.
+
+    Only remotable requests reach this (no ``size_function``, no
+    parent-local overlay mesher), so everything here round-trips
+    through pickle by construction.
+    """
+    image = request.image
+    return {
+        "labels": np.ascontiguousarray(image.labels),
+        "spacing": tuple(image.spacing),
+        "origin": tuple(image.origin),
+        "params": {
+            "mesher": request.resolved_mesher(),
+            "delta": request.delta,
+            "radius_edge_bound": request.radius_edge_bound,
+            "planar_angle_bound_deg": request.planar_angle_bound_deg,
+            "n_threads": request.n_threads,
+            "cm": request.cm,
+            "lb": request.lb,
+            "hyperthreading": request.hyperthreading,
+            "seed": request.seed,
+            "max_operations": request.max_operations,
+            "timeout": request.timeout,
+        },
+    }
+
+
+def rebuild_request(body: Dict[str, Any]):
+    from repro.api import MeshRequest
+    from repro.imaging.image import SegmentedImage
+
+    image = SegmentedImage(
+        np.asarray(body["labels"], dtype=np.int16),
+        spacing=tuple(body["spacing"]),
+        origin=tuple(body["origin"]),
+    )
+    return MeshRequest(image=image, **body["params"])
+
+
+def _publish_result(arena, result) -> None:
+    """Copy the extracted mesh arrays into ``res:*`` arena columns."""
+    m = result.mesh
+    for field in RESULT_FIELDS:
+        arr = np.ascontiguousarray(getattr(m, field))
+        arena.alloc(f"res:{field}", arr.shape, arr.dtype)[...] = arr
+
+
+def _result_meta(result) -> Dict[str, Any]:
+    return {
+        "mesher": result.mesher,
+        "stats": dict(result.stats),
+        "metrics": dict(result.metrics),
+        "timings": dict(result.timings),
+    }
+
+
+def _pipe_arrays(result) -> Dict[str, np.ndarray]:
+    m = result.mesh
+    return {f: np.ascontiguousarray(getattr(m, f)) for f in RESULT_FIELDS}
+
+
+def _run_one(body: Dict[str, Any], meshers: Dict[str, Any]) -> tuple:
+    from repro.api import get_mesher
+    from repro.service.jobs import TransientMeshError
+
+    arena_name: Optional[str] = body.get("arena")
+    arena = None
+    try:
+        request = rebuild_request(body)
+        name = request.resolved_mesher()
+        mesher = meshers.get(name)
+        if mesher is None:
+            mesher = get_mesher(name)
+        if arena_name is not None:
+            try:
+                arena = arena_mod.SharedArena.create(arena_name)
+            except arena_mod.ArenaError:
+                arena = None  # degrade to pipe transport
+        if arena is not None:
+            with arena_mod.arena_scope(arena):
+                result = mesher.mesh(request)
+        else:
+            result = mesher.mesh(request)
+        meta = _result_meta(result)
+        if arena is not None:
+            _publish_result(arena, result)
+            del result  # drop MeshArrays views before unmapping
+            arena.close()
+            return ("ok", {"transport": "arena", "meta": meta})
+        return ("ok", {"transport": "pipe", "meta": meta,
+                       "arrays": _pipe_arrays(result)})
+    except TransientMeshError as exc:
+        if arena is not None:
+            arena.unlink_all()
+        return ("transient", str(exc))
+    except BaseException:
+        if arena is not None:
+            arena.unlink_all()
+        return ("error", traceback.format_exc())
+
+
+def worker_main(conn, init: Dict[str, Any]) -> None:
+    """Run jobs from ``conn`` until ``("exit",)`` or pipe EOF."""
+    meshers = load_plugins(init.get("plugins"))
+    cache_dir = init.get("cache_dir")
+    if cache_dir:
+        # Share the parent's *disk* EDT cache: feature transforms
+        # computed by any process are reused by every other.
+        from repro.imaging import edt as edt_module
+        from repro.service.cache import ArtifactCache, EDTCacheAdapter
+
+        edt_module.set_feature_transform_cache(
+            EDTCacheAdapter(ArtifactCache(cache_dir, memory_entries=8))
+        )
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if not isinstance(msg, tuple) or not msg or msg[0] == "exit":
+            return
+        try:
+            reply = _run_one(msg[1], meshers)
+        except BaseException:  # belt and braces: never die silently
+            reply = ("error", traceback.format_exc())
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+__all__ = [
+    "PLUGIN_ENV",
+    "RESULT_FIELDS",
+    "build_payload",
+    "load_plugins",
+    "plugin_specs_from_env",
+    "rebuild_request",
+    "worker_main",
+]

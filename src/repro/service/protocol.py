@@ -3,6 +3,7 @@
 Each line is one JSON object with an ``op`` field.  Operations:
 
 ========== ==========================================================
+``hello``     version negotiation → ``{"ok": true, "v": 1, ...}``
 ``ping``      liveness check → ``{"ok": true, "op": "pong"}``
 ``mesh``      submit and wait (synchronous per message)
 ``submit``    submit, return immediately with the job id
@@ -12,6 +13,13 @@ Each line is one JSON object with an ``op`` field.  Operations:
 ``metrics``   service metrics snapshot
 ``shutdown``  stop the service and close the stream/server
 ========== ==========================================================
+
+Versioning: every message *may* carry ``"v": <int>``; the server
+rejects any version other than :data:`PROTOCOL_VERSION` with an error
+response that names its own version, and answers ``hello`` with its
+version and op list so clients can negotiate up front.  Messages
+without ``"v"`` are treated as version 1 (the field was introduced
+with version 1, so absence is unambiguous today).
 
 ``mesh``/``submit`` messages carry the image either as
 ``"image_path"`` (an ``.npz`` saved by :func:`repro.io.save_image_npz`
@@ -37,6 +45,15 @@ import numpy as np
 from repro.api import MeshRequest
 from repro.service.jobs import Job, JobState
 
+#: Version of the NDJSON protocol this build speaks.
+PROTOCOL_VERSION = 1
+
+#: Operations the front-end answers (the ``hello`` response body).
+PROTOCOL_OPS = (
+    "hello", "ping", "mesh", "submit", "wait", "status", "cancel",
+    "metrics", "shutdown",
+)
+
 #: MeshRequest knobs a client may set through the wire.
 REQUEST_PARAMS = (
     "mesher", "delta", "radius_edge_bound", "planar_angle_bound_deg",
@@ -47,6 +64,33 @@ REQUEST_PARAMS = (
 
 class ProtocolError(ValueError):
     """A malformed or unanswerable message."""
+
+
+def check_version(msg: Dict[str, Any]) -> Optional[int]:
+    """Validate the message's ``"v"`` field.
+
+    Returns the version the message speaks (absent → 1, the field's
+    introduction version); raises :class:`ProtocolError` for anything
+    this server does not speak, so the caller can answer with a
+    rejection that names :data:`PROTOCOL_VERSION`.
+    """
+    v = msg.get("v", PROTOCOL_VERSION)
+    if not isinstance(v, int) or v != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {v!r}; "
+            f"server speaks {PROTOCOL_VERSION}"
+        )
+    return v
+
+
+def hello_response() -> Dict[str, Any]:
+    """The negotiation answer: what this server speaks."""
+    return {
+        "ok": True,
+        "op": "hello",
+        "v": PROTOCOL_VERSION,
+        "ops": list(PROTOCOL_OPS),
+    }
 
 
 def decode_line(line: str) -> Dict[str, Any]:

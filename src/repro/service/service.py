@@ -23,6 +23,7 @@ into a long-running, observable system:
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 import traceback
@@ -40,8 +41,17 @@ from repro.service.jobs import (
     TransientMeshError,
 )
 from repro.service.keys import cache_keys
-from repro.service.pool import WorkerPool
+from repro.service.pool import (
+    DeadlineKilled,
+    ProcessWorkerPool,
+    WorkerCrashed,
+    WorkerPool,
+    process_support_available,
+)
 from repro.service.queue import JobQueue
+
+#: Valid values of :attr:`ServiceConfig.executor`.
+EXECUTORS = ("thread", "process")
 
 
 @dataclass
@@ -65,6 +75,20 @@ class ServiceConfig:
     transient_exceptions: Tuple[Type[BaseException], ...] = (
         TransientMeshError,
     )
+    #: ``"thread"`` or ``"process"``; ``None`` reads the
+    #: ``REPRO_EXECUTOR`` environment variable and defaults to
+    #: ``"thread"``.  ``"process"`` runs CPU-bound meshing in spawned
+    #: worker processes over shared-memory arenas and silently falls
+    #: back to threads when shared memory is unavailable.
+    executor: Optional[str] = None
+
+    def resolved_executor(self) -> str:
+        name = self.executor or os.environ.get("REPRO_EXECUTOR") or "thread"
+        if name not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {name!r}; pick from {EXECUTORS}"
+            )
+        return name
 
 
 class MeshingService:
@@ -91,6 +115,18 @@ class MeshingService:
             self.queue, self._process, cfg.n_workers,
             on_crash=self._count_crash,
         )
+        # Executor resolution: the claiming threads above always exist;
+        # "process" adds worker processes underneath them, unless
+        # shared memory is unusable here — then we degrade to threads
+        # and say so in the metrics rather than failing to start.
+        requested = cfg.resolved_executor()
+        self._proc_pool: Optional[ProcessWorkerPool] = None
+        if requested == "process" and not process_support_available():
+            requested = "thread"
+            self.executor_fallback = True
+        else:
+            self.executor_fallback = False
+        self.executor = requested
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -112,6 +148,10 @@ class MeshingService:
                 self._edt_adapter
             )
         self.registry.gauge("service.workers").set(self.config.n_workers)
+        if self.executor == "process":
+            self._proc_pool = ProcessWorkerPool(
+                self.config.n_workers, cache_dir=self.config.cache_dir,
+            )
         self.pool.start()
         return self
 
@@ -129,6 +169,10 @@ class MeshingService:
         self.queue.close()
         if self._started:
             self.pool.join(timeout)
+        if self._proc_pool is not None:
+            # After pool.join no job is in flight, so every slot is
+            # idle: polite exits, then kills, then an arena sweep.
+            self._proc_pool.shutdown()
         if self.config.install_edt_cache and self._edt_adapter is not None:
             # Only restore if the hook is still ours (a nested service
             # may have replaced it and will restore its own previous).
@@ -288,6 +332,15 @@ class MeshingService:
                         )
                     time.sleep(backoff)
                     continue
+                except DeadlineKilled as exc:
+                    job.finish(JobState.TIMED_OUT, error=str(exc))
+                    reg.counter("service.jobs.timed_out").inc()
+                    return
+                except WorkerCrashed:
+                    job.finish(JobState.FAILED, error=traceback.format_exc())
+                    reg.counter("service.worker.crashes").inc()
+                    reg.counter("service.jobs.failed").inc()
+                    return
                 except BaseException:
                     job.finish(JobState.FAILED, error=traceback.format_exc())
                     reg.counter("service.jobs.failed").inc()
@@ -328,7 +381,7 @@ class MeshingService:
                 return cached
             reg.counter("service.cache.miss").inc()
         t0 = time.perf_counter()
-        result = self._mesher(request.resolved_mesher()).mesh(request)
+        result = self._run_mesher(job, request)
         reg.histogram("service.stage.mesh_seconds").observe(
             time.perf_counter() - t0
         )
@@ -340,6 +393,21 @@ class MeshingService:
             )
         return result
 
+    def _run_mesher(self, job: Job, request: MeshRequest) -> MeshResult:
+        """Dispatch one mesher run to the active executor.
+
+        Requests the process pool cannot carry (``size_function``,
+        parent-side overlay meshers) run inline on the claiming thread
+        — thread-executor semantics, per job instead of per service.
+        """
+        pool = self._proc_pool
+        if pool is not None and pool.remotable(request, self._meshers):
+            self.registry.counter("service.jobs.remote").inc()
+            return pool.run(request, deadline=job.deadline)
+        if pool is not None:
+            self.registry.counter("service.jobs.inline").inc()
+        return self._mesher(request.resolved_mesher()).mesh(request)
+
     # -- reporting -----------------------------------------------------
     def metrics_snapshot(self) -> Dict[str, object]:
         """Registry snapshot with live queue/cache/EDT gauges folded in.
@@ -350,6 +418,16 @@ class MeshingService:
         reg = self.registry
         reg.gauge("service.queue.depth").set(len(self.queue))
         reg.gauge("service.workers.alive").set(self.pool.alive_workers)
+        reg.gauge("service.executor.process").set(
+            1 if self.executor == "process" else 0
+        )
+        if self._proc_pool is not None:
+            reg.gauge("service.procworkers.alive").set(
+                self._proc_pool.alive_workers
+            )
+            reg.gauge("service.procworkers.spawned").set(
+                self._proc_pool.spawned_total
+            )
         edt_now = edt_module.CACHE_STATS.snapshot()
         for name in ("hits", "misses", "computes"):
             reg.gauge(f"edt.cache.{name}").set(

@@ -19,7 +19,7 @@ shared-pipeline factor.
 
 from repro.simnuma.costmodel import BLACKLIGHT, CRTC, MachineSpec, NumaCostModel
 from repro.simnuma.engine import SimDeadlock, SimEngine, SimLivelock
-from repro.simnuma.simrefiner import SimulationResult, simulate_parallel_refinement
+from repro.simnuma.simrefiner import SimulationResult, _simulate_parallel_refinement
 
 __all__ = [
     "MachineSpec",
@@ -29,6 +29,6 @@ __all__ = [
     "SimEngine",
     "SimLivelock",
     "SimDeadlock",
-    "simulate_parallel_refinement",
+    "_simulate_parallel_refinement",
     "SimulationResult",
 ]

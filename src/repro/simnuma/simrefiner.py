@@ -1,7 +1,8 @@
 """Parallel refinement under the simulated cc-NUMA machine.
 
-:func:`simulate_parallel_refinement` is the single entry point the
-scaling and contention-manager benchmarks use.  It assembles the real
+:func:`_simulate_parallel_refinement` is the single entry point the
+scaling and contention-manager benchmarks use (fronted publicly by
+``repro.api.mesh`` with a ``simulated`` mesher).  It assembles the real
 production components — :class:`RefineDomain`, PELs, a contention
 manager, a begging list and the shared worker loop — and runs them on
 the discrete-event engine with the Blacklight cost model.
@@ -9,7 +10,6 @@ the discrete-event engine with the Blacklight cost model.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -71,8 +71,7 @@ def _simulate_parallel_refinement(
     domain: Optional[RefineDomain] = None,
     obs=None,
 ) -> SimulationResult:
-    """Implementation behind :func:`simulate_parallel_refinement` and
-    ``repro.api``.
+    """Simulated cc-NUMA refinement behind ``repro.api.mesh``.
 
     Returns a :class:`SimulationResult`; on a livelock (possible for the
     aggressive / random contention managers, exactly as in Table 1) the
@@ -196,53 +195,4 @@ def _simulate_parallel_refinement(
         thread_stats=stats,
         livelock=livelock,
         totals=totals,
-    )
-
-
-def simulate_parallel_refinement(
-    image: SegmentedImage,
-    n_threads: int,
-    delta: Optional[float] = None,
-    size_function: Optional[SizeFunction] = None,
-    cm: str = "local",
-    lb: str = "hws",
-    machine: MachineSpec = BLACKLIGHT,
-    cost_model: Optional[NumaCostModel] = None,
-    hyperthreading: bool = False,
-    seed: int = 0,
-    livelock_horizon: float = 5.0,
-    livelock_event_horizon: int = 150_000,
-    give_threshold: Optional[int] = None,
-    domain: Optional[RefineDomain] = None,
-) -> SimulationResult:
-    """Run one simulated parallel refinement to completion.
-
-    .. deprecated::
-        Use :func:`repro.api.mesh` with a
-        :class:`repro.api.MeshRequest` (``mesher='simulated'``) for the
-        unified entry point, or keep calling this shim — it forwards
-        unchanged and remains the stable keyword-rich surface for the
-        scaling benchmarks.
-    """
-    warnings.warn(
-        "repro.simnuma.simulate_parallel_refinement is deprecated; use "
-        "repro.api.mesh with a MeshRequest (mesher='simulated')",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _simulate_parallel_refinement(
-        image,
-        n_threads,
-        delta=delta,
-        size_function=size_function,
-        cm=cm,
-        lb=lb,
-        machine=machine,
-        cost_model=cost_model,
-        hyperthreading=hyperthreading,
-        seed=seed,
-        livelock_horizon=livelock_horizon,
-        livelock_event_horizon=livelock_event_horizon,
-        give_threshold=give_threshold,
-        domain=domain,
     )

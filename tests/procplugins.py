@@ -1,0 +1,30 @@
+"""Worker-process plugin meshers for the process-executor tests.
+
+Loaded *inside* spawned workers through the ``REPRO_WORKER_PLUGINS``
+environment variable (``procplugins:register``), which is the only way
+to install a misbehaving mesher in a process the test does not own.
+``crashy`` kills the worker without cleanup (the hardest failure the
+pool must survive); ``sleepy`` blocks long enough to trip any deadline.
+"""
+
+import os
+import time
+
+
+class _CrashyMesher:
+    name = "crashy"
+
+    def mesh(self, request):
+        os._exit(17)  # no atexit, no finally: a real crash
+
+
+class _SleepyMesher:
+    name = "sleepy"
+
+    def mesh(self, request):
+        time.sleep(60.0)
+        raise AssertionError("sleepy mesher was not killed in time")
+
+
+def register():
+    return {"crashy": _CrashyMesher(), "sleepy": _SleepyMesher()}

@@ -110,28 +110,22 @@ class TestMeshResultRoundTrip:
         json.dumps(results["sequential"].to_dict())
 
 
-class TestDeprecationShims:
-    def test_core_mesh_image_warns_and_works(self, image):
-        from repro.core import mesh_image
+class TestClassicEntryPointsRemoved:
+    """The PR-1 shims are gone: repro.api is the only public door."""
 
-        with pytest.warns(DeprecationWarning, match="repro.api.mesh"):
-            res = mesh_image(image, delta=3.0)
-        assert res.mesh.n_tets > 0
+    def test_core_mesh_image_gone(self):
+        with pytest.raises(ImportError):
+            from repro.core import mesh_image  # noqa: F401
 
-    def test_parallel_mesh_image_warns_and_works(self, image):
-        from repro.parallel import parallel_mesh_image
+    def test_parallel_mesh_image_gone(self):
+        with pytest.raises(ImportError):
+            from repro.parallel import parallel_mesh_image  # noqa: F401
 
-        with pytest.warns(DeprecationWarning, match="repro.api.mesh"):
-            res = parallel_mesh_image(image, n_threads=2, delta=3.0)
-        assert res.mesh.n_tets > 0
-
-    def test_simulate_parallel_refinement_warns_and_works(self, image):
-        from repro.simnuma import simulate_parallel_refinement
-
-        with pytest.warns(DeprecationWarning, match="repro.api.mesh"):
-            res = simulate_parallel_refinement(image, n_threads=2, delta=3.0)
-        assert res.n_elements > 0
-        assert not res.livelock
+    def test_simulate_parallel_refinement_gone(self):
+        with pytest.raises(ImportError):
+            from repro.simnuma import (  # noqa: F401
+                simulate_parallel_refinement,
+            )
 
     def test_api_path_does_not_warn(self, image):
         import warnings
@@ -141,23 +135,21 @@ class TestDeprecationShims:
             mesh(MeshRequest(image=image, delta=3.0, mesher="sequential"))
 
 
-class TestShimAndApiAgree:
-    def test_sequential_shim_matches_api(self, image, results):
-        from repro.core import mesh_image
+class TestImplAndApiAgree:
+    def test_sequential_impl_matches_api(self, image, results):
+        from repro.core import _mesh_image
 
-        with pytest.warns(DeprecationWarning):
-            old = mesh_image(image, delta=3.0)
+        old = _mesh_image(image, delta=3.0)
         new = results["sequential"]
         assert old.mesh.n_tets == new.mesh.n_tets
         np.testing.assert_array_equal(old.mesh.tets, new.mesh.tets)
 
-    def test_simulated_shim_matches_api(self, image, results):
-        from repro.simnuma import simulate_parallel_refinement
+    def test_simulated_impl_matches_api(self, image, results):
+        from repro.simnuma import _simulate_parallel_refinement
 
-        with pytest.warns(DeprecationWarning):
-            old = simulate_parallel_refinement(
-                image, n_threads=2, delta=3.0, seed=0
-            )
+        old = _simulate_parallel_refinement(
+            image, n_threads=2, delta=3.0, seed=0
+        )
         new = results["simulated"]
         # the simulator is deterministic for a fixed seed
         assert old.virtual_time == pytest.approx(

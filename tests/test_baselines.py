@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines import CGALLikeMesher, TetGenLikeMesher
-from repro.core import mesh_image
+from repro.core import _mesh_image as mesh_image
 from repro.imaging import shell_phantom, sphere_phantom
 from repro.metrics import quality_report
 

@@ -11,7 +11,8 @@ import math
 import numpy as np
 import pytest
 
-from repro.core import extract_mesh, mesh_image
+from repro.core import extract_mesh
+from repro.core import _mesh_image as mesh_image
 from repro.core.domain import RefineDomain, VertexKind
 from repro.core.refiner import SequentialRefiner
 from repro.geometry.quality import radius_edge_ratio, tet_volume

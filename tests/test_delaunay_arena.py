@@ -1,0 +1,163 @@
+"""Tests for the shared-memory arena behind MeshArrays.
+
+Everything here runs single-process: create/attach pairs live in the
+same interpreter, which still exercises the real shared_memory
+segments, the manifest handshake and the resource-tracker discipline.
+Process-crossing behaviour is covered by tests/test_service_process.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.delaunay import arena as arena_mod
+from repro.delaunay.arena import (
+    ARENA_PREFIX,
+    SharedArena,
+    arena_scope,
+    current_arena,
+    orphaned,
+    reclaim,
+)
+
+pytestmark = pytest.mark.skipif(
+    not arena_mod.available(),
+    reason="POSIX shared memory not available",
+)
+
+PREFIX = f"{ARENA_PREFIX}test-"
+
+
+@pytest.fixture
+def name(request):
+    """A unique arena name, swept after the test no matter what."""
+    n = f"{PREFIX}{request.node.name[:40]}"
+    reclaim(n)
+    yield n
+    reclaim(n)
+
+
+class TestArenaBasics:
+    def test_alloc_get_roundtrip(self, name):
+        with SharedArena.create(name) as a:
+            arr = a.alloc("coords", (8, 3), np.float64, fill=0.0)
+            arr[:] = np.arange(24).reshape(8, 3)
+            np.testing.assert_array_equal(a.get("coords"), arr)
+            assert a.tags() == ("coords",)
+
+    def test_fill_value(self, name):
+        with SharedArena.create(name) as a:
+            arr = a.alloc("adj", (4, 4), np.int64, fill=-1)
+            assert (arr == -1).all()
+
+    def test_duplicate_tag_rejected(self, name):
+        with SharedArena.create(name) as a:
+            a.alloc("t", (2,), np.int64, fill=0)
+            with pytest.raises(arena_mod.ArenaError):
+                a.alloc("t", (2,), np.int64, fill=0)
+
+    def test_mesh_ids_monotonic(self, name):
+        with SharedArena.create(name) as a:
+            ids = [a.new_mesh_id() for _ in range(3)]
+            assert ids == sorted(set(ids))
+
+
+class TestAttachAndRealloc:
+    def test_attach_sees_data(self, name):
+        owner = SharedArena.create(name)
+        try:
+            arr = owner.alloc("v", (5,), np.int64, fill=0)
+            arr[:] = [1, 2, 3, 4, 5]
+            other = SharedArena.attach(name)
+            try:
+                np.testing.assert_array_equal(
+                    other.get("v"), [1, 2, 3, 4, 5]
+                )
+            finally:
+                other.close()
+        finally:
+            owner.unlink_all()
+
+    def test_realloc_preserves_prefix_and_grows(self, name):
+        with SharedArena.create(name) as a:
+            arr = a.alloc("coords", (4, 3), np.float64, fill=0.0)
+            arr[:] = np.arange(12).reshape(4, 3)
+            grown = a.realloc("coords", (16, 3))
+            assert grown.shape == (16, 3)
+            np.testing.assert_array_equal(
+                grown[:4], np.arange(12).reshape(4, 3)
+            )
+            # new rows carry the column's fill value
+            assert (grown[4:] == 0.0).all()
+
+    def test_attach_refresh_after_realloc(self, name):
+        owner = SharedArena.create(name)
+        try:
+            owner.alloc("v", (4,), np.int64, fill=-1)
+            other = SharedArena.attach(name)
+            try:
+                owner.realloc("v", (32,))[:] = 7
+                other.refresh()
+                assert other.get("v").shape == (32,)
+                assert (other.get("v") == 7).all()
+            finally:
+                other.close()
+        finally:
+            owner.unlink_all()
+
+
+class TestReclaim:
+    def test_reclaim_unknown_name_is_noop(self):
+        assert reclaim(f"{PREFIX}never-created") == 0
+
+    def test_reclaim_removes_all_segments(self, name):
+        a = SharedArena.create(name)
+        a.alloc("x", (64,), np.float64, fill=0.0)
+        a.alloc("y", (64,), np.float64, fill=0.0)
+        a.close()  # unmap, but keep the segments live (simulated crash)
+        assert reclaim(name) >= 1
+        assert name not in [n for n in orphaned(PREFIX)]
+        with pytest.raises(Exception):
+            SharedArena.attach(name)
+
+    def test_unlink_all_leaves_no_orphans(self, name):
+        a = SharedArena.create(name)
+        a.alloc("x", (8,), np.float64, fill=0.0)
+        a.realloc("x", (128,))
+        a.unlink_all()
+        assert orphaned(PREFIX) == []
+
+
+class TestAmbientScope:
+    def test_scope_sets_and_restores(self, name):
+        assert current_arena() is None
+        with SharedArena.create(name) as a:
+            with arena_scope(a):
+                assert current_arena() is a
+            assert current_arena() is None
+
+    def test_mesharrays_lands_in_arena(self, name):
+        from repro.delaunay.mesh import MeshArrays
+
+        with SharedArena.create(name) as a:
+            with arena_scope(a):
+                m = MeshArrays()
+            assert any(t.endswith(":coords") for t in a.tags())
+            # growth reallocates inside the arena, not onto the heap
+            before = set(a.tags())
+            m._grow_verts()
+            assert set(a.tags()) == before
+            assert m.coords.base is not None
+
+    def test_mesh_results_identical_heap_vs_arena(self, name):
+        from repro.core import _mesh_image
+        from repro.imaging import sphere_phantom
+
+        img = sphere_phantom(12)
+        heap = _mesh_image(img, delta=3.0)
+        with SharedArena.create(name) as a:
+            with arena_scope(a):
+                shared = _mesh_image(img, delta=3.0)
+        np.testing.assert_array_equal(heap.mesh.tets, shared.mesh.tets)
+        np.testing.assert_array_equal(
+            heap.mesh.vertices, shared.mesh.vertices
+        )

@@ -14,7 +14,7 @@ from repro.io import load_tetgen, save_tetgen, save_vtk
 from repro.metrics import hausdorff_distance, quality_report
 from repro.metrics.validate import validate_extracted_mesh
 from repro.postprocess import smooth_mesh
-from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma import _simulate_parallel_refinement as simulate_parallel_refinement
 
 
 @pytest.mark.parametrize("n_threads", [4])

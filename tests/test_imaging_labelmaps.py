@@ -126,7 +126,7 @@ class TestResample:
         assert abs(vol_new - vol_base) / vol_base < 0.1
 
     def test_meshable_after_cleanup(self):
-        from repro.core import mesh_image
+        from repro.core import _mesh_image as mesh_image
 
         img = shell_phantom(16)
         cleaned = crop_to_foreground(

@@ -5,7 +5,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.core import mesh_image
+from repro.core import _mesh_image as mesh_image
 from repro.imaging import SegmentedImage, sphere_phantom
 from repro.io import (
     load_image_npz,

@@ -6,8 +6,8 @@ import pytest
 
 from repro.delaunay import RollbackSignal, Triangulation3D
 from repro.imaging import sphere_phantom
-from repro.parallel import parallel_mesh_image
-from repro.simnuma import SimEngine, simulate_parallel_refinement
+from repro.parallel import _parallel_mesh_image as parallel_mesh_image
+from repro.simnuma import SimEngine
 
 
 def _seeded_tri(n=60, seed=3, two_phase=True):

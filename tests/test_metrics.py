@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import mesh_image
+from repro.core import _mesh_image as mesh_image
 from repro.imaging import SurfaceOracle, sphere_phantom
 from repro.metrics import (
     hausdorff_distance,

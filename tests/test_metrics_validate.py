@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import mesh_image
+from repro.core import _mesh_image as mesh_image
 from repro.core.extract import ExtractedMesh
 from repro.imaging import shell_phantom, sphere_phantom
 from repro.metrics.validate import validate_extracted_mesh

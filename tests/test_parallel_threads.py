@@ -16,7 +16,7 @@ import pytest
 from repro import _accel
 from repro.imaging import shell_phantom, sphere_phantom
 from repro.metrics import quality_report
-from repro.parallel import parallel_mesh_image
+from repro.parallel import _parallel_mesh_image as parallel_mesh_image
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import mesh_image
+from repro.core import _mesh_image as mesh_image
 from repro.imaging import SurfaceOracle, sphere_phantom
 from repro.metrics import hausdorff_distance, quality_report
 from repro.postprocess import smooth_mesh

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import mesh_image
+from repro.core import _mesh_image as mesh_image
 from repro.core.domain import RefineDomain
 from repro.imaging import SegmentedImage, SurfaceOracle
 

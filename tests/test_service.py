@@ -141,8 +141,16 @@ class TestArtifactCacheRoundTrip:
 class TestEDTSharedAcrossRequests:
     def test_edt_computed_once_for_two_param_sets(self, image):
         """Same image, different delta: mesh cache misses twice but the
-        feature transform is computed exactly once."""
-        with ServiceClient(ServiceConfig(n_workers=1)) as client:
+        feature transform is computed exactly once.
+
+        Pinned to the thread executor: "computed once" is a
+        *per-process* invariant.  With process workers the EDT is
+        computed (and cached) inside the worker; the cross-process
+        version of this guarantee needs a shared ``cache_dir`` and is
+        covered by the process-executor suite.
+        """
+        with ServiceClient(ServiceConfig(n_workers=1,
+                                         executor="thread")) as client:
             client.mesh(MeshRequest(image=image, delta=3.0,
                                     mesher="sequential"))
             client.mesh(MeshRequest(image=image, delta=4.0,
@@ -341,3 +349,48 @@ class TestServiceClientFacade:
             client.wait(job, 30.0)
             doc = json.dumps(job.summary())
             assert "DONE" in doc
+
+
+# ---------------------------------------------------------------------------
+# connect() — the unified client entry point
+# ---------------------------------------------------------------------------
+
+class TestConnect:
+    def test_connect_config_owns_service(self, image):
+        from repro.service import InProcessClient, connect
+
+        with connect(config=ServiceConfig(n_workers=1)) as client:
+            assert isinstance(client, InProcessClient)
+            job_id = client.submit(MeshRequest(
+                image=image, delta=3.0, mesher="sequential"))
+            assert isinstance(job_id, str)
+            summary = client.wait(job_id, timeout=60.0)
+            assert summary["state"] == "DONE"
+            assert client.status(job_id)["state"] == "DONE"
+        # owned service is shut down with the client
+        assert client.service._closed
+
+    def test_connect_borrows_running_service(self, image):
+        from repro.service import connect
+
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        try:
+            with connect(service=service) as client:
+                result = client.mesh(MeshRequest(
+                    image=image, delta=3.0, mesher="sequential"))
+                assert result.mesh.n_tets > 0
+            # borrowed: closing the client leaves the service running
+            assert not service._closed
+        finally:
+            service.shutdown()
+
+    def test_connect_rejects_unknown_scheme(self):
+        from repro.service import connect
+
+        with pytest.raises(ValueError):
+            connect("http://localhost:1234")
+
+    def test_service_client_shim_warns(self):
+        with pytest.warns(DeprecationWarning, match="connect"):
+            client = ServiceClient(ServiceConfig(n_workers=1))
+        client.close()

@@ -1,0 +1,178 @@
+"""Process-executor tests: spawned workers, arenas, crashes, deadlines.
+
+These are the end-to-end guarantees of the process executor:
+
+* a soak of many jobs across few workers completes with every job DONE
+  and results identical to the thread executor's;
+* a worker crash (``os._exit`` inside the mesher) fails only its job,
+  reclaims its arena, and the pool respawns for the next job;
+* a deadline kills the worker mid-run → TIMED_OUT;
+* after shutdown no shared-memory segment of ours is left behind.
+
+Workers are spawned processes, so the misbehaving meshers live in
+``tests/procplugins.py`` and travel via ``REPRO_WORKER_PLUGINS``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import MeshRequest
+from repro.delaunay import arena as arena_mod
+from repro.imaging import sphere_phantom
+from repro.service import (
+    JobState,
+    MeshingService,
+    ServiceConfig,
+    connect,
+    process_support_available,
+)
+from repro.service.procworker import PLUGIN_ENV
+
+pytestmark = pytest.mark.skipif(
+    not process_support_available(),
+    reason="process executor unavailable (no shared memory / spawn)",
+)
+
+
+def _my_arena_prefix():
+    return f"{arena_mod.ARENA_PREFIX}{os.getpid()}-"
+
+
+@pytest.fixture
+def plugin_env(monkeypatch):
+    """Expose tests/procplugins.py to spawned workers."""
+    monkeypatch.syspath_prepend(os.path.dirname(__file__))
+    monkeypatch.setenv(PLUGIN_ENV, "procplugins:register")
+
+
+def _config(tmp_path, **kw):
+    kw.setdefault("n_workers", 2)
+    kw.setdefault("executor", "process")
+    kw.setdefault("cache_dir", str(tmp_path / "cache"))
+    return ServiceConfig(**kw)
+
+
+class TestProcessExecutorBasics:
+    def test_service_resolves_process_executor(self, tmp_path):
+        with MeshingService(_config(tmp_path)) as svc:
+            assert svc.executor == "process"
+            assert not svc.executor_fallback
+
+    def test_mesh_matches_thread_executor(self, tmp_path):
+        img = sphere_phantom(12)
+        req = dict(delta=3.0, mesher="sequential")
+        with connect(config=_config(tmp_path)) as c:
+            got = c.mesh(MeshRequest(image=img, **req))
+        with connect(config=ServiceConfig(
+                n_workers=2, executor="thread",
+                cache_dir=str(tmp_path / "tcache"))) as c:
+            want = c.mesh(MeshRequest(image=img, **req))
+        np.testing.assert_array_equal(got.mesh.tets, want.mesh.tets)
+        np.testing.assert_array_equal(got.mesh.vertices,
+                                      want.mesh.vertices)
+
+    def test_size_function_falls_back_inline(self, tmp_path):
+        from repro.core import radial
+
+        img = sphere_phantom(12)
+        sf = radial((6.0, 6.0, 6.0), near=2.5, far=6.0, radius=6.0)
+        with MeshingService(_config(tmp_path)) as svc:
+            job = svc.submit(MeshRequest(image=img, delta=3.0,
+                                         mesher="sequential",
+                                         size_function=sf))
+            job.wait(240.0)
+            assert job.state is JobState.DONE
+            assert svc.registry.counter("service.jobs.inline").value >= 1
+
+
+class TestProcessExecutorSoak:
+    def test_36_jobs_4_workers_all_done(self, tmp_path):
+        img = sphere_phantom(12)
+        with connect(config=_config(tmp_path, n_workers=4)) as c:
+            ids = [
+                c.submit(MeshRequest(image=img, delta=3.0 + 0.01 * i,
+                                     mesher="sequential"))
+                for i in range(36)
+            ]
+            states = [c.wait(i, timeout=600.0)["state"] for i in ids]
+        assert states == [JobState.DONE.value] * 36
+        assert arena_mod.orphaned(_my_arena_prefix()) == []
+
+
+class TestWorkerCrash:
+    def test_crash_fails_job_and_pool_recovers(self, tmp_path, plugin_env):
+        img = sphere_phantom(12)
+        with MeshingService(_config(tmp_path, n_workers=1)) as svc:
+            crash = svc.submit(MeshRequest(image=img, delta=3.0,
+                                           mesher="crashy"))
+            crash.wait(240.0)
+            assert crash.state is JobState.FAILED
+            assert "worker" in (crash.error or "")
+            assert svc.registry.counter("service.worker.crashes").value == 1
+            # the crashed worker's arena is reclaimed by name
+            assert arena_mod.orphaned(_my_arena_prefix()) == []
+            # and the pool respawns a fresh worker for the next job
+            ok = svc.submit(MeshRequest(image=img, delta=3.0,
+                                        mesher="sequential"))
+            ok.wait(240.0)
+            assert ok.state is JobState.DONE
+        assert arena_mod.orphaned(_my_arena_prefix()) == []
+
+
+class TestDeadline:
+    def test_deadline_kills_worker(self, tmp_path, plugin_env):
+        img = sphere_phantom(12)
+        with MeshingService(_config(tmp_path, n_workers=1)) as svc:
+            job = svc.submit(MeshRequest(image=img, delta=3.0,
+                                         mesher="sleepy"),
+                             deadline=3.0)
+            job.wait(240.0)
+            assert job.state is JobState.TIMED_OUT
+            assert svc.registry.counter("service.jobs.timed_out").value == 1
+        assert arena_mod.orphaned(_my_arena_prefix()) == []
+
+
+class TestShmHygiene:
+    def test_no_orphans_after_shutdown(self, tmp_path):
+        img = sphere_phantom(12)
+        svc = MeshingService(_config(tmp_path))
+        svc.start()
+        try:
+            job = svc.submit(MeshRequest(image=img, delta=3.0,
+                                         mesher="sequential"))
+            job.wait(240.0)
+            assert job.state is JobState.DONE
+        finally:
+            svc.shutdown()
+        assert arena_mod.orphaned(_my_arena_prefix()) == []
+
+    def test_thread_fallback_when_shm_unavailable(self, tmp_path,
+                                                  monkeypatch):
+        from repro.service import pool as pool_mod
+
+        monkeypatch.setattr(pool_mod, "process_support_available",
+                            lambda: False)
+        import repro.service.service as service_mod
+
+        monkeypatch.setattr(service_mod, "process_support_available",
+                            lambda: False)
+        with MeshingService(_config(tmp_path)) as svc:
+            assert svc.executor == "thread"
+            assert svc.executor_fallback
+            job = svc.submit(MeshRequest(image=sphere_phantom(12),
+                                         delta=3.0, mesher="sequential"))
+            job.wait(240.0)
+            assert job.state is JobState.DONE
+
+
+class TestEnvSelection:
+    def test_repro_executor_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        cfg = ServiceConfig(n_workers=1,
+                            cache_dir=str(tmp_path / "cache"))
+        assert cfg.resolved_executor() == "process"
+        monkeypatch.setenv("REPRO_EXECUTOR", "bogus")
+        with pytest.raises(ValueError):
+            ServiceConfig(n_workers=1).resolved_executor()

@@ -268,3 +268,98 @@ class TestCliServe:
         assert out[0] == {"ok": True, "op": "pong"}
         assert out[1]["state"] == "DONE" and out[1]["n_tets"] > 0
         assert out[2] == {"ok": True, "op": "shutdown"}
+
+
+# ---------------------------------------------------------------------------
+# protocol versioning and the unified socket client
+# ---------------------------------------------------------------------------
+
+class TestProtocolVersion:
+    def test_check_version_accepts_absent_and_current(self):
+        from repro.service import protocol
+
+        assert protocol.check_version({"op": "ping"}) == 1
+        assert protocol.check_version(
+            {"op": "ping", "v": protocol.PROTOCOL_VERSION}
+        ) == protocol.PROTOCOL_VERSION
+
+    def test_check_version_rejects_unknown(self):
+        from repro.service import protocol
+
+        for bad in (0, 2, "1", None):
+            with pytest.raises(protocol.ProtocolError):
+                protocol.check_version({"op": "ping", "v": bad})
+
+    def test_hello_over_stream(self):
+        from repro.service.protocol import PROTOCOL_VERSION
+
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        try:
+            _, responses = run_stream(service, [
+                {"op": "hello", "v": 1},
+                {"op": "shutdown"},
+            ])
+        finally:
+            service.shutdown()
+        hello = responses[0]
+        assert hello["ok"] and hello["v"] == PROTOCOL_VERSION
+        assert "mesh" in hello["ops"] and "submit" in hello["ops"]
+
+    def test_future_version_rejected_with_server_version(self):
+        from repro.service.protocol import PROTOCOL_VERSION
+
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        try:
+            _, responses = run_stream(service, [
+                {"op": "ping", "v": 99},
+                {"op": "ping"},  # unversioned still served after reject
+                {"op": "shutdown"},
+            ])
+        finally:
+            service.shutdown()
+        reject, pong = responses[0], responses[1]
+        assert not reject["ok"]
+        assert "version" in reject["error"]
+        assert reject["v"] == PROTOCOL_VERSION
+        assert pong["ok"] and pong["op"] == "pong"
+
+
+class TestSocketConnect:
+    def test_connect_negotiates_and_meshes(self, image):
+        from repro.service import connect
+
+        sock_path = "/tmp/repro-test-connect.sock"
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        front = UnixSocketFrontend(service, sock_path)
+        t = threading.Thread(target=front.serve_forever, daemon=True)
+        t.start()
+        try:
+            from repro.api import MeshRequest
+
+            with connect(f"unix://{sock_path}", timeout=120.0) as client:
+                result = client.mesh(MeshRequest(
+                    image=image, delta=3.0, mesher="sequential"))
+                assert isinstance(result, MeshResult)
+                assert result.mesh.n_tets > 0
+                job_id = client.submit(MeshRequest(
+                    image=image, delta=2.8, mesher="sequential"))
+                assert client.wait(job_id, timeout=120.0)["state"] == "DONE"
+        finally:
+            front.stop()
+            t.join(5.0)
+            service.shutdown()
+
+    def test_socket_service_client_shim_warns(self, tmp_path):
+        sock_path = str(tmp_path / "shim.sock")
+        service = MeshingService(ServiceConfig(n_workers=1)).start()
+        front = UnixSocketFrontend(service, sock_path)
+        t = threading.Thread(target=front.serve_forever, daemon=True)
+        t.start()
+        try:
+            with pytest.warns(DeprecationWarning, match="connect"):
+                client = SocketServiceClient(sock_path, timeout=10.0)
+            client.close()
+        finally:
+            front.stop()
+            t.join(5.0)
+            service.shutdown()

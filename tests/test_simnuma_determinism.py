@@ -4,7 +4,7 @@ import pytest
 
 from repro.imaging import sphere_phantom
 from repro.metrics import quality_report
-from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma import _simulate_parallel_refinement as simulate_parallel_refinement
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.imaging import sphere_phantom
-from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma import _simulate_parallel_refinement as simulate_parallel_refinement
 from repro.simnuma.energy import EnergyModel
 
 

@@ -7,8 +7,9 @@ from repro.simnuma import (
     BLACKLIGHT,
     CRTC,
     NumaCostModel,
-    simulate_parallel_refinement,
 )
+from repro.simnuma import _simulate_parallel_refinement as \
+    simulate_parallel_refinement
 
 
 @pytest.fixture(scope="module")

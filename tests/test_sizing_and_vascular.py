@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core import mesh_image, surface_graded
+from repro.core import surface_graded
+from repro.core import _mesh_image as mesh_image
 from repro.core.domain import RefineDomain
 from repro.imaging import sphere_phantom, vascular_phantom
 

@@ -13,7 +13,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.core import mesh_image
+from repro.core import _mesh_image as mesh_image
 from repro.core.domain import VertexKind
 from repro.imaging import SurfaceOracle, sphere_phantom
 from repro.metrics import hausdorff_distance

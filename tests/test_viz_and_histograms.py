@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro.core import mesh_image
+from repro.core import _mesh_image as mesh_image
 from repro.imaging import shell_phantom, sphere_phantom
 from repro.metrics.histograms import (
     dihedral_histogram,
     radius_edge_histogram,
     text_histogram,
 )
-from repro.simnuma import simulate_parallel_refinement
+from repro.simnuma import _simulate_parallel_refinement as simulate_parallel_refinement
 from repro.simnuma.trace import utilization_report
 from repro.viz import render_image_slice, render_mesh_slice
 
