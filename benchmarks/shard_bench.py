@@ -1,0 +1,159 @@
+"""Domain-sharded meshing benchmark: sharded vs unsharded wall-clock.
+
+Meshes the same image twice through a process-executor
+:class:`~repro.service.MeshingService` — once unsharded (the whole
+job in one worker process) and once with ``shards=N`` fanned out over
+the pool — and writes ``BENCH_shard.json`` with both wall-clocks and
+their ratio.
+
+The speedup gate scales with the machine, because stitching is serial
+overhead that parallel shard meshing must first buy back:
+
+* ``>= 4`` usable CPUs: sharded must beat unsharded by ``>= 1.4x``
+  (enforced);
+* 2–3 CPUs: sharded must at least break even, ``>= 1.0x`` (enforced);
+* 1 CPU (or no process support): recorded but advisory — blocks mesh
+  serially, so sharding is pure overhead there by construction.
+
+Exit code 0 iff every enforced check holds::
+
+    PYTHONPATH=src python benchmarks/shard_bench.py
+    PYTHONPATH=src python benchmarks/shard_bench.py --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.api import MeshRequest
+from repro.imaging import ball_grid_phantom
+from repro.service import (
+    JobState,
+    MeshingService,
+    ServiceConfig,
+    process_support_available,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+DEFAULT_BENCH = RESULTS_DIR / "BENCH_shard.json"
+
+#: enforced sharded-over-unsharded speedups by usable CPU count.
+GATE_4CPU = 1.4
+GATE_2CPU = 1.0
+
+FAILURES = []
+
+
+def check(name, cond, detail=""):
+    status = "ok" if cond else "FAIL"
+    print(f"  [{status}] {name}" + (f"  ({detail})" if detail else ""))
+    if not cond:
+        FAILURES.append(name)
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_job(service, request) -> float:
+    t0 = time.perf_counter()
+    job = service.submit(request)
+    job.wait(1200.0)
+    seconds = time.perf_counter() - t0
+    if job.state is not JobState.DONE:
+        raise RuntimeError(
+            f"benchmark job {job.state}: {job.error or 'no error'}"
+        )
+    return seconds, job.result
+
+
+def run(out_path: pathlib.Path, phantom_n: int, shards: int) -> None:
+    cpus = usable_cpus()
+    procs = process_support_available()
+    if cpus >= 4:
+        required, enforced = GATE_4CPU, procs
+    elif cpus >= 2:
+        required, enforced = GATE_2CPU, procs
+    else:
+        required, enforced = GATE_2CPU, False
+    print(f"shard bench: ball-grid n={phantom_n}, shards={shards}, "
+          f"{cpus} usable CPU(s), gate "
+          f"{'ENFORCED' if enforced else 'advisory'}")
+
+    image = ball_grid_phantom(phantom_n)
+    tmp = tempfile.mkdtemp(prefix="repro-shard-bench-")
+    n_workers = max(2, min(shards, cpus))
+    service = MeshingService(ServiceConfig(
+        n_workers=n_workers, cache_dir=tmp, executor="process",
+    )).start()
+    try:
+        # Warmup off the clock: spawn workers, prime imports and EDT.
+        service.mesh(MeshRequest(image=ball_grid_phantom(16),
+                                 mesher="sequential"))
+        plain_s, plain = _timed_job(service, MeshRequest(
+            image=image, mesher="sequential"))
+        print(f"  unsharded: {plain_s:.2f}s "
+              f"({plain.mesh.n_tets} tets)")
+        shard_s, sharded = _timed_job(service, MeshRequest(
+            image=image, mesher="sequential", shards=shards))
+        n_blocks = sharded.stats.get("shards", 1)
+        print(f"  sharded  : {shard_s:.2f}s "
+              f"({sharded.mesh.n_tets} tets, {n_blocks} blocks)")
+        fallback = service.executor_fallback
+    finally:
+        service.shutdown()
+
+    speedup = plain_s / shard_s if shard_s > 0 else 0.0
+    passed = speedup >= required
+    doc = {
+        "schema": 1,
+        "workload": {"phantom": "ball_grid", "phantom_n": phantom_n,
+                     "shards_requested": shards, "blocks": n_blocks,
+                     "n_workers": n_workers, "mesher": "sequential"},
+        "cpus": cpus,
+        "process_fallback": bool(fallback),
+        "unsharded": {"seconds": plain_s, "tets": plain.mesh.n_tets},
+        "sharded": {"seconds": shard_s, "tets": sharded.mesh.n_tets,
+                    "stitch": sharded.stats.get("stitch", {})},
+        "speedup_sharded_over_unsharded": speedup,
+        "gate": {"required": required, "enforced": enforced,
+                 "passed": passed},
+    }
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"  speedup: {speedup:.2f}x (required {required}x, "
+          f"{'enforced' if enforced else 'advisory'}) -> {out_path}")
+
+    check("sharded job actually sharded", n_blocks >= 2, str(n_blocks))
+    if enforced:
+        check(f"sharded >= {required}x unsharded", passed,
+              f"{speedup:.2f}x")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller phantom (CI smoke)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("-o", "--output", default=str(DEFAULT_BENCH))
+    args = parser.parse_args(argv)
+
+    run(pathlib.Path(args.output), 32 if args.fast else 48, args.shards)
+    if FAILURES:
+        print(f"{len(FAILURES)} gate check(s) failed: {FAILURES}")
+        return 1
+    print("all enforced gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,16 +34,24 @@ import sys
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 DEFAULT_HISTORY = RESULTS_DIR / "BENCH_kernels_history.jsonl"
 DEFAULT_SERVICE_HISTORY = RESULTS_DIR / "BENCH_service_history.jsonl"
+DEFAULT_SHARD_HISTORY = RESULTS_DIR / "BENCH_shard_history.jsonl"
 DEFAULT_REPORT = RESULTS_DIR / "BENCH_trend.txt"
 
 
 def record(bench_path: pathlib.Path, history_path: pathlib.Path,
-           label: str):
+           label: str, rebaseline: str = ""):
     """Append one history record distilled from a BENCH_kernels.json.
 
     Returns the record, or ``None`` when the bench file is absent or
     unreadable — a skipped/failed bench run must not take the trend
     report (and the CI step behind it) down with it.
+
+    ``rebaseline`` (a short reason string) marks this record as a new
+    drift baseline: the report compares later entries against the best
+    speedup *since the latest marker* instead of the best ever.  Use it
+    when the speedup ratio legitimately moved — e.g. the python
+    reference path got faster — so the DRIFT flag measures real
+    accelerator regressions again instead of a stale denominator.
     """
     if not bench_path.exists():
         print(f"warning: no benchmark results at {bench_path}; "
@@ -62,6 +70,7 @@ def record(bench_path: pathlib.Path, history_path: pathlib.Path,
     accel = doc.get("accel_path", {})
     rec = {
         "label": label,
+        **({"rebaseline": rebaseline} if rebaseline else {}),
         "schema": doc.get("schema"),
         "python_inserts_per_second":
             doc.get("python_path", {}).get("inserts_per_second"),
@@ -114,6 +123,78 @@ def record_service(bench_path: pathlib.Path, history_path: pathlib.Path,
     with open(history_path, "a", encoding="utf-8") as fh:
         fh.write(json.dumps(rec) + "\n")
     return rec
+
+
+def record_shard(bench_path: pathlib.Path, history_path: pathlib.Path,
+                 label: str):
+    """Append one history record distilled from a BENCH_shard.json."""
+    if not bench_path.exists():
+        print(f"warning: no shard benchmark results at {bench_path}; "
+              "nothing recorded", file=sys.stderr)
+        return None
+    try:
+        doc = json.loads(bench_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"warning: unreadable shard benchmark {bench_path}: {exc}",
+              file=sys.stderr)
+        return None
+    if not isinstance(doc, dict) or not doc:
+        print(f"warning: empty shard benchmark {bench_path}; "
+              "nothing recorded", file=sys.stderr)
+        return None
+    gate = doc.get("gate", {})
+    rec = {
+        "label": label,
+        "schema": doc.get("schema"),
+        "cpus": doc.get("cpus"),
+        "blocks": doc.get("workload", {}).get("blocks"),
+        "unsharded_seconds": doc.get("unsharded", {}).get("seconds"),
+        "sharded_seconds": doc.get("sharded", {}).get("seconds"),
+        "speedup": doc.get("speedup_sharded_over_unsharded"),
+        "gate_enforced": bool(gate.get("enforced")),
+        "gate_passed": bool(gate.get("passed")),
+    }
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(history_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(rec) + "\n")
+    return rec
+
+
+def render_shard(history: list, drift_threshold: float) -> str:
+    """Third report section: sharded-over-unsharded meshing trend."""
+    lines = [
+        "domain-sharded meshing trend (sharded vs unsharded, ball-grid)",
+        "",
+        f"{'label':<24} {'cpus':>5} {'blocks':>7} {'plain s':>8} "
+        f"{'shard s':>8} {'speedup':>8} {'gate':>9}  note",
+        "-" * 88,
+    ]
+    best = max((r.get("speedup") or 0.0
+                for r in history if r.get("gate_enforced")), default=0.0)
+    for r in history:
+        speedup = r.get("speedup")
+        if not r.get("gate_enforced"):
+            note = "few CPUs: advisory"
+        elif best > 0 and speedup is not None:
+            drop = 1.0 - speedup / best
+            note = (f"DRIFT -{drop:.0%} vs best {best:.2f}x"
+                    if drop > drift_threshold else "")
+        else:
+            note = ""
+        gate = ("pass" if r.get("gate_passed") else "FAIL") \
+            if r.get("gate_enforced") else "n/a"
+        lines.append(
+            f"{str(r.get('label', '?')):<24.24} "
+            f"{_fmt(r.get('cpus'), 5, 0)} "
+            f"{_fmt(r.get('blocks'), 7, 0)} "
+            f"{_fmt(r.get('unsharded_seconds'), 8, 2)} "
+            f"{_fmt(r.get('sharded_seconds'), 8, 2)} "
+            f"{_fmt(speedup, 8, 2)} {gate:>9}  {note}"
+        )
+    if not history:
+        lines.append("(no shard history recorded yet)")
+    lines.append("")
+    return "\n".join(lines) + "\n"
 
 
 def render_service(history: list, drift_threshold: float) -> str:
@@ -178,8 +259,23 @@ def _fmt(value, width, nd=1):
     return f"{value:,.{nd}f}".rjust(width)
 
 
+def _baseline_window(history: list) -> list:
+    """Records from the latest rebaseline marker on (all, if none)."""
+    start = 0
+    for i, r in enumerate(history):
+        if r.get("rebaseline"):
+            start = i
+    return history[start:]
+
+
 def render(history: list, drift_threshold: float) -> str:
-    """Fixed-width drift table; one row per recorded run."""
+    """Fixed-width drift table; one row per recorded run.
+
+    Drift compares against the best speedup inside the current
+    *baseline window* — everything since the latest record carrying a
+    ``rebaseline`` marker.  Rows before the window keep their history
+    but are never used as the comparison denominator.
+    """
     lines = [
         "kernel benchmark trend (insert-uniform-box)",
         "",
@@ -187,15 +283,21 @@ def render(history: list, drift_threshold: float) -> str:
         f"{'speedup':>8} {'rm x':>7} {'batch x':>7}  note",
         "-" * 88,
     ]
-    best = max((r.get("speedup") or 0.0 for r in history), default=0.0)
-    best_rm = max((r.get("removal_speedup") or 0.0 for r in history),
+    window = _baseline_window(history)
+    best = max((r.get("speedup") or 0.0 for r in window), default=0.0)
+    best_rm = max((r.get("removal_speedup") or 0.0 for r in window),
                   default=0.0)
+    in_window = set(map(id, window))
     for r in history:
         speedup = r.get("speedup")
         rm = r.get("removal_speedup")
         note = ""
-        if not r.get("accel_available"):
+        if r.get("rebaseline"):
+            note = f"REBASELINE: {r['rebaseline']}"
+        elif not r.get("accel_available"):
             note = "accel unavailable"
+        elif id(r) not in in_window:
+            pass  # pre-window: shown, never drift-flagged
         elif best > 0 and speedup is not None:
             drop = 1.0 - speedup / best
             if drop > drift_threshold:
@@ -216,8 +318,9 @@ def render(history: list, drift_threshold: float) -> str:
         lines.append("(no history recorded yet)")
     lines.append("")
     if best > 0:
-        lines.append(f"best speedup on record: {best:.2f}x; drift flagged "
-                     f"beyond {drift_threshold:.0%} below best")
+        lines.append(f"best speedup in baseline window: {best:.2f}x; "
+                     f"drift flagged beyond {drift_threshold:.0%} below "
+                     "best")
     return "\n".join(lines) + "\n"
 
 
@@ -228,11 +331,20 @@ def main(argv=None) -> int:
     parser.add_argument("--record-service", metavar="BENCH_SERVICE_JSON",
                         help="append this BENCH_service.json to the "
                              "service history")
+    parser.add_argument("--record-shard", metavar="BENCH_SHARD_JSON",
+                        help="append this BENCH_shard.json to the shard "
+                             "history")
     parser.add_argument("--label", default="local",
                         help="history label for --record (branch, SHA, ...)")
+    parser.add_argument("--rebaseline", default="", metavar="REASON",
+                        help="mark the --record entry as a new drift "
+                             "baseline (drift compares against the best "
+                             "speedup since the latest marker)")
     parser.add_argument("--history", default=str(DEFAULT_HISTORY))
     parser.add_argument("--service-history",
                         default=str(DEFAULT_SERVICE_HISTORY))
+    parser.add_argument("--shard-history",
+                        default=str(DEFAULT_SHARD_HISTORY))
     parser.add_argument("-o", "--output", default=str(DEFAULT_REPORT))
     parser.add_argument("--drift-threshold", type=float, default=0.10,
                         help="flag entries this far below the best speedup")
@@ -240,7 +352,8 @@ def main(argv=None) -> int:
 
     history_path = pathlib.Path(args.history)
     if args.record:
-        rec = record(pathlib.Path(args.record), history_path, args.label)
+        rec = record(pathlib.Path(args.record), history_path, args.label,
+                     rebaseline=args.rebaseline)
         if rec is None:
             print("no benchmark results to record; rendering existing "
                   "history (if any)")
@@ -257,11 +370,24 @@ def main(argv=None) -> int:
             print(f"recorded service {rec['label']}: speedup "
                   f"{sp if sp is not None else 'n/a'}")
 
+    shard_history_path = pathlib.Path(args.shard_history)
+    if args.record_shard:
+        rec = record_shard(pathlib.Path(args.record_shard),
+                           shard_history_path, args.label)
+        if rec is not None:
+            sp = rec["speedup"]
+            print(f"recorded shard {rec['label']}: speedup "
+                  f"{sp if sp is not None else 'n/a'}")
+
     report = render(load_history(history_path), args.drift_threshold)
     service_history = load_history(service_history_path)
     if service_history:
         report += "\n" + render_service(service_history,
                                         args.drift_threshold)
+    shard_history = load_history(shard_history_path)
+    if shard_history:
+        report += "\n" + render_shard(shard_history,
+                                      args.drift_threshold)
     out = pathlib.Path(args.output)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(report)

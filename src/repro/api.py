@@ -75,6 +75,10 @@ class MeshRequest:
     lb: str = "hws"
     hyperthreading: bool = False
     seed: int = 0
+    #: domain sharding: ``None``/1 = off, ``"auto"`` = one shard per
+    #: CPU (capped), N = split the image into up to N blocks meshed in
+    #: parallel workers and stitched (:mod:`repro.delaunay.shard`).
+    shards: Optional[Any] = None
     # -- guard rails ----------------------------------------------------
     max_operations: Optional[int] = None
     timeout: Optional[float] = None
@@ -87,6 +91,16 @@ class MeshRequest:
         if self.mesher == "auto":
             return "threaded" if self.n_threads > 1 else "sequential"
         return self.mesher
+
+    def resolved_shards(self) -> int:
+        """The effective shard count (``"auto"`` → one per CPU, ≤ 8)."""
+        s = self.shards
+        if s is None:
+            return 1
+        if s == "auto":
+            import os
+            return max(1, min(os.cpu_count() or 1, 8))
+        return int(s)
 
     def canonical_params(self) -> Dict[str, Any]:
         """The request knobs that determine the output mesh, in a flat,
@@ -114,6 +128,7 @@ class MeshRequest:
             "hyperthreading": bool(self.hyperthreading),
             "seed": int(self.seed),
             "max_operations": self.max_operations,
+            "shards": int(self.resolved_shards()),
         }
 
     def validate(self) -> None:
@@ -128,6 +143,24 @@ class MeshRequest:
             raise ValueError(f"n_threads must be >= 1, got {self.n_threads}")
         if self.delta is not None and self.delta <= 0:
             raise ValueError(f"delta must be positive, got {self.delta}")
+        s = self.shards
+        if s is not None:
+            if s != "auto" and (not isinstance(s, int)
+                                or isinstance(s, bool) or s < 1):
+                raise ValueError(
+                    f"shards must be a positive int or 'auto', got {s!r}"
+                )
+            if (s == "auto" or s > 1):
+                if self.resolved_mesher() != "sequential":
+                    raise ValueError(
+                        "sharded meshing requires the sequential mesher "
+                        f"(got {self.resolved_mesher()!r}); shards "
+                        "parallelise across worker processes, not threads"
+                    )
+                if self.size_function is not None:
+                    raise ValueError(
+                        "sharded meshing does not support size_function"
+                    )
 
 
 @dataclass
@@ -520,8 +553,20 @@ def get_mesher(name: str) -> Mesher:
 
 
 def mesh(request: MeshRequest) -> MeshResult:
-    """The unified entry point: validate, dispatch, run."""
+    """The unified entry point: validate, dispatch, run.
+
+    Requests with ``shards`` > 1 route through the domain-sharded path
+    (:mod:`repro.delaunay.shard`); when the image decomposes into a
+    single occupied block — or ``shards`` resolves to 1 — the plain
+    mesher runs, bit-identical to an unsharded request.
+    """
     request.validate()
+    if request.resolved_shards() > 1:
+        from repro.service.shards import run_local
+
+        result = run_local(request)
+        if result is not None:
+            return result
     return get_mesher(request.resolved_mesher()).mesh(request)
 
 

@@ -33,6 +33,7 @@ PHANTOMS = {
     "sphere": "sphere_phantom",
     "shell": "shell_phantom",
     "two-spheres": "two_spheres_phantom",
+    "ball-grid": "ball_grid_phantom",
     "abdominal": "abdominal_phantom",
     "knee": "knee_phantom",
     "head-neck": "head_neck_phantom",
@@ -62,6 +63,25 @@ def _load_image(path: str):
     return load_image_npz(path)
 
 
+def _parse_shards(raw):
+    """``--shards`` value: ``None``, ``"auto"`` or a positive int."""
+    if raw is None:
+        return None
+    if isinstance(raw, str) and raw.strip().lower() == "auto":
+        return "auto"
+    try:
+        n = int(raw)
+    except (TypeError, ValueError):
+        raise argparse.ArgumentTypeError(
+            f"--shards expects a positive integer or 'auto', got {raw!r}"
+        ) from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(
+            f"--shards expects a positive integer or 'auto', got {raw!r}"
+        )
+    return n
+
+
 def _build_request(args: argparse.Namespace, image, mesher: str):
     from repro.api import MeshRequest
     from repro.observability import ObservabilityConfig
@@ -70,6 +90,7 @@ def _build_request(args: argparse.Namespace, image, mesher: str):
         image=image,
         mesher=mesher,
         delta=args.delta,
+        shards=getattr(args, "shards", None),
         n_threads=getattr(args, "threads", 1),
         cm=getattr(args, "cm", "local"),
         lb=getattr(args, "lb", "hws"),
@@ -169,6 +190,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.deadline,
         tracing=bool(getattr(args, "trace_out", None)),
         executor=args.executor,
+        max_shards=args.max_shards,
+        shard_retries=args.shard_retries,
+        memory_cache_bytes=args.memory_cache_bytes,
     )
     service = MeshingService(config).start()
     if service.executor_fallback:
@@ -302,6 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["aggressive", "random", "global", "local"])
     p.add_argument("-o", "--output", default=None,
                    help=".vtk, .off, or TetGen basename")
+    p.add_argument("--shards", type=_parse_shards, default=None,
+                   metavar="N|auto",
+                   help="domain-sharded meshing: partition the image "
+                        "into N blocks meshed in parallel processes "
+                        "and stitched ('auto' sizes to the CPU count; "
+                        "sequential mesher only)")
     p.add_argument("--kernel-stats", action="store_true",
                    help="print hot-path kernel statistics (filter hit "
                         "rate, walk lengths, cavity sizes)")
@@ -328,6 +358,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve a Unix domain socket instead of stdio")
     p.add_argument("--retries", type=int, default=2,
                    help="retry budget for transient job failures")
+    p.add_argument("--max-shards", type=int, default=None,
+                   metavar="N",
+                   help="cap the shard count any one job may request")
+    p.add_argument("--shard-retries", type=int, default=1, metavar="N",
+                   help="re-runs granted to a crashed/transient shard "
+                        "(default 1)")
+    p.add_argument("--memory-cache-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="bound the in-memory artifact cache by total "
+                        "result size (LRU eviction; default unbounded)")
     p.add_argument("--deadline", type=float, default=None,
                    help="default per-job deadline in seconds")
     _add_observability_flags(p)

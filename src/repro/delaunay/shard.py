@@ -1,0 +1,638 @@
+"""Domain-sharded meshing: block decomposition + interface stitching.
+
+The per-mesh latency floor of the sequential refiner is the largest
+contiguous region one process refines.  This module turns that floor
+into a scale-out knob, following the decompose / mesh-independently /
+repair-the-interfaces template of Garner et al. (PAPERS.md):
+
+1. **Decompose** — :func:`decompose` splits the image's foreground
+   bounding box into axis-aligned blocks by recursive bisection
+   (octree-style: always the longest axis, at the occupancy-weighted
+   median plane), where *occupancy* is the foreground voxel count — the
+   cheap stand-in for refinement work, which the EDT concentrates
+   around foreground surfaces.  Each block has a half-open **core**
+   (exclusive point ownership; cores partition all of space, the outer
+   faces extending to infinity) and an **overlap crop** — the core
+   dilated by the interface band, so a shard sees the same image
+   context any point in its core would see in the unsharded run out to
+   the ``2*delta`` influence radius of the refinement rules.
+2. **Mesh blocks** — :func:`mesh_block` runs the ordinary sequential
+   refiner on the cropped sub-image (same ``delta``, same bounds) and
+   exports the vertices its core *owns*, in insertion order, with
+   their :class:`~repro.core.domain.VertexKind`.
+3. **Stitch** — :func:`stitch` rebuilds one global domain, bulk-loads
+   every owned point through ``Triangulation3D.insert_many`` (the
+   ``bw_insert_many`` C kernel), replays rule R6 in the interface
+   bands — circumcenter vertices within ``2*delta`` of a seam-band
+   isosurface sample are deleted via ``remove_vertex`` (the
+   ``bw_remove`` kernel) — and then runs the sequential refiner to
+   completion.  The refiner's vectorized radius-edge screen seeds its
+   Poor Element List from *all* live tets, so the final mesh satisfies
+   every rule the unsharded mesh satisfies; away from the seams the
+   point set is already refined and the screen admits (almost) nothing.
+
+Everything here is deterministic: blocks are visited in index order,
+points in per-shard insertion order, and R6 victims in sorted-id
+order, so the same image + the same shard count reproduces the same
+topology on every run.
+
+:func:`mesh_sharded` composes the three stages behind a ``runner``
+callable so the same algorithm serves in-process execution (the
+default serial runner) and the service's process-pool fan-out
+(:mod:`repro.service.shards`).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.imaging.image import SegmentedImage
+
+Vec3i = Tuple[int, int, int]
+Vec3f = Tuple[float, float, float]
+
+#: Smallest core extent (voxels) bisection will leave on either side of
+#: a cut.  Below this a block's crop is mostly band, and shard overhead
+#: outweighs the win.
+MIN_CORE_VOXELS = 4
+
+#: Cap on post-stitch quality passes.  Each pass re-seeds the refiner
+#: from every live tet and runs to convergence; the loop exits as soon
+#: as a pass makes no insertions or removals, so the cap only guards
+#: against a pathological mutate/skip ping-pong.
+_MAX_QUALITY_ROUNDS = 8
+
+
+class ShardingUnavailable(RuntimeError):
+    """The image cannot usefully be sharded (e.g. one occupied block)."""
+
+
+@dataclass(frozen=True)
+class Block:
+    """One shard of the decomposition, in voxel and world coordinates.
+
+    ``core_lo``/``core_hi`` is the half-open voxel box this block owns;
+    ``crop_lo``/``crop_hi`` is the core dilated by the interface band
+    and clamped to the image (the sub-image the shard actually meshes).
+    ``own_lo``/``own_hi`` is the world-space ownership box: half-open,
+    with faces on the decomposition root's boundary pushed to ±inf so
+    the ownership boxes of all blocks partition all of space (shard
+    meshes place circumcenters outside the image volume too).
+    """
+
+    index: int
+    core_lo: Vec3i
+    core_hi: Vec3i
+    crop_lo: Vec3i
+    crop_hi: Vec3i
+    own_lo: Vec3f
+    own_hi: Vec3f
+    occupancy: int
+
+    def owns(self, p: Sequence[float]) -> bool:
+        return (
+            self.own_lo[0] <= p[0] < self.own_hi[0]
+            and self.own_lo[1] <= p[1] < self.own_hi[1]
+            and self.own_lo[2] <= p[2] < self.own_hi[2]
+        )
+
+
+@dataclass
+class ShardPlan:
+    """The full decomposition: blocks + the parameters they share."""
+
+    blocks: List[Block]
+    band_voxels: Vec3i
+    delta: float
+    root_lo: Vec3i
+    root_hi: Vec3i
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def seam_planes(self, image: SegmentedImage) -> List[Tuple[int, float]]:
+        """Interior core boundaries as ``(axis, world_coordinate)``.
+
+        Only planes strictly inside the decomposition root qualify —
+        the root's own faces are not seams.
+        """
+        planes = set()
+        for b in self.blocks:
+            for axis in range(3):
+                for idx in (b.core_lo[axis], b.core_hi[axis]):
+                    if self.root_lo[axis] < idx < self.root_hi[axis]:
+                        planes.add((axis, _world(image, axis, idx)))
+        return sorted(planes)
+
+    def to_meta(self) -> Dict[str, Any]:
+        """JSON-safe summary for stats / logs."""
+        return {
+            "blocks": self.n_blocks,
+            "band_voxels": list(self.band_voxels),
+            "delta": self.delta,
+            "occupancy": [b.occupancy for b in self.blocks],
+        }
+
+
+def _world(image: SegmentedImage, axis: int, idx: int) -> float:
+    """World coordinate of voxel-grid plane ``idx`` along ``axis``.
+
+    One expression, used for every block: adjacent blocks get the
+    bit-identical float for their shared boundary.
+    """
+    return image.origin[axis] + idx * image.spacing[axis]
+
+
+def band_width_voxels(image: SegmentedImage, delta: float) -> Vec3i:
+    """Interface band width per axis, in voxels.
+
+    The refinement rules reach ``2*delta`` around a point (R6's purge
+    radius, R1/R2's circumball tests at the target density), so a
+    shard must see at least that much image beyond its core for its
+    core-owned points to match the unsharded run; one extra voxel
+    covers the EDT's voxel-center discretisation.
+    """
+    return tuple(
+        max(2, int(math.ceil(2.0 * delta / image.spacing[d])) + 1)
+        for d in range(3)
+    )
+
+
+def resolve_delta(image: SegmentedImage, delta: Optional[float]) -> float:
+    """The delta every shard and the stitch domain share (must match
+    :class:`~repro.core.domain.RefineDomain`'s default resolution)."""
+    return float(delta) if delta is not None else 2.0 * image.min_spacing
+
+
+# ---------------------------------------------------------------------------
+# decomposition
+# ---------------------------------------------------------------------------
+
+def decompose(image: SegmentedImage, n_shards: int,
+              delta: Optional[float] = None,
+              band_voxels: Optional[int] = None) -> ShardPlan:
+    """Split the image into at most ``n_shards`` occupied blocks.
+
+    Recursive bisection of the foreground bounding box: repeatedly
+    split the block with the most foreground voxels along its longest
+    physical axis, at the occupancy-weighted median plane (clamped so
+    both sides keep a usable core).  Stops early when no block can be
+    split further; the returned plan may hold fewer blocks than asked.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    d = resolve_delta(image, delta)
+    band = ((band_voxels,) * 3 if band_voxels is not None
+            else band_width_voxels(image, d))
+    mask = image.labels > 0
+    fg = np.argwhere(mask)
+    if fg.size == 0:
+        raise ValueError("image has no foreground voxels")
+    root_lo = tuple(int(x) for x in fg.min(axis=0))
+    root_hi = tuple(int(x) + 1 for x in fg.max(axis=0))
+
+    boxes: List[Tuple[Vec3i, Vec3i, int]] = [
+        (root_lo, root_hi, int(mask.sum()))
+    ]
+    while len(boxes) < n_shards:
+        split = _best_split(mask, boxes, image.spacing)
+        if split is None:
+            break
+        i, axis, cut = split
+        lo, hi, _ = boxes[i]
+        a_hi = list(hi)
+        a_hi[axis] = cut
+        b_lo = list(lo)
+        b_lo[axis] = cut
+        a = (lo, tuple(a_hi))
+        b = (tuple(b_lo), hi)
+        boxes[i: i + 1] = [
+            (bl, bh, _occupancy(mask, bl, bh)) for bl, bh in (a, b)
+        ]
+
+    shape = image.shape
+    blocks: List[Block] = []
+    for lo, hi, occ in sorted(b for b in boxes if b[2] > 0):
+        crop_lo = tuple(max(0, lo[d] - band[d]) for d in range(3))
+        crop_hi = tuple(min(shape[d], hi[d] + band[d]) for d in range(3))
+        own_lo = tuple(
+            _world(image, d, lo[d]) if lo[d] > root_lo[d] else -math.inf
+            for d in range(3)
+        )
+        own_hi = tuple(
+            _world(image, d, hi[d]) if hi[d] < root_hi[d] else math.inf
+            for d in range(3)
+        )
+        blocks.append(Block(
+            index=len(blocks), core_lo=lo, core_hi=hi,
+            crop_lo=crop_lo, crop_hi=crop_hi,
+            own_lo=own_lo, own_hi=own_hi, occupancy=occ,
+        ))
+    return ShardPlan(blocks=blocks, band_voxels=band, delta=d,
+                     root_lo=root_lo, root_hi=root_hi)
+
+
+def _occupancy(mask: np.ndarray, lo: Vec3i, hi: Vec3i) -> int:
+    return int(mask[lo[0]:hi[0], lo[1]:hi[1], lo[2]:hi[2]].sum())
+
+
+def _best_split(mask: np.ndarray, boxes, spacing
+                ) -> Optional[Tuple[int, int, int]]:
+    """``(box index, axis, cut plane)`` for the most occupied splittable
+    box, or ``None`` when nothing can be split."""
+    order = sorted(range(len(boxes)), key=lambda i: -boxes[i][2])
+    for i in order:
+        lo, hi, occ = boxes[i]
+        if occ == 0:
+            continue
+        axes = sorted(
+            (d for d in range(3) if hi[d] - lo[d] >= 2 * MIN_CORE_VOXELS),
+            key=lambda d: -(hi[d] - lo[d]) * spacing[d],
+        )
+        for axis in axes:
+            cut = _median_cut(mask, lo, hi, axis)
+            if cut is not None:
+                return (i, axis, cut)
+    return None
+
+
+def _median_cut(mask: np.ndarray, lo: Vec3i, hi: Vec3i,
+                axis: int) -> Optional[int]:
+    """Occupancy-median plane along ``axis``, clamped to leave
+    ``MIN_CORE_VOXELS`` on both sides."""
+    sub = mask[lo[0]:hi[0], lo[1]:hi[1], lo[2]:hi[2]]
+    counts = sub.sum(axis=tuple(d for d in range(3) if d != axis))
+    total = int(counts.sum())
+    if total == 0:
+        return None
+    cum = np.cumsum(counts)
+    cut = int(np.searchsorted(cum, total / 2.0)) + 1
+    cut = min(max(cut, MIN_CORE_VOXELS), (hi[axis] - lo[axis])
+              - MIN_CORE_VOXELS)
+    if cut <= 0 or cut >= hi[axis] - lo[axis]:
+        return None
+    return lo[axis] + cut
+
+
+# ---------------------------------------------------------------------------
+# per-block meshing
+# ---------------------------------------------------------------------------
+
+def crop_image(image: SegmentedImage, block: Block) -> SegmentedImage:
+    """The block's sub-image, origin shifted so world coords align."""
+    lo, hi = block.crop_lo, block.crop_hi
+    labels = np.ascontiguousarray(
+        image.labels[lo[0]:hi[0], lo[1]:hi[1], lo[2]:hi[2]]
+    )
+    origin = tuple(_world(image, d, lo[d]) for d in range(3))
+    return SegmentedImage(labels, spacing=image.spacing, origin=origin)
+
+
+def refine_block(sub: SegmentedImage, own_lo: Sequence[float],
+                 own_hi: Sequence[float], *, delta: float,
+                 radius_edge_bound: float = 2.0,
+                 planar_angle_bound_deg: float = 30.0,
+                 max_operations: Optional[int] = None
+                 ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Refine one (already cropped) sub-image and export owned points.
+
+    Returns ``(arrays, stats)`` where ``arrays`` holds ``points``
+    (float64 ``(k, 3)``, insertion order) and ``kinds`` (int8 ``(k,)``,
+    :class:`~repro.core.domain.VertexKind` values).  Runs identically
+    in-process and inside a worker process (the service's shard job
+    kind calls straight into this).
+    """
+    from repro.core.domain import RefineDomain, VertexKind
+    from repro.core.refiner import SequentialRefiner
+
+    domain = RefineDomain(
+        sub, delta=delta, radius_edge_bound=radius_edge_bound,
+        planar_angle_bound_deg=planar_angle_bound_deg,
+    )
+    rstats = SequentialRefiner(
+        domain, max_operations=max_operations
+    ).refine()
+    mesh = domain.tri.mesh
+    alive = mesh.alive_vertex
+    rows: List[Tuple[int, int, int]] = []  # (timestamp, vertex, kind)
+    for v, kind in domain.vertex_kind.items():
+        if kind == VertexKind.BOX or not alive[v]:
+            continue
+        p = mesh.points[v]
+        if (own_lo[0] <= p[0] < own_hi[0]
+                and own_lo[1] <= p[1] < own_hi[1]
+                and own_lo[2] <= p[2] < own_hi[2]):
+            rows.append((mesh.timestamps[v], v, int(kind)))
+    rows.sort()
+    pts = np.array(
+        [mesh.points[v] for _, v, _ in rows], dtype=np.float64
+    ).reshape(-1, 3)
+    kinds = np.array([k for _, _, k in rows], dtype=np.int8)
+    stats = {
+        "operations": rstats.n_operations,
+        "insertions": rstats.n_insertions,
+        "removals": rstats.n_removals,
+        "tets": rstats.final_tets,
+        "owned_points": int(len(rows)),
+        "refine_seconds": rstats.wall_time,
+    }
+    return {"points": pts, "kinds": kinds}, stats
+
+
+def mesh_block(image: SegmentedImage, block: Block, plan: ShardPlan,
+               *, radius_edge_bound: float = 2.0,
+               planar_angle_bound_deg: float = 30.0,
+               max_operations: Optional[int] = None
+               ) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Crop + refine one block of ``image`` (the in-process runner)."""
+    return refine_block(
+        crop_image(image, block), block.own_lo, block.own_hi,
+        delta=plan.delta, radius_edge_bound=radius_edge_bound,
+        planar_angle_bound_deg=planar_angle_bound_deg,
+        max_operations=max_operations,
+    )
+
+
+# ---------------------------------------------------------------------------
+# stitching
+# ---------------------------------------------------------------------------
+
+def stitch(image: SegmentedImage, plan: ShardPlan,
+           shard_points: List[Dict[str, np.ndarray]], *,
+           radius_edge_bound: float = 2.0,
+           planar_angle_bound_deg: float = 30.0,
+           max_operations: Optional[int] = None,
+           obs=None):
+    """Merge shard point clouds into one refined global mesh.
+
+    ``shard_points[i]`` is block ``i``'s ``{"points", "kinds"}`` export.
+    Returns ``(MeshingResult, stitch_stats)``.
+    """
+    from repro.core import MeshingResult, extract_mesh
+    from repro.core.domain import RefineDomain, VertexKind
+    from repro.core.refiner import SequentialRefiner
+
+    tracer = obs.tracer if obs is not None else None
+    t0 = time.perf_counter()
+    domain = RefineDomain(
+        image, delta=plan.delta, radius_edge_bound=radius_edge_bound,
+        planar_angle_bound_deg=planar_angle_bound_deg,
+    )
+    tri = domain.tri
+
+    # -- bulk load: one batched bw_insert_many sweep in block order ----
+    points: List[Tuple[float, float, float]] = []
+    kinds: List[int] = []
+    for out in shard_points:
+        points.extend(map(tuple, out["points"].tolist()))
+        kinds.extend(out["kinds"].tolist())
+    vids = tri.insert_many(points)
+    inserted = 0
+    duplicates = 0
+    iso_loaded: List[Tuple[int, Tuple[float, float, float]]] = []
+    for vid, kind, p in zip(vids, kinds, points):
+        if vid is None:
+            duplicates += 1
+            continue
+        inserted += 1
+        k = VertexKind(kind)
+        domain.vertex_kind[vid] = k
+        if k == VertexKind.ISOSURFACE:
+            domain.iso_grid.add(vid, p)
+            iso_loaded.append((vid, p))
+        else:
+            domain.cc_grid.add(vid, p)
+    domain.n_insertions += inserted
+    load_seconds = time.perf_counter() - t0
+
+    # -- interface-band R6 replay: bw_remove on crowded circumcenters --
+    # Each shard applied R6 only against its own isosurface samples; a
+    # circumcenter owned by one block can sit within 2*delta of an
+    # isosurface sample owned by its neighbour.  Replay the purge for
+    # isosurface vertices in the seam bands.
+    t1 = time.perf_counter()
+    removed = _replay_r6_bands(domain, plan, image, iso_loaded)
+    r6_seconds = time.perf_counter() - t1
+
+    # -- local re-refinement until every rule passes -------------------
+    # The refiner seeds its PEL from the vectorized radius-edge screen
+    # plus the scalar rule checks over all live tets; away from the
+    # seams the shards already refined to completion, so the seed is
+    # (nearly) empty there and the work concentrates on the interfaces.
+    t2 = time.perf_counter()
+    refiner = SequentialRefiner(domain, max_operations=max_operations,
+                                obs=obs)
+    if tracer is not None and tracer.enabled:
+        with tracer.span("shard.stitch.refine"):
+            rstats = refiner.refine()
+    else:
+        rstats = refiner.refine()
+    # The dense bulk reload makes transiently degenerate cavities far
+    # likelier than during a from-scratch run, and the refiner drops a
+    # tet whose insertion raises mid-pass even though the rule becomes
+    # applicable again once the neighbourhood changes.  Re-run fresh
+    # passes (each re-seeds the PEL from every live tet) until one makes
+    # no insertions or removals, so no inside-object tet escapes the
+    # radius-edge / size screen for lack of a retry.
+    quality_rounds = 0
+    while quality_rounds < _MAX_QUALITY_ROUNDS:
+        before = domain.n_insertions + domain.n_removals
+        extra = SequentialRefiner(
+            domain, max_operations=max_operations
+        ).refine()
+        rstats.n_operations += extra.n_operations
+        if domain.n_insertions + domain.n_removals == before:
+            break
+        quality_rounds += 1
+    rstats.final_tets = domain.tri.n_tets
+    rstats.final_vertices = domain.tri.n_vertices
+    rstats.n_insertions = domain.n_insertions
+    rstats.n_removals = domain.n_removals
+    rstats.n_skipped = domain.n_skipped
+    refine_seconds = time.perf_counter() - t2
+
+    mesh = extract_mesh(domain)
+    stitch_stats = {
+        "points_loaded": inserted,
+        "duplicates": duplicates,
+        "band_removed": removed,
+        "refine_operations": rstats.n_operations,
+        "quality_rounds": quality_rounds,
+        "load_seconds": load_seconds,
+        "r6_seconds": r6_seconds,
+        "refine_seconds": refine_seconds,
+        "seconds": time.perf_counter() - t0,
+    }
+    if obs is not None:
+        reg = obs.registry
+        reg.counter("shard.stitch.points").inc(inserted)
+        reg.counter("shard.stitch.duplicates").inc(duplicates)
+        reg.counter("shard.stitch.removed").inc(removed)
+        reg.counter("shard.stitch.refine_operations").inc(
+            rstats.n_operations
+        )
+        reg.gauge("shard.stitch.seconds").set(stitch_stats["seconds"])
+    return MeshingResult(mesh=mesh, stats=rstats, domain=domain), \
+        stitch_stats
+
+
+def _replay_r6_bands(domain, plan: ShardPlan, image: SegmentedImage,
+                     iso_loaded) -> int:
+    """R6 for seam-band isosurface vertices; returns removal count."""
+    from repro.core.domain import VertexKind
+    from repro.delaunay import RemovalError
+
+    planes = plan.seam_planes(image)
+    if not planes or not iso_loaded:
+        return 0
+    radius = 2.0 * plan.delta
+    pts = np.array([p for _, p in iso_loaded], dtype=np.float64)
+    near = np.zeros(len(iso_loaded), dtype=bool)
+    for axis, w in planes:
+        near |= np.abs(pts[:, axis] - w) <= radius
+    removed = 0
+    tri = domain.tri
+    mesh = tri.mesh
+    for (vid, p), hit in zip(iso_loaded, near.tolist()):
+        if not hit or not mesh.alive_vertex[vid]:
+            continue
+        victims = sorted(
+            v for v in domain.cc_grid.query_ball(p, radius) if v != vid
+        )
+        for v in victims:
+            if not mesh.alive_vertex[v]:
+                domain.cc_grid.remove(v)
+                continue
+            if domain.vertex_kind.get(v) != VertexKind.CIRCUMCENTER:
+                continue
+            try:
+                tri.remove_vertex(v)
+            except RemovalError:
+                domain.n_skipped += 1
+                continue
+            domain.n_removals += 1
+            domain.cc_grid.remove(v)
+            domain.vertex_kind.pop(v, None)
+            removed += 1
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# composition
+# ---------------------------------------------------------------------------
+
+#: ``runner(plan) -> list of {"points", "kinds"} in block order``.
+ShardRunner = Callable[[ShardPlan], List[Dict[str, np.ndarray]]]
+
+
+def mesh_sharded(request, plan: Optional[ShardPlan] = None,
+                 runner: Optional[ShardRunner] = None, obs=None):
+    """Decompose, mesh every block, stitch; returns a ``MeshResult``.
+
+    ``runner`` maps the plan to per-block point exports; ``None`` runs
+    the blocks serially in-process (correctness path — the speedup
+    comes from the service's process-pool runner).  Raises
+    :class:`ShardingUnavailable` when the decomposition yields fewer
+    than two occupied blocks; callers fall back to the unsharded
+    mesher.
+    """
+    from repro.api import MeshResult
+    from repro.observability import Observability
+
+    if obs is None:
+        obs = Observability.from_config(request.observability)
+    t0 = time.perf_counter()
+    if plan is None:
+        tracer = obs.tracer
+        if tracer.enabled:
+            with tracer.span("shard.decompose"):
+                plan = decompose(request.image, request.resolved_shards(),
+                                 delta=request.delta)
+        else:
+            plan = decompose(request.image, request.resolved_shards(),
+                             delta=request.delta)
+    if plan.n_blocks < 2:
+        raise ShardingUnavailable(
+            f"decomposition produced {plan.n_blocks} occupied block(s)"
+        )
+    t_dec = time.perf_counter() - t0
+
+    if runner is None:
+        runner = _serial_runner(request)
+    t1 = time.perf_counter()
+    outs = runner(plan)
+    shard_seconds = time.perf_counter() - t1
+    if len(outs) != plan.n_blocks or any(o is None for o in outs):
+        raise ShardingUnavailable("a shard produced no output")
+
+    result, stitch_stats = stitch(
+        request.image, plan, [o["arrays"] for o in outs],
+        radius_edge_bound=request.radius_edge_bound,
+        planar_angle_bound_deg=request.planar_angle_bound_deg,
+        max_operations=request.max_operations, obs=obs,
+    )
+    wall = time.perf_counter() - t0
+    shard_stats = [o["stats"] for o in outs]
+    s = result.stats
+    return MeshResult(
+        mesh=result.mesh,
+        mesher=request.resolved_mesher(),
+        stats={
+            "operations": s.n_operations,
+            "insertions": s.n_insertions + stitch_stats["points_loaded"],
+            "removals": s.n_removals,
+            "skipped": s.n_skipped,
+            "rule_counts": dict(s.rule_counts),
+            "elements_per_second": (
+                result.mesh.n_tets / wall if wall > 0 else 0.0
+            ),
+            "shards": plan.n_blocks,
+            "shard_plan": plan.to_meta(),
+            "shard_stats": shard_stats,
+            "stitch": stitch_stats,
+        },
+        metrics=obs.snapshot(),
+        timings={
+            "wall_seconds": wall,
+            "decompose_seconds": t_dec,
+            "shard_seconds": shard_seconds,
+            "stitch_seconds": stitch_stats["seconds"],
+        },
+        extras={"obs": obs, "domain": result.domain, "plan": plan},
+    )
+
+
+def _serial_runner(request) -> ShardRunner:
+    def run(plan: ShardPlan):
+        outs = []
+        for block in plan.blocks:
+            arrays, stats = mesh_block(
+                request.image, block, plan,
+                radius_edge_bound=request.radius_edge_bound,
+                planar_angle_bound_deg=request.planar_angle_bound_deg,
+                max_operations=request.max_operations,
+            )
+            outs.append({"arrays": arrays, "stats": stats})
+        return outs
+    return run
+
+
+__all__ = [
+    "Block",
+    "ShardPlan",
+    "ShardingUnavailable",
+    "band_width_voxels",
+    "crop_image",
+    "decompose",
+    "mesh_block",
+    "mesh_sharded",
+    "refine_block",
+    "resolve_delta",
+    "stitch",
+]

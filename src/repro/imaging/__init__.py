@@ -27,6 +27,7 @@ from repro.imaging.labelmaps import (
 )
 from repro.imaging.synthetic import (
     abdominal_phantom,
+    ball_grid_phantom,
     head_neck_phantom,
     knee_phantom,
     shell_phantom,
@@ -42,6 +43,7 @@ __all__ = [
     "SurfaceOracle",
     "surface_voxel_mask",
     "sphere_phantom",
+    "ball_grid_phantom",
     "shell_phantom",
     "two_spheres_phantom",
     "abdominal_phantom",

@@ -142,6 +142,28 @@ def two_spheres_phantom(n: int = 32) -> SegmentedImage:
     return b.build()
 
 
+def ball_grid_phantom(n: int = 48, side: int = 2) -> SegmentedImage:
+    """A ``side**3`` grid of separated balls (domain-sharding workload).
+
+    Each ball sits in its own octant-like cell with clear space between
+    them, so a block decomposition can cut along the gaps: the natural
+    stress case for sharded meshing, where most work is interior to a
+    block and only the seams need stitching.  Labels cycle 1..3 so the
+    phantom also exercises multi-material extraction.
+    """
+    b = PhantomBuilder((n, n, n))
+    step = n / side
+    r = 0.30 * step
+    k = 0
+    for i in range(side):
+        for j in range(side):
+            for l in range(side):
+                c = ((i + 0.5) * step, (j + 0.5) * step, (l + 0.5) * step)
+                b.ball(c, r, 1 + (k % 3))
+                k += 1
+    return b.build()
+
+
 # ----------------------------------------------------------------------
 # atlas-like phantoms (benchmarks; see DESIGN.md substitution table)
 # ----------------------------------------------------------------------

@@ -41,7 +41,13 @@ class ArtifactCache:
 
     ``root=None`` keeps everything in memory (tests, short-lived
     services); with a directory, artifacts persist across processes.
-    ``memory_entries`` bounds the LRU front (per cache, not per kind).
+    ``memory_entries`` bounds the LRU front (per cache, not per kind);
+    ``max_bytes`` additionally bounds it by the summed array payload of
+    the held artifacts — whichever bound is crossed first evicts from
+    the cold end.  Entries **pinned** (by the service, around in-flight
+    jobs) are never evicted while their pin count is positive: evicting
+    a mesh the claiming thread is about to hand to a waiter would force
+    an immediate disk round-trip or, with no disk root, a recompute.
 
     Cached objects are shared: two hits on the same key return the same
     ``MeshResult``/``EDTResult`` instance.  Callers must treat cached
@@ -49,12 +55,19 @@ class ArtifactCache:
     """
 
     def __init__(self, root: Optional[str] = None,
-                 memory_entries: int = 64):
+                 memory_entries: int = 64,
+                 max_bytes: Optional[int] = None):
         if memory_entries < 1:
             raise ValueError("memory_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 (or None)")
         self.root = Path(root) if root is not None else None
         self.memory_entries = memory_entries
+        self.max_bytes = max_bytes
         self._mem: "OrderedDict[str, Any]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
+        self._pins: Dict[str, int] = {}
+        self._bytes_held = 0
         self._lock = threading.Lock()
         self.stats = {
             "hits": 0, "misses": 0, "memory_hits": 0,
@@ -75,13 +88,82 @@ class ArtifactCache:
                 self._mem.move_to_end(slot)
             return hit
 
+    @staticmethod
+    def _sizeof(value: Any) -> int:
+        """Array payload of an artifact, in bytes (metadata ignored)."""
+        total = 0
+        mesh = getattr(value, "mesh", None)
+        for holder in (value, mesh):
+            if holder is None:
+                continue
+            for field in ("vertices", "tets", "tet_labels",
+                          "boundary_faces", "boundary_labels",
+                          "dist2", "feature"):
+                arr = getattr(holder, field, None)
+                nbytes = getattr(arr, "nbytes", None)
+                if nbytes is not None:
+                    total += int(nbytes)
+        return total if total > 0 else 1024  # opaque artifact: nominal
+
+    def _drop_slot(self, slot: str) -> None:
+        """Lock held: remove ``slot`` and settle the byte ledger."""
+        self._mem.pop(slot, None)
+        self._bytes_held -= self._sizes.pop(slot, 0)
+        self.stats["evictions"] += 1
+
+    def _evict_over_budget(self) -> None:
+        """Lock held: pop cold unpinned entries until within bounds."""
+        def over() -> bool:
+            if len(self._mem) > self.memory_entries:
+                return True
+            return (self.max_bytes is not None
+                    and self._bytes_held > self.max_bytes)
+
+        while over():
+            victim = next(
+                (s for s in self._mem if self._pins.get(s, 0) <= 0),
+                None,
+            )
+            if victim is None:  # everything pinned: over budget stands
+                return
+            self._drop_slot(victim)
+
     def _mem_put(self, slot: str, value: Any) -> None:
         with self._lock:
+            if slot in self._mem:
+                self._bytes_held -= self._sizes.pop(slot, 0)
             self._mem[slot] = value
             self._mem.move_to_end(slot)
-            while len(self._mem) > self.memory_entries:
-                self._mem.popitem(last=False)
-                self.stats["evictions"] += 1
+            size = self._sizeof(value)
+            self._sizes[slot] = size
+            self._bytes_held += size
+            self._evict_over_budget()
+
+    # -- pinning -------------------------------------------------------
+    def pin(self, slot: str) -> None:
+        """Protect ``slot`` from eviction until its last :meth:`unpin`.
+
+        Pins are counted, survive the entry itself (pinning before the
+        artifact is stored is fine — the put then lands pre-pinned),
+        and never block a re-``put`` of the same slot.
+        """
+        with self._lock:
+            self._pins[slot] = self._pins.get(slot, 0) + 1
+
+    def unpin(self, slot: str) -> None:
+        with self._lock:
+            n = self._pins.get(slot, 0) - 1
+            if n <= 0:
+                self._pins.pop(slot, None)
+            else:
+                self._pins[slot] = n
+            self._evict_over_budget()
+
+    def pin_mesh(self, key: str) -> None:
+        self.pin(f"mesh:{key}")
+
+    def unpin_mesh(self, key: str) -> None:
+        self.unpin(f"mesh:{key}")
 
     def _path(self, kind: str, key: str, ext: str) -> Optional[Path]:
         if self.root is None:
@@ -183,9 +265,20 @@ class ArtifactCache:
             self._publish(path, write)
 
     # -- reporting -----------------------------------------------------
+    @property
+    def bytes_held(self) -> int:
+        with self._lock:
+            return self._bytes_held
+
     def stats_snapshot(self) -> Dict[str, int]:
         with self._lock:
-            return dict(self.stats)
+            snap = dict(self.stats)
+            snap["bytes_held"] = self._bytes_held
+            snap["entries"] = len(self._mem)
+            snap["pinned"] = sum(
+                1 for s, n in self._pins.items() if n > 0
+            )
+            return snap
 
 
 class EDTCacheAdapter:

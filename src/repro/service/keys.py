@@ -25,7 +25,8 @@ from repro.api import MeshRequest
 from repro.imaging.image import SegmentedImage
 
 #: Bump to invalidate every cached mesh after a format/semantic change.
-CACHE_FORMAT_VERSION = 1
+#: v2: ``shards`` joined the canonical params (domain-sharded meshing).
+CACHE_FORMAT_VERSION = 2
 
 
 def image_content_key(image: SegmentedImage) -> str:

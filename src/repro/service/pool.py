@@ -252,6 +252,9 @@ class _WorkerSlot:
         from repro.core.extract import ExtractedMesh
 
         meta = reply["meta"]
+        # The reply names its own result columns; legacy mesh replies
+        # without a field list carry the fixed extracted-mesh set.
+        fields = tuple(meta.get("fields") or procworker.RESULT_FIELDS)
         if reply["transport"] == "pipe":
             arrays = reply["arrays"]
         else:
@@ -259,10 +262,12 @@ class _WorkerSlot:
             try:
                 arrays = {
                     field: np.array(att.get(f"res:{field}"), copy=True)
-                    for field in procworker.RESULT_FIELDS
+                    for field in fields
                 }
             finally:
                 att.close()
+        if meta.get("kind") == "shard":
+            return {"arrays": arrays, "stats": meta.get("stats", {})}
         return MeshResult(
             mesh=ExtractedMesh(**arrays),
             mesher=meta["mesher"],
@@ -277,9 +282,14 @@ class ProcessWorkerPool:
 
     Slots spawn lazily (a thread-only workload never pays process
     startup) and respawn lazily after a crash or deadline kill.  The
-    pool owns arena naming — ``repro-arena-<pid>-w<slot>-<seq>`` — and
-    guarantees reclamation in every outcome via ``finally``.
+    pool owns arena naming — ``repro-arena-<pid>-p<k>-w<slot>-<seq>``,
+    where ``p<k>`` is a per-pool token — and guarantees reclamation in
+    every outcome via ``finally``.  The token keeps two pools in one
+    process (a service pool plus a shard pool, or nested services)
+    from sweeping each other's live arenas at shutdown.
     """
+
+    _POOL_IDS = itertools.count(1)
 
     def __init__(self, n_workers: int, cache_dir: Optional[str] = None,
                  plugins: Optional[tuple] = None,
@@ -288,6 +298,7 @@ class ProcessWorkerPool:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
         self.name = name
+        self._token = f"{os.getpid()}-p{next(ProcessWorkerPool._POOL_IDS)}"
         self._ctx = multiprocessing.get_context("spawn")
         specs = (plugins if plugins is not None
                  else procworker.plugin_specs_from_env())
@@ -332,11 +343,7 @@ class ProcessWorkerPool:
         :class:`RemoteMeshError` (see module docstring).
         """
         slot = self._checkout()
-        arena_name = (
-            f"{arena_mod.ARENA_PREFIX}{os.getpid()}"
-            f"-w{slot.idx}-{next(self._seq)}"
-            if arena_mod.available() else None
-        )
+        arena_name = self._arena_name(slot)
         try:
             payload = procworker.build_payload(request)
             return slot.run(payload, deadline, arena_name)
@@ -344,6 +351,36 @@ class ProcessWorkerPool:
             if arena_name is not None:
                 arena_mod.reclaim(arena_name)
             self._checkin(slot)
+
+    def run_shard(self, request, plan, block,
+                  deadline: Optional[float] = None) -> dict:
+        """Mesh one decomposition block in a worker process.
+
+        Returns ``{"arrays": {"points", "kinds"}, "stats": {...}}``
+        (see :func:`repro.delaunay.shard.refine_block`).  Failure
+        taxonomy is identical to :meth:`run`; the shard's arena is
+        reclaimed by name in every outcome, including a worker crash.
+        """
+        slot = self._checkout()
+        arena_name = self._arena_name(slot)
+        try:
+            payload = procworker.build_shard_payload(request, plan, block)
+            return slot.run(payload, deadline, arena_name)
+        finally:
+            if arena_name is not None:
+                arena_mod.reclaim(arena_name)
+            self._checkin(slot)
+
+    def _arena_name(self, slot: _WorkerSlot) -> Optional[str]:
+        if not arena_mod.available():
+            return None
+        return (f"{arena_mod.ARENA_PREFIX}{self._token}"
+                f"-w{slot.idx}-{next(self._seq)}")
+
+    @property
+    def arena_prefix(self) -> str:
+        """Every arena this pool names starts with this prefix."""
+        return f"{arena_mod.ARENA_PREFIX}{self._token}-"
 
     def _checkout(self) -> _WorkerSlot:
         with self._cond:
@@ -383,8 +420,10 @@ class ProcessWorkerPool:
             slot.proc.join(max(0.1, deadline - time.monotonic()))
             slot.kill()
         # Crash windows can leave segments between "created" and
-        # "reclaimed"; sweep everything this pool could have named.
-        arena_mod.sweep(f"{arena_mod.ARENA_PREFIX}{os.getpid()}-")
+        # "reclaimed"; sweep everything *this pool* could have named —
+        # scoped by the pool token, so a second pool's live arenas in
+        # the same process survive this shutdown.
+        arena_mod.sweep(self.arena_prefix)
 
     @property
     def alive_workers(self) -> int:

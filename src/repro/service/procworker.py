@@ -104,6 +104,37 @@ def build_payload(request) -> Dict[str, Any]:
     }
 
 
+def build_shard_payload(request, plan, block) -> Dict[str, Any]:
+    """Parent side: the picklable body for one decomposition block.
+
+    The label crop happens here (only the block's sub-volume crosses
+    the pipe) and every parameter the shard needs arrives resolved —
+    ``delta`` in particular, so all shards and the stitch domain agree
+    even when the request left it defaulted.
+    """
+    image = request.image
+    lo, hi = block.crop_lo, block.crop_hi
+    origin = tuple(
+        image.origin[d] + lo[d] * image.spacing[d] for d in range(3)
+    )
+    return {
+        "kind": "shard",
+        "labels": np.ascontiguousarray(
+            image.labels[lo[0]:hi[0], lo[1]:hi[1], lo[2]:hi[2]]
+        ),
+        "spacing": tuple(image.spacing),
+        "origin": origin,
+        "own_lo": tuple(block.own_lo),
+        "own_hi": tuple(block.own_hi),
+        "params": {
+            "delta": plan.delta,
+            "radius_edge_bound": request.radius_edge_bound,
+            "planar_angle_bound_deg": request.planar_angle_bound_deg,
+            "max_operations": request.max_operations,
+        },
+    }
+
+
 def rebuild_request(body: Dict[str, Any]):
     from repro.api import MeshRequest
     from repro.imaging.image import SegmentedImage
@@ -138,10 +169,69 @@ def _pipe_arrays(result) -> Dict[str, np.ndarray]:
     return {f: np.ascontiguousarray(getattr(m, f)) for f in RESULT_FIELDS}
 
 
+def _run_shard(body: Dict[str, Any]) -> tuple:
+    """Run one shard job: crop arrives pre-cut, refine, export points.
+
+    The exported arrays are tiny next to a full mesh, but they still
+    ride the arena when one is available — same transport, same
+    reclaim-by-name crash story as whole-mesh jobs.
+    """
+    from repro.delaunay.shard import refine_block
+    from repro.imaging.image import SegmentedImage
+    from repro.service.jobs import TransientMeshError
+
+    if body.get("fault") == "exit":  # deterministic crash-test seam
+        import os
+        os._exit(3)
+    arena_name: Optional[str] = body.get("arena")
+    arena = None
+    try:
+        sub = SegmentedImage(
+            np.asarray(body["labels"], dtype=np.int16),
+            spacing=tuple(body["spacing"]),
+            origin=tuple(body["origin"]),
+        )
+        if arena_name is not None:
+            try:
+                arena = arena_mod.SharedArena.create(arena_name)
+            except arena_mod.ArenaError:
+                arena = None
+        if arena is not None:
+            with arena_mod.arena_scope(arena):
+                arrays, stats = refine_block(
+                    sub, body["own_lo"], body["own_hi"], **body["params"]
+                )
+        else:
+            arrays, stats = refine_block(
+                sub, body["own_lo"], body["own_hi"], **body["params"]
+            )
+        fields = tuple(arrays)
+        meta = {"kind": "shard", "fields": list(fields), "stats": stats}
+        if arena is not None:
+            for field in fields:
+                arr = np.ascontiguousarray(arrays[field])
+                arena.alloc(f"res:{field}", arr.shape, arr.dtype)[...] = arr
+            del arrays
+            arena.close()
+            return ("ok", {"transport": "arena", "meta": meta})
+        return ("ok", {"transport": "pipe", "meta": meta,
+                       "arrays": arrays})
+    except TransientMeshError as exc:
+        if arena is not None:
+            arena.unlink_all()
+        return ("transient", str(exc))
+    except BaseException:
+        if arena is not None:
+            arena.unlink_all()
+        return ("error", traceback.format_exc())
+
+
 def _run_one(body: Dict[str, Any], meshers: Dict[str, Any]) -> tuple:
     from repro.api import get_mesher
     from repro.service.jobs import TransientMeshError
 
+    if body.get("kind") == "shard":
+        return _run_shard(body)
     arena_name: Optional[str] = body.get("arena")
     arena = None
     try:
@@ -212,6 +302,7 @@ __all__ = [
     "PLUGIN_ENV",
     "RESULT_FIELDS",
     "build_payload",
+    "build_shard_payload",
     "load_plugins",
     "plugin_specs_from_env",
     "rebuild_request",

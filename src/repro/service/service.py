@@ -63,6 +63,9 @@ class ServiceConfig:
     #: artifact directory; ``None`` keeps the cache in memory only.
     cache_dir: Optional[str] = None
     memory_cache_entries: int = 64
+    #: byte budget for the in-memory artifact LRU (``None`` = entry
+    #: count only); in-flight jobs pin their keys against eviction.
+    memory_cache_bytes: Optional[int] = None
     #: retry budget for :class:`TransientMeshError` failures.
     max_retries: int = 2
     retry_backoff: float = 0.05
@@ -75,6 +78,15 @@ class ServiceConfig:
     transient_exceptions: Tuple[Type[BaseException], ...] = (
         TransientMeshError,
     )
+    #: cap on any request's shard count (``None`` = the request's own
+    #: resolved value stands); applied at submit time, before cache
+    #: keys are computed.
+    max_shards: Optional[int] = None
+    #: re-runs granted to a crashed / transiently-failed shard.
+    shard_retries: int = 1
+    #: interface-band width override in voxels (``None`` = derived
+    #: from delta; see :func:`repro.delaunay.shard.band_width_voxels`).
+    shard_band_voxels: Optional[int] = None
     #: ``"thread"`` or ``"process"``; ``None`` reads the
     #: ``REPRO_EXECUTOR`` environment variable and defaults to
     #: ``"thread"``.  ``"process"`` runs CPU-bound meshing in spawned
@@ -108,7 +120,8 @@ class MeshingService:
         self.registry = self.obs.registry
         self.tracer = self.obs.tracer
         self.cache = ArtifactCache(
-            cfg.cache_dir, memory_entries=cfg.memory_cache_entries
+            cfg.cache_dir, memory_entries=cfg.memory_cache_entries,
+            max_bytes=cfg.memory_cache_bytes
         )
         self.queue = JobQueue(cfg.queue_capacity)
         self.pool = WorkerPool(
@@ -219,6 +232,13 @@ class MeshingService:
             and request.mesher not in self._meshers
         ):
             request.validate()
+        if request.shards is not None:
+            # Normalise to a resolved, capped integer *before* any
+            # cache key is computed, so the key reflects what will run.
+            n = request.resolved_shards()
+            if self.config.max_shards is not None:
+                n = min(n, self.config.max_shards)
+            request.shards = max(1, n)
         if deadline is None:
             deadline = self.config.default_deadline
         abs_deadline = (
@@ -243,6 +263,22 @@ class MeshingService:
     def job(self, job_id: str) -> Optional[Job]:
         with self._jobs_lock:
             return self._jobs.get(job_id)
+
+    def _register_subjob(self, sub_id: str, parent: Job) -> Optional[Job]:
+        """Record one shard of ``parent`` as a visible sub-job.
+
+        Sub-jobs never enter the queue (the parent's claiming thread
+        drives them); they exist so ``job("<id>/s<k>")`` answers status
+        queries and the metrics can count per-shard outcomes.  A
+        re-run reuses the existing record.
+        """
+        with self._jobs_lock:
+            existing = self._jobs.get(sub_id)
+            if existing is not None:
+                return existing
+            sub = Job(sub_id, parent.request, deadline=parent.deadline)
+            self._jobs[sub_id] = sub
+            return sub
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a queued job; True iff it will never run.
@@ -370,28 +406,37 @@ class MeshingService:
         if keys is None:
             reg.counter("service.jobs.uncacheable").inc()
         else:
+            # Pin across the whole attempt: the stored result must
+            # still be resident when the waiter reads it, even under a
+            # byte-bounded LRU squeezed by concurrent jobs.
+            self.cache.pin_mesh(keys[1])
+        try:
+            if keys is not None:
+                t0 = time.perf_counter()
+                cached = self.cache.get_mesh(keys[1])
+                reg.histogram("service.stage.cache_seconds").observe(
+                    time.perf_counter() - t0
+                )
+                if cached is not None:
+                    reg.counter("service.cache.hit").inc()
+                    job.cache_hit = True
+                    return cached
+                reg.counter("service.cache.miss").inc()
             t0 = time.perf_counter()
-            cached = self.cache.get_mesh(keys[1])
-            reg.histogram("service.stage.cache_seconds").observe(
+            result = self._run_mesher(job, request)
+            reg.histogram("service.stage.mesh_seconds").observe(
                 time.perf_counter() - t0
             )
-            if cached is not None:
-                reg.counter("service.cache.hit").inc()
-                job.cache_hit = True
-                return cached
-            reg.counter("service.cache.miss").inc()
-        t0 = time.perf_counter()
-        result = self._run_mesher(job, request)
-        reg.histogram("service.stage.mesh_seconds").observe(
-            time.perf_counter() - t0
-        )
-        if keys is not None:
-            t0 = time.perf_counter()
-            self.cache.put_mesh(keys[1], result)
-            reg.histogram("service.stage.cache_seconds").observe(
-                time.perf_counter() - t0
-            )
-        return result
+            if keys is not None:
+                t0 = time.perf_counter()
+                self.cache.put_mesh(keys[1], result)
+                reg.histogram("service.stage.cache_seconds").observe(
+                    time.perf_counter() - t0
+                )
+            return result
+        finally:
+            if keys is not None:
+                self.cache.unpin_mesh(keys[1])
 
     def _run_mesher(self, job: Job, request: MeshRequest) -> MeshResult:
         """Dispatch one mesher run to the active executor.
@@ -400,6 +445,14 @@ class MeshingService:
         parent-side overlay meshers) run inline on the claiming thread
         — thread-executor semantics, per job instead of per service.
         """
+        if (request.resolved_shards() > 1
+                and request.resolved_mesher() not in self._meshers):
+            from repro.service.shards import ServiceShardRunner
+
+            result = ServiceShardRunner(self).run(job, request)
+            if result is not None:
+                return result
+            # One occupied block: the plain path below is equivalent.
         pool = self._proc_pool
         if pool is not None and pool.remotable(request, self._meshers):
             self.registry.counter("service.jobs.remote").inc()
@@ -433,6 +486,10 @@ class MeshingService:
             reg.gauge(f"edt.cache.{name}").set(
                 edt_now[name] - self._edt_stats_at_start[name]
             )
-        for name, value in self.cache.stats_snapshot().items():
+        cache_stats = self.cache.stats_snapshot()
+        for name, value in cache_stats.items():
             reg.gauge(f"service.cache.store.{name}").set(value)
+        reg.gauge("service.cache.evictions").set(cache_stats["evictions"])
+        reg.gauge("service.cache.bytes_held").set(
+            cache_stats["bytes_held"])
         return reg.snapshot()

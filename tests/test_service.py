@@ -138,6 +138,64 @@ class TestArtifactCacheRoundTrip:
             assert "service.cache.miss" not in snap["counters"]
 
 
+class TestArtifactCacheByteBudget:
+    @staticmethod
+    def _edt(n):
+        from repro.imaging.edt import EDTResult
+
+        return EDTResult(
+            dist2=np.zeros((n, n, n)),
+            feature=np.zeros((n, n, n, 3), dtype=np.int32),
+            shape=(n, n, n), spacing=(1.0, 1.0, 1.0),
+        )
+
+    def test_byte_bound_evicts_cold_entries(self):
+        from repro.service.cache import ArtifactCache
+
+        cache = ArtifactCache(max_bytes=4_000_000, memory_entries=1000)
+        for i in range(10):
+            cache.put_edt(f"k{i}", self._edt(32))  # ~640 KiB each
+        snap = cache.stats_snapshot()
+        assert snap["bytes_held"] <= 4_000_000
+        assert snap["evictions"] > 0
+        assert cache.get_edt("k0") is None      # coldest: evicted
+        assert cache.get_edt("k9") is not None  # hottest: resident
+
+    def test_pinned_entries_survive_pressure(self):
+        from repro.service.cache import ArtifactCache
+
+        cache = ArtifactCache(max_bytes=1_500_000, memory_entries=1000)
+        cache.put_edt("keep", self._edt(32))
+        cache.pin("edt:keep")
+        for i in range(10):
+            cache.put_edt(f"x{i}", self._edt(32))
+        assert cache.get_edt("keep") is not None
+        cache.unpin("edt:keep")
+        snap = cache.stats_snapshot()
+        assert snap["pinned"] == 0
+
+    def test_pin_before_put_protects_the_put(self):
+        from repro.service.cache import ArtifactCache
+
+        cache = ArtifactCache(max_bytes=700_000, memory_entries=1000)
+        cache.pin("edt:mine")
+        cache.put_edt("other", self._edt(32))
+        cache.put_edt("mine", self._edt(32))  # over budget on arrival
+        assert cache.get_edt("mine") is not None
+        cache.unpin("edt:mine")
+
+    def test_service_exposes_cache_gauges(self, image):
+        with ServiceClient(ServiceConfig(
+                n_workers=1, memory_cache_bytes=1)) as client:
+            client.mesh(MeshRequest(image=image, delta=3.0,
+                                    mesher="sequential"))
+            snap = client.metrics()
+            # Budget of one byte: the mesh was evicted right after the
+            # job released its pin.
+            assert snap["gauges"]["service.cache.evictions"] >= 1
+            assert snap["gauges"]["service.cache.bytes_held"] == 0
+
+
 class TestEDTSharedAcrossRequests:
     def test_edt_computed_once_for_two_param_sets(self, image):
         """Same image, different delta: mesh cache misses twice but the

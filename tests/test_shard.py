@@ -1,0 +1,372 @@
+"""Domain-sharded meshing: decomposition, stitching, determinism.
+
+The guarantees under test, in rough dependency order:
+
+* :func:`repro.delaunay.shard.decompose` produces blocks whose cores
+  tile the foreground bounding box, whose ownership boxes partition
+  all of space, and whose crops stay inside the image;
+* the sharded pipeline is deterministic — same image and shard count
+  ⇒ identical mesh topology across runs;
+* ``shards=1`` routes to the plain mesher and is bit-identical to an
+  unsharded request;
+* the stitched mesh satisfies the same radius-edge bound the unsharded
+  mesh does (the paper's quality guarantee survives stitching);
+* the service fans a sharded job out as ``<job>/s<k>`` sub-jobs over
+  the process pool, re-runs a crashed shard without failing the job,
+  and leaves no orphaned arena behind;
+* two process pools in one process never sweep each other's arenas.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import MeshRequest, mesh
+from repro.delaunay import arena as arena_mod
+from repro.delaunay.shard import (
+    ShardingUnavailable,
+    band_width_voxels,
+    decompose,
+    mesh_sharded,
+    resolve_delta,
+)
+from repro.imaging import sphere_phantom, two_spheres_phantom
+from repro.metrics import quality_report
+from repro.service import (
+    JobState,
+    MeshingService,
+    ServiceConfig,
+    process_support_available,
+)
+
+
+def _topo(mesh_arrays):
+    """Canonical topology signature of an extracted mesh."""
+    return sorted(
+        tuple(sorted(int(v) for v in tet)) for tet in mesh_arrays.tets
+    )
+
+
+# ---------------------------------------------------------------------------
+# decomposition
+# ---------------------------------------------------------------------------
+
+class TestDecompose:
+    def test_cores_tile_foreground_bbox(self):
+        img = two_spheres_phantom(28)
+        plan = decompose(img, 4)
+        assert 2 <= plan.n_blocks <= 4
+        # Disjoint cores covering every foreground voxel exactly once.
+        covered = np.zeros(img.shape, dtype=np.int32)
+        for b in plan.blocks:
+            covered[b.core_lo[0]:b.core_hi[0],
+                    b.core_lo[1]:b.core_hi[1],
+                    b.core_lo[2]:b.core_hi[2]] += 1
+        assert covered.max() <= 1
+        assert np.all(covered[img.labels > 0] == 1)
+
+    def test_ownership_partitions_space(self):
+        img = two_spheres_phantom(28)
+        plan = decompose(img, 4)
+        rng = np.random.default_rng(7)
+        # Points far outside the image must be owned too (circumcenters
+        # land there), hence the ±inf outer faces.
+        pts = rng.uniform(-50.0, 80.0, size=(200, 3))
+        for p in pts:
+            assert sum(b.owns(p) for b in plan.blocks) == 1
+
+    def test_crops_cover_core_plus_band(self):
+        img = two_spheres_phantom(28)
+        plan = decompose(img, 4)
+        band = band_width_voxels(img, resolve_delta(img, None))
+        assert plan.band_voxels == band
+        for b in plan.blocks:
+            assert b.occupancy > 0
+            for d in range(3):
+                assert 0 <= b.crop_lo[d] <= b.core_lo[d]
+                assert b.core_hi[d] <= b.crop_hi[d] <= img.shape[d]
+                # Band present unless clamped by the image edge.
+                if b.core_lo[d] - band[d] >= 0:
+                    assert b.core_lo[d] - b.crop_lo[d] == band[d]
+
+    def test_empty_image_raises(self):
+        img = sphere_phantom(12)
+        empty = type(img)(
+            np.zeros_like(img.labels), spacing=img.spacing,
+            origin=img.origin,
+        )
+        with pytest.raises(ValueError):
+            decompose(empty, 2)
+
+    def test_deterministic_plan(self):
+        img = two_spheres_phantom(24)
+        a = decompose(img, 4)
+        b = decompose(img, 4)
+        assert [blk.core_lo for blk in a.blocks] == \
+            [blk.core_lo for blk in b.blocks]
+        assert a.seam_planes(img) == b.seam_planes(img)
+
+    def test_one_block_is_unshardable(self):
+        # A tiny blob cannot split: mesh_sharded signals fallback.
+        img = sphere_phantom(10)
+        plan = decompose(img, 4)
+        if plan.n_blocks < 2:
+            with pytest.raises(ShardingUnavailable):
+                mesh_sharded(
+                    MeshRequest(image=img, mesher="sequential", shards=4),
+                    plan=plan,
+                )
+
+
+# ---------------------------------------------------------------------------
+# stitched-mesh properties (serial runner: no processes involved)
+# ---------------------------------------------------------------------------
+
+class TestStitchedMesh:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        img = two_spheres_phantom(24)
+        plain = mesh(MeshRequest(image=img, mesher="sequential"))
+        sharded = [
+            mesh(MeshRequest(image=img, mesher="sequential", shards=4))
+            for _ in range(2)
+        ]
+        return img, plain, sharded
+
+    def test_sharded_stats_present(self, runs):
+        _, _, sharded = runs
+        stats = sharded[0].stats
+        assert stats["shards"] >= 2
+        assert stats["shard_plan"]["blocks"] == stats["shards"]
+        assert stats["stitch"]["points_loaded"] > 0
+
+    def test_same_shards_same_topology(self, runs):
+        _, _, sharded = runs
+        assert _topo(sharded[0].mesh) == _topo(sharded[1].mesh)
+        assert sharded[0].mesh.vertices.tobytes() == \
+            sharded[1].mesh.vertices.tobytes()
+
+    def test_shards_one_bit_identical_to_unsharded(self, runs):
+        img, plain, _ = runs
+        one = mesh(MeshRequest(image=img, mesher="sequential", shards=1))
+        assert one.mesh.vertices.tobytes() == plain.mesh.vertices.tobytes()
+        assert one.mesh.tets.tobytes() == plain.mesh.tets.tobytes()
+
+    def test_radius_edge_bound_preserved(self, runs):
+        _, plain, sharded = runs
+        bound = max(2.0, quality_report(plain.mesh).max_radius_edge)
+        assert quality_report(sharded[0].mesh).max_radius_edge \
+            <= bound + 1e-9
+
+    def test_no_inside_tet_escapes_radius_edge_screen(self, runs):
+        # The refiner drops a tet whose rule insertion raises mid-pass;
+        # stitch() retries with fresh quality rounds until a pass makes
+        # no progress, so no tet with an inside-object circumcenter may
+        # end above the radius-edge bound (the screen the unsharded
+        # refiner enforces for such tets).
+        from repro.geometry.quality import radius_edge_ratio
+
+        for run in runs[2]:
+            dom = run.extras["domain"]
+            tri = dom.tri
+            offenders = []
+            for t in tri.mesh.live_tets():
+                ratio = radius_edge_ratio(*tri.tet_points(t))
+                if ratio > 2.0:
+                    c, _ = dom.circumball(t)
+                    if dom.point_inside_object(c):
+                        offenders.append((t, ratio))
+            assert offenders == []
+            assert "quality_rounds" in run.stats["stitch"]
+
+    def test_quality_histogram_comparable(self, runs):
+        # Not bit-identical to unsharded, but the same order of mesh.
+        # Seam re-refinement adds tets — a large fraction on an image
+        # this small — but must never *lose* resolution or blow up.
+        _, plain, sharded = runs
+        n0, n1 = plain.mesh.n_tets, sharded[0].mesh.n_tets
+        assert 0.6 * n0 <= n1 <= 2.5 * n0
+
+
+# ---------------------------------------------------------------------------
+# request validation
+# ---------------------------------------------------------------------------
+
+class TestShardRequest:
+    def test_auto_resolves_to_cpu_count(self):
+        req = MeshRequest(image=sphere_phantom(10), shards="auto")
+        assert 1 <= req.resolved_shards() <= 8
+
+    def test_bad_shards_rejected(self):
+        img = sphere_phantom(10)
+        for bad in (0, -2, "many", 1.5, True):
+            with pytest.raises((ValueError, TypeError)):
+                MeshRequest(image=img, shards=bad).validate()
+
+    def test_sharding_needs_sequential(self):
+        img = sphere_phantom(10)
+        with pytest.raises(ValueError):
+            MeshRequest(image=img, mesher="threaded", shards=4).validate()
+
+    def test_shards_in_canonical_params(self):
+        img = sphere_phantom(10)
+        p1 = MeshRequest(image=img, shards=2).canonical_params()
+        p2 = MeshRequest(image=img).canonical_params()
+        assert p1["shards"] == 2
+        assert p2["shards"] == 1
+
+
+# ---------------------------------------------------------------------------
+# service fan-out (process executor)
+# ---------------------------------------------------------------------------
+
+needs_processes = pytest.mark.skipif(
+    not process_support_available(),
+    reason="process executor unavailable (no shared memory / spawn)",
+)
+
+
+def _service_config(tmp_path, **kw):
+    kw.setdefault("n_workers", 2)
+    kw.setdefault("executor", "process")
+    kw.setdefault("cache_dir", str(tmp_path / "cache"))
+    return ServiceConfig(**kw)
+
+
+@needs_processes
+class TestServiceShardedJobs:
+    def test_sharded_job_end_to_end(self, tmp_path):
+        img = two_spheres_phantom(24)
+        with MeshingService(_service_config(tmp_path)) as svc:
+            job = svc.submit(
+                MeshRequest(image=img, mesher="sequential", shards=4)
+            )
+            job.wait(300)
+            assert job.state is JobState.DONE, job.error
+            n = job.result.stats["shards"]
+            assert n >= 2
+            for k in range(n):
+                sub = svc.job(f"{job.id}/s{k}")
+                assert sub is not None
+                assert sub.state is JobState.DONE
+            snap = svc.metrics_snapshot()
+            assert snap["counters"]["service.shard.jobs"] == 1
+            assert snap["counters"]["service.shard.blocks"] == n
+            assert snap["histograms"]["service.shard.seconds"]["count"] \
+                == n
+            # Sharded results hit the same cache as everything else.
+            again = svc.submit(
+                MeshRequest(image=img, mesher="sequential", shards=4)
+            )
+            again.wait(300)
+            assert again.cache_hit
+
+    def test_max_shards_cap(self, tmp_path):
+        img = two_spheres_phantom(24)
+        with MeshingService(
+            _service_config(tmp_path, max_shards=1)
+        ) as svc:
+            job = svc.submit(
+                MeshRequest(image=img, mesher="sequential", shards=8)
+            )
+            job.wait(300)
+            assert job.state is JobState.DONE, job.error
+            # Capped to one shard = plain unsharded run.
+            assert "shards" not in job.result.stats \
+                or job.result.stats["shards"] == 1
+
+    def test_crashed_shard_reruns_not_whole_job(self, tmp_path,
+                                                monkeypatch):
+        from repro.service import procworker
+
+        img = two_spheres_phantom(24)
+        real = procworker.build_shard_payload
+        crashes = {"armed": True}
+
+        def sabotaged(request, plan, block):
+            body = real(request, plan, block)
+            if block.index == 0 and crashes["armed"]:
+                crashes["armed"] = False
+                body["fault"] = "exit"  # worker os._exit(3)s
+            return body
+
+        monkeypatch.setattr(procworker, "build_shard_payload", sabotaged)
+        with MeshingService(_service_config(tmp_path)) as svc:
+            prefix = svc._proc_pool.arena_prefix
+            job = svc.submit(
+                MeshRequest(image=img, mesher="sequential", shards=4)
+            )
+            job.wait(300)
+            assert job.state is JobState.DONE, job.error
+            snap = svc.metrics_snapshot()
+            assert snap["counters"]["service.shard.crashes"] >= 1
+            assert snap["counters"]["service.shard.reruns"] >= 1
+            # The dead shard's arena was reclaimed by name.
+            assert arena_mod.orphaned(prefix) == []
+
+    def test_exhausted_retries_fail_job(self, tmp_path, monkeypatch):
+        from repro.service import procworker
+
+        img = two_spheres_phantom(24)
+        real = procworker.build_shard_payload
+
+        def always_crash(request, plan, block):
+            body = real(request, plan, block)
+            if block.index == 0:
+                body["fault"] = "exit"
+            return body
+
+        monkeypatch.setattr(procworker, "build_shard_payload",
+                            always_crash)
+        with MeshingService(
+            _service_config(tmp_path, shard_retries=1, max_retries=0)
+        ) as svc:
+            job = svc.submit(
+                MeshRequest(image=img, mesher="sequential", shards=4)
+            )
+            job.wait(300)
+            assert job.state is JobState.FAILED
+            sub = svc.job(f"{job.id}/s0")
+            assert sub is not None and sub.state is JobState.FAILED
+            snap = svc.metrics_snapshot()
+            assert snap["counters"]["service.shard.failed"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# arena hygiene across pools
+# ---------------------------------------------------------------------------
+
+@needs_processes
+class TestMultiPoolArenaHygiene:
+    def test_pools_have_distinct_prefixes(self):
+        from repro.service.pool import ProcessWorkerPool
+
+        a = ProcessWorkerPool(1)
+        b = ProcessWorkerPool(1)
+        try:
+            assert a.arena_prefix != b.arena_prefix
+            assert a.arena_prefix.startswith(arena_mod.ARENA_PREFIX)
+        finally:
+            a.shutdown()
+            b.shutdown()
+
+    def test_shutdown_sweeps_only_own_arenas(self):
+        from repro.service.pool import ProcessWorkerPool
+
+        a = ProcessWorkerPool(1)
+        b = ProcessWorkerPool(1)
+        survivor = None
+        try:
+            survivor = arena_mod.SharedArena.create(
+                f"{b.arena_prefix}manual-0"
+            )
+            survivor.alloc("x", (8,), np.float64)
+            a.shutdown()  # must not reclaim b's arena
+            att = arena_mod.SharedArena.attach(survivor.name)
+            att.close()
+        finally:
+            if survivor is not None:
+                survivor.unlink_all()
+            b.shutdown()
+        assert arena_mod.orphaned(b.arena_prefix) == []
