@@ -2,8 +2,8 @@
 
 Runs entirely in-process (no sockets, no subprocesses):
 
-1. start a :class:`~repro.service.ServiceClient` with a disk-backed
-   artifact cache;
+1. open a client with :func:`repro.service.connect` over a service
+   with a disk-backed artifact cache;
 2. mesh a phantom cold, then warm — the second call is served from the
    content-addressed cache, topology-identical and ~100x faster;
 3. mesh the *same image* with different parameters — the mesh cache
@@ -11,8 +11,10 @@ Runs entirely in-process (no sockets, no subprocesses):
 4. drive the async submit/wait/cancel path;
 5. print the ``service.*`` metrics that observed all of it.
 
-The out-of-process equivalent is ``repro serve`` (NDJSON on stdio or
-``--socket /tmp/repro.sock`` + :class:`~repro.service.SocketServiceClient`).
+The out-of-process equivalents are ``repro serve`` (NDJSON on stdio
+or ``--socket /tmp/repro.sock`` + ``connect("unix://...")``) and the
+HTTP gateway (``repro serve --http HOST:PORT`` +
+``connect("http://host:port")``).
 
 Usage::
 
@@ -24,7 +26,7 @@ import time
 
 from repro.api import MeshRequest
 from repro.imaging import sphere_phantom
-from repro.service import JobState, ServiceClient, ServiceConfig
+from repro.service import ServiceConfig, connect
 
 
 def main() -> None:
@@ -32,7 +34,7 @@ def main() -> None:
     cache_dir = tempfile.mkdtemp(prefix="repro-cache-")
     config = ServiceConfig(n_workers=2, cache_dir=cache_dir)
 
-    with ServiceClient(config) as client:
+    with connect(config=config) as client:
         # -- 1+2: cold vs warm ----------------------------------------
         t0 = time.perf_counter()
         cold = client.mesh(MeshRequest(image=image, delta=2.5))
@@ -52,14 +54,16 @@ def main() -> None:
               f"(mesh cache miss, EDT reused)")
 
         # -- 4: async jobs --------------------------------------------
-        jobs = [client.submit(MeshRequest(image=image, delta=2.0 + 0.5 * i))
-                for i in range(4)]
+        job_ids = [client.submit(MeshRequest(image=image,
+                                             delta=2.0 + 0.5 * i))
+                   for i in range(4)]
         doomed = client.submit(MeshRequest(image=image, delta=9.9))
-        client.cancel(doomed.id)
-        for job in jobs:
-            client.wait(job, timeout=120.0)
-        print("async:", {j.id: j.state.value for j in jobs + [doomed]})
-        assert all(j.state is JobState.DONE for j in jobs)
+        client.cancel(doomed)
+        states = {job_id: client.wait(job_id, timeout=120.0)["state"]
+                  for job_id in job_ids}
+        states[doomed] = client.status(doomed)["state"]
+        print("async:", states)
+        assert all(states[job_id] == "DONE" for job_id in job_ids)
 
         # -- 5: the metrics that watched it all -----------------------
         snap = client.metrics()

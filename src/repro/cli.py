@@ -5,7 +5,8 @@ Commands
 ``phantom``   generate a synthetic segmented image (.npz)
 ``mesh``      image-to-mesh conversion (any mesher, via ``repro.api``)
 ``serve``     long-running meshing service (NDJSON on stdio or a
-              Unix socket; see ``repro.service``)
+              Unix socket, or the HTTP gateway via ``--http``;
+              see ``repro.service``)
 ``simulate``  parallel refinement on the simulated cc-NUMA machine
 ``report``    quality/fidelity report of a stored image + parameters
 ``show``      ASCII view of an image slice
@@ -193,13 +194,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_shards=args.max_shards,
         shard_retries=args.shard_retries,
         memory_cache_bytes=args.memory_cache_bytes,
+        coalesce=not args.no_coalesce,
     )
     service = MeshingService(config).start()
     if service.executor_fallback:
         print("process executor unavailable (no shared memory); "
               "falling back to threads", file=sys.stderr)
     try:
-        if args.socket:
+        if args.http:
+            from repro.service.http import MeshHTTPServer
+
+            host, _, port = args.http.rpartition(":")
+            if not port.isdigit():
+                print(f"--http wants HOST:PORT, got {args.http!r}",
+                      file=sys.stderr)
+                return EXIT_BAD_ARGS
+            server = MeshHTTPServer(service, host=host or "127.0.0.1",
+                                    port=int(port))
+            print(f"serving http on {server.url} "
+                  f"({args.workers} {service.executor} workers)",
+                  file=sys.stderr, flush=True)
+            try:
+                server.serve_forever()
+                code = EXIT_OK
+            except KeyboardInterrupt:
+                code = EXIT_OK
+            finally:
+                server.close()
+        elif args.socket:
             print(f"serving on unix socket {args.socket} "
                   f"({args.workers} {service.executor} workers)",
                   file=sys.stderr)
@@ -340,7 +362,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="run the meshing service (NDJSON jobs on stdio or a socket)",
+        help="run the meshing service (NDJSON jobs on stdio or a "
+             "socket, or HTTP via --http)",
     )
     p.add_argument("--workers", type=int, default=4,
                    help="worker threads/processes (default 4)")
@@ -356,6 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "here (default: in-memory only)")
     p.add_argument("--socket", default=None, metavar="PATH",
                    help="serve a Unix domain socket instead of stdio")
+    p.add_argument("--http", default=None, metavar="HOST:PORT",
+                   help="serve the HTTP gateway (POST /v1/mesh, "
+                        "GET /v1/jobs/<id>, /healthz, /metricsz) "
+                        "instead of stdio")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="run identical concurrent requests as "
+                        "independent jobs instead of coalescing them "
+                        "onto one mesh run")
     p.add_argument("--retries", type=int, default=2,
                    help="retry budget for transient job failures")
     p.add_argument("--max-shards", type=int, default=None,

@@ -163,8 +163,21 @@ class MetricsRegistry:
             return h
 
     # -- output ---------------------------------------------------------
+    @staticmethod
+    def _quantile_json(h: Histogram, q: float) -> Optional[float]:
+        """Bucket quantile, JSON-safe: the overflow bucket's ``inf``
+        edge becomes ``None`` (``json.dumps`` emits non-standard
+        ``Infinity`` otherwise)."""
+        v = h.quantile(q)
+        return None if v == float("inf") else v
+
     def snapshot(self) -> Dict[str, object]:
-        """JSON-serialisable copy of every instrument's current state."""
+        """JSON-serialisable copy of every instrument's current state.
+
+        Histogram entries carry derived ``mean``/``p50``/``p95``/``p99``
+        alongside the raw buckets, so consumers (``/metricsz``, trend
+        reports) never re-implement the quantile walk.
+        """
         with self._lock:
             counters = {n: c.value for n, c in self._counters.items()}
             gauges = {n: g.value for n, g in self._gauges.items()}
@@ -174,6 +187,10 @@ class MetricsRegistry:
                     "counts": list(h.counts),
                     "sum": h.sum,
                     "count": h.count,
+                    "mean": h.mean,
+                    "p50": self._quantile_json(h, 0.50),
+                    "p95": self._quantile_json(h, 0.95),
+                    "p99": self._quantile_json(h, 0.99),
                 }
                 for n, h in self._histograms.items()
             }

@@ -22,11 +22,21 @@ follow-on work — I2M inside clinical pipelines — makes explicit):
 * :mod:`repro.service.service` — :class:`MeshingService`, the
   orchestrator, feeding ``service.*`` metrics and per-job trace spans;
   pick the executor with ``ServiceConfig(executor="thread"|"process")``;
+* :mod:`repro.service.coalesce` — in-flight request coalescing: K
+  identical concurrent submissions share one mesh run, with leader
+  promotion on cancel and failure fan-out;
+* :mod:`repro.service.slo` — per-cache-tier SLO accounting (hit rate,
+  p50/p95/p99 latency for memory-hit / disk-hit / coalesced /
+  full-mesh);
 * :mod:`repro.service.client` — :func:`connect`, the one client entry
   point for every transport, returning a uniform :class:`Client`;
 * :mod:`repro.service.protocol` / :mod:`repro.service.frontend` —
   the versioned ``repro serve`` wire protocol over stdio or a Unix
-  socket.
+  socket;
+* :mod:`repro.service.http` — the HTTP gateway (``repro serve
+  --http``): ``POST /v1/mesh``, ``GET /v1/jobs/<id>``, ``/healthz``,
+  ``/metricsz``, plus :class:`HttpClient`, what
+  ``connect("http://host:port")`` returns.
 
 Quickstart::
 
@@ -40,17 +50,24 @@ Quickstart::
         again = client.mesh(MeshRequest(image=image, delta=2.0))  # cache hit
 
 The same two calls work against a remote server: replace the
-``connect(config=...)`` with ``connect("/run/repro.sock")``.
+``connect(config=...)`` with ``connect("/run/repro.sock")`` or
+``connect("http://127.0.0.1:8080")``.
 """
 
 from repro.service.cache import ArtifactCache, EDTCacheAdapter
 from repro.service.client import (
     Client,
     InProcessClient,
-    ServiceClient,
     SocketClient,
-    SocketServiceClient,
     connect,
+)
+from repro.service.coalesce import CoalesceRegistry
+from repro.service.http import (
+    HttpClient,
+    ImageStore,
+    MeshHTTPServer,
+    decode_image_b64,
+    encode_image_b64,
 )
 from repro.service.jobs import (
     TERMINAL_STATES,
@@ -71,32 +88,38 @@ from repro.service.pool import (
 from repro.service.protocol import PROTOCOL_VERSION
 from repro.service.queue import JobQueue
 from repro.service.service import EXECUTORS, MeshingService, ServiceConfig
+from repro.service.slo import SLOTracker
 
 __all__ = [
     "ArtifactCache",
     "Client",
+    "CoalesceRegistry",
     "DeadlineKilled",
     "EDTCacheAdapter",
     "EXECUTORS",
+    "HttpClient",
+    "ImageStore",
     "InProcessClient",
     "Job",
     "JobQueue",
     "JobState",
+    "MeshHTTPServer",
     "MeshingService",
     "PROTOCOL_VERSION",
     "ProcessWorkerPool",
     "RemoteMeshError",
-    "ServiceClient",
+    "SLOTracker",
     "ServiceConfig",
     "ServiceError",
     "SocketClient",
-    "SocketServiceClient",
     "TERMINAL_STATES",
     "TransientMeshError",
     "WorkerCrashed",
     "WorkerPool",
     "cache_keys",
     "connect",
+    "decode_image_b64",
+    "encode_image_b64",
     "image_content_key",
     "process_support_available",
     "request_key",

@@ -28,7 +28,7 @@ import tempfile
 import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -196,12 +196,19 @@ class ArtifactCache:
 
     # -- meshes --------------------------------------------------------
     def get_mesh(self, key: str) -> Optional[MeshResult]:
+        return self.get_mesh_tiered(key)[0]
+
+    def get_mesh_tiered(
+            self, key: str) -> Tuple[Optional[MeshResult], Optional[str]]:
+        """``(result, tier)`` where tier is ``"memory"``, ``"disk"``,
+        or ``None`` on a miss — the SLO layer needs to know which store
+        answered, not just that one did."""
         slot = f"mesh:{key}"
         hit = self._mem_get(slot)
         if hit is not None:
             self._bump("hits")
             self._bump("memory_hits")
-            return hit
+            return hit, "memory"
         path = self._path("mesh", key, ".json")
         if path is not None and path.exists():
             try:
@@ -212,9 +219,9 @@ class ArtifactCache:
             else:
                 self._bump("hits")
                 self._mem_put(slot, result)
-                return result
+                return result, "disk"
         self._bump("misses")
-        return None
+        return None, None
 
     def put_mesh(self, key: str, result: MeshResult) -> None:
         self._mem_put(f"mesh:{key}", result)

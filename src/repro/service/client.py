@@ -17,6 +17,10 @@ comes back always implements the same :class:`Client` interface —
     with connect("/run/repro.sock") as client:
         result = client.mesh(MeshRequest(image=image, delta=2.0))
 
+    # or over the HTTP gateway (`repro serve --http HOST:PORT`)
+    with connect("http://127.0.0.1:8080") as client:
+        result = client.mesh(MeshRequest(image=image, delta=2.0))
+
 Target forms:
 
 ========================= =========================================
@@ -24,37 +28,56 @@ Target forms:
                             borrow an already-running ``service``)
 ``"/path/to.sock"``         Unix-socket NDJSON (``unix://`` prefix
                             also accepted)
-``"scheme://..."``          reserved for future transports → error
+``"http://host:port"``      the HTTP gateway
+                            (:class:`repro.service.http.HttpClient`)
+``"scheme://..."``          anything else → error
 ========================= =========================================
 
 Across transports, ``submit`` returns the job **id** (a string) and
 ``wait``/``status`` return the JSON-safe job summary dict — the
-lowest common denominator both transports can honour.  ``mesh`` always
-returns a full :class:`~repro.api.MeshResult`.  The in-process client
-additionally exposes ``.service`` (and ``job(id)``) for callers that
-want the richer :class:`~repro.service.jobs.Job` objects; the socket
-client exposes ``request()`` for raw protocol access.
+lowest common denominator every transport can honour.  ``mesh``
+always returns a full :class:`~repro.api.MeshResult`.  The in-process
+client additionally exposes ``.service`` (and ``job(id)``) for
+callers that want the richer :class:`~repro.service.jobs.Job`
+objects; the socket client exposes ``request()`` for raw protocol
+access.
 
-The socket client negotiates the protocol version on connect (the
-``hello`` op) and refuses to proceed against a server speaking a
-different version.
-
-:class:`ServiceClient` and :class:`SocketServiceClient` — the pre-
-``connect`` entry points — remain as thin deprecation shims with
-their historical interfaces.
+Remote clients negotiate the protocol version on connect (the
+``hello`` op over the socket, the ``X-Repro-Protocol`` header over
+HTTP) and refuse to proceed against a server speaking a different
+version.
 """
 
 from __future__ import annotations
 
 import json
 import socket
-import warnings
 from typing import Any, Dict, Optional, Union
 
 from repro.api import MeshRequest, MeshResult
 from repro.service.jobs import Job, ServiceError
 from repro.service.protocol import PROTOCOL_VERSION, REQUEST_PARAMS
 from repro.service.service import MeshingService, ServiceConfig
+
+
+def request_wire_params(request: MeshRequest) -> Dict[str, Any]:
+    """The request's non-default :data:`REQUEST_PARAMS` as a wire
+    ``params`` object (shared by the socket and HTTP clients).
+
+    Raises :class:`ServiceError` for requests that cannot cross a
+    process boundary (live ``size_function`` callables).
+    """
+    if request.size_function is not None:
+        raise ServiceError(
+            "size_function requests cannot cross the wire"
+        )
+    params: Dict[str, Any] = {}
+    defaults = MeshRequest.__dataclass_fields__
+    for key in REQUEST_PARAMS:
+        value = getattr(request, key)
+        if value != defaults[key].default:
+            params[key] = value
+    return params
 
 
 class Client:
@@ -264,17 +287,8 @@ class SocketClient(Client):
     @staticmethod
     def _message(op: str, request: MeshRequest) -> Dict[str, Any]:
         """Encode a MeshRequest as a wire message (image inlined)."""
-        if request.size_function is not None:
-            raise ServiceError(
-                "size_function requests cannot cross the socket"
-            )
         image = request.image
-        params = {}
-        defaults = MeshRequest.__dataclass_fields__
-        for key in REQUEST_PARAMS:
-            value = getattr(request, key)
-            if value != defaults[key].default:
-                params[key] = value
+        params = request_wire_params(request)
         msg: Dict[str, Any] = {
             "op": op,
             "image": {
@@ -296,8 +310,8 @@ def connect(target: Union[None, str, MeshingService] = None, *,
 
     ``target=None`` builds an in-process service from ``config`` (or
     borrows ``service``); a path string connects to a Unix-socket
-    server; URL schemes other than ``unix://`` are reserved and
-    rejected.
+    server; ``http://host:port`` connects to the HTTP gateway; other
+    URL schemes are rejected.
     """
     if isinstance(target, MeshingService):
         return InProcessClient(service=target)
@@ -307,91 +321,29 @@ def connect(target: Union[None, str, MeshingService] = None, *,
         target = str(target)
     if "://" in target:
         scheme, _, rest = target.partition("://")
+        if scheme == "http":
+            from repro.service.http import HttpClient
+
+            host, _, port = rest.rstrip("/").rpartition(":")
+            if not host or not port.isdigit():
+                raise ValueError(
+                    f"http target must be http://host:port, got {target!r}"
+                )
+            return HttpClient(host, int(port), timeout=timeout)
         if scheme != "unix":
             raise ValueError(
                 f"unsupported transport {scheme!r} in {target!r}; "
-                "only in-process (None) and unix:// sockets exist today"
+                "use in-process (None), unix://, or http://"
             )
         target = rest
     return SocketClient(target, timeout=timeout)
 
 
-# ---------------------------------------------------------------------------
-# deprecation shims (pre-connect entry points)
-# ---------------------------------------------------------------------------
-
-class ServiceClient:
-    """Deprecated: use :func:`repro.service.connect` instead.
-
-    Historical synchronous facade; ``submit`` returns a
-    :class:`~repro.service.jobs.Job` and ``wait`` takes one, unlike
-    the unified :class:`Client`.
-    """
-
-    def __init__(self, config: Optional[ServiceConfig] = None,
-                 service: Optional[MeshingService] = None):
-        warnings.warn(
-            "ServiceClient is deprecated; use repro.service.connect()",
-            DeprecationWarning, stacklevel=2,
-        )
-        self._owns_service = service is None
-        self.service = service or MeshingService(config).start()
-
-    def mesh(self, request: MeshRequest,
-             deadline: Optional[float] = None,
-             timeout: Optional[float] = None) -> MeshResult:
-        return self.service.mesh(request, deadline=deadline,
-                                 timeout=timeout)
-
-    def submit(self, request: MeshRequest,
-               deadline: Optional[float] = None) -> Job:
-        return self.service.submit(request, deadline=deadline)
-
-    def wait(self, job: Job, timeout: Optional[float] = None) -> Job:
-        return self.service.wait(job, timeout)
-
-    def cancel(self, job_id: str) -> bool:
-        return self.service.cancel(job_id)
-
-    def metrics(self) -> Dict[str, Any]:
-        return self.service.metrics_snapshot()
-
-    def close(self) -> None:
-        if self._owns_service:
-            self.service.shutdown()
-
-    def __enter__(self) -> "ServiceClient":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-
-class SocketServiceClient(SocketClient):
-    """Deprecated: use ``repro.service.connect(path)`` instead."""
-
-    def __init__(self, path: str, timeout: Optional[float] = None):
-        warnings.warn(
-            "SocketServiceClient is deprecated; use "
-            "repro.service.connect(path)",
-            DeprecationWarning, stacklevel=2,
-        )
-        # No hello handshake: the historical client never sent one,
-        # and shims must not change observable wire behaviour.
-        super().__init__(path, timeout=timeout, negotiate=False)
-
-    def metrics(self) -> Dict[str, Any]:
-        # Historical shape: the raw response envelope, metrics under
-        # the "metrics" key (the unified client returns them bare).
-        return self.request({"op": "metrics"})
-
-
 __all__ = [
     "Client",
     "InProcessClient",
-    "ServiceClient",
     "ServiceError",
     "SocketClient",
-    "SocketServiceClient",
     "connect",
+    "request_wire_params",
 ]

@@ -1,0 +1,156 @@
+"""In-flight request coalescing: N identical submissions, one mesh run.
+
+At fleet scale most traffic is *repeat* traffic: bursts of requests for
+the same image with the same parameters.  The artifact cache absorbs
+repeats of *finished* work, but it does nothing for duplicates that
+arrive while the first copy is still queued or running — without this
+module, K identical concurrent submissions run K full mesh jobs and
+then overwrite each other's cache entry.
+
+:class:`CoalesceRegistry` closes that window.  Jobs are keyed on the
+content-addressed request key of :mod:`repro.service.keys` (image
+bytes + canonical parameters — the same key the artifact cache uses,
+so "identical" means *provably the same output mesh*):
+
+* the first submission for a key becomes the **leader** and is queued
+  normally;
+* every duplicate that arrives while the leader is in flight becomes a
+  **follower**: it is registered as a real, waitable job but never
+  enters the queue — when the leader concludes, its outcome (result,
+  failure, or timeout) is fanned out to every follower;
+* cancelling a follower cancels only that follower — the leader and
+  the remaining waiters are untouched;
+* cancelling a queued leader *promotes* the oldest live follower into
+  a new leader (it is enqueued in the leader's place), so a cancel by
+  the first submitter can never strand the other waiters.
+
+Metrics: ``service.coalesce.leaders`` counts jobs that led at least
+one follower, ``service.coalesce.followers`` counts attached
+duplicates, and the ``service.coalesce.fanout`` histogram records the
+per-leader fan-out degree at conclusion.
+
+The registry never touches the artifact cache: followers are concluded
+from the leader's in-memory result, so a coalesced hit adds no cache
+pins (the leader's own run pins its key exactly once, like any job).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.service.jobs import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.service import MeshingService
+
+#: fan-out degree buckets (waiters per leader).
+FANOUT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class _Entry:
+    """One in-flight key: its leader and the waiters attached to it."""
+
+    __slots__ = ("leader", "followers")
+
+    def __init__(self, leader: Job):
+        self.leader = leader
+        self.followers: List[Job] = []
+
+
+class CoalesceRegistry:
+    """In-flight job index keyed on the content-addressed request key."""
+
+    def __init__(self, service: "MeshingService"):
+        self._service = service
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _Entry] = {}
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def leader_for(self, key: str) -> Optional[Job]:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.leader if entry is not None else None
+
+    def waiters_for(self, key: str) -> int:
+        with self._lock:
+            entry = self._entries.get(key)
+            return len(entry.followers) if entry is not None else 0
+
+    # -- submit-side routing --------------------------------------------
+    def route(self, key: str, job: Job) -> bool:
+        """Attach ``job`` under ``key``; True iff it became a follower.
+
+        Finding the key in flight attaches ``job`` as a follower of the
+        existing leader (it must not be enqueued); otherwise ``job`` is
+        registered as the key's leader and the caller enqueues it
+        normally.  Atomic against concurrent routes and against the
+        leader's own conclusion: an entry still present in the index
+        has not fanned out yet, so a follower appended under the lock
+        is always seen by the fan-out.
+        """
+        reg = self._service.registry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if not entry.followers:
+                    # This leader now actually leads someone.
+                    reg.counter("service.coalesce.leaders").inc()
+                entry.followers.append(job)
+                reg.counter("service.coalesce.followers").inc()
+                return True
+            self._entries[key] = _Entry(job)
+        # Outside the lock: the callback may fire on this very thread
+        # if the job is already terminal (it cannot be — it was created
+        # moments ago — but add_done_callback handles it either way).
+        job.add_done_callback(lambda j: self._on_leader_done(key, j))
+        return False
+
+    # -- conclusion / fan-out -------------------------------------------
+    def _on_leader_done(self, key: str, leader: Job) -> None:
+        """Leader reached a terminal state: fan out, or promote.
+
+        A cancelled leader with live waiters does not conclude them —
+        the oldest still-queued follower is promoted to leader and
+        enqueued; only its conclusion (or a promotion chain ending in
+        rejection) reaches the remaining waiters.
+        """
+        promote: Optional[Job] = None
+        followers: List[Job] = []
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.leader is not leader:
+                return  # stale callback from a superseded leader
+            if leader.state is JobState.CANCELLED:
+                promote = next(
+                    (f for f in entry.followers
+                     if f.state is JobState.QUEUED),
+                    None,
+                )
+            if promote is not None:
+                entry.leader = promote
+                entry.followers = [
+                    f for f in entry.followers if f is not promote
+                ]
+            else:
+                del self._entries[key]
+                followers = entry.followers
+        if promote is not None:
+            promote.add_done_callback(
+                lambda j: self._on_leader_done(key, j)
+            )
+            self._service._enqueue_promoted(promote)
+            return
+        if not followers:
+            return
+        notified = 0
+        for follower in followers:
+            if self._service._conclude_follower(follower, leader):
+                notified += 1
+        self._service.registry.histogram(
+            "service.coalesce.fanout", FANOUT_BUCKETS
+        ).observe(notified)

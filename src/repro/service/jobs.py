@@ -69,8 +69,9 @@ class Job:
 
     __slots__ = (
         "id", "request", "deadline", "state", "result", "error",
-        "attempts", "cache_hit", "submitted_at", "started_at",
-        "finished_at", "_lock", "_done", "_callbacks",
+        "attempts", "cache_hit", "tier", "coalesced", "keys",
+        "submitted_at", "started_at", "finished_at",
+        "_lock", "_done", "_callbacks",
     )
 
     def __init__(self, job_id: str, request: MeshRequest,
@@ -84,6 +85,14 @@ class Job:
         self.error: Optional[str] = None
         self.attempts = 0
         self.cache_hit = False
+        #: SLO tier that served this job (:mod:`repro.service.slo`):
+        #: ``memory_hit`` / ``disk_hit`` / ``coalesced`` / ``full_mesh``
+        self.tier: Optional[str] = None
+        #: True iff this job was concluded by a coalesce fan-out.
+        self.coalesced = False
+        #: ``(image_key, request_key)`` computed at submit (coalescing
+        #: on), reused by the cache path; ``None`` = not yet computed.
+        self.keys: Optional[Any] = None
         self.submitted_at = time.monotonic()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -158,7 +167,10 @@ class Job:
             "state": self.state.value,
             "attempts": self.attempts,
             "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
         }
+        if self.tier is not None:
+            out["tier"] = self.tier
         if self.result is not None:
             out["n_tets"] = self.result.n_tets
             out["n_vertices"] = self.result.n_vertices

@@ -34,6 +34,7 @@ from repro.api import MESHER_NAMES, MeshRequest, MeshResult, get_mesher
 from repro.imaging import edt as edt_module
 from repro.observability import Observability, ObservabilityConfig
 from repro.service.cache import ArtifactCache, EDTCacheAdapter
+from repro.service.coalesce import CoalesceRegistry
 from repro.service.jobs import (
     Job,
     JobState,
@@ -41,6 +42,7 @@ from repro.service.jobs import (
     TransientMeshError,
 )
 from repro.service.keys import cache_keys
+from repro.service.slo import SLOTracker
 from repro.service.pool import (
     DeadlineKilled,
     ProcessWorkerPool,
@@ -87,6 +89,10 @@ class ServiceConfig:
     #: interface-band width override in voxels (``None`` = derived
     #: from delta; see :func:`repro.delaunay.shard.band_width_voxels`).
     shard_band_voxels: Optional[int] = None
+    #: coalesce identical in-flight requests onto one mesh run
+    #: (:mod:`repro.service.coalesce`); keyed on the content-addressed
+    #: request key, so only provably-identical requests join.
+    coalesce: bool = True
     #: ``"thread"`` or ``"process"``; ``None`` reads the
     #: ``REPRO_EXECUTOR`` environment variable and defaults to
     #: ``"thread"``.  ``"process"`` runs CPU-bound meshing in spawned
@@ -140,6 +146,10 @@ class MeshingService:
         else:
             self.executor_fallback = False
         self.executor = requested
+        self.slo = SLOTracker(self.registry)
+        self._coalesce: Optional[CoalesceRegistry] = (
+            CoalesceRegistry(self) if cfg.coalesce else None
+        )
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -253,6 +263,18 @@ class MeshingService:
             self._jobs[job_id] = job
         reg = self.registry
         reg.counter("service.jobs.submitted").inc()
+        if self._coalesce is not None and not self._closed:
+            try:
+                job.keys = cache_keys(request)
+            except Exception:
+                # A malformed image fails in the worker with a proper
+                # FAILED outcome; submit itself must not raise for it.
+                job.keys = None
+            if (job.keys is not None
+                    and self._coalesce.route(job.keys[1], job)):
+                # Follower: rides the in-flight leader's run; it never
+                # enters the queue and concludes at the fan-out.
+                return job
         if self._closed or not self.queue.put(job):
             job.finish(JobState.REJECTED,
                        error="queue full or service shut down")
@@ -296,6 +318,63 @@ class MeshingService:
             self.registry.gauge("service.queue.depth").set(len(self.queue))
             return True
         return False
+
+    # -- coalescing ----------------------------------------------------
+    def _enqueue_promoted(self, job: Job) -> None:
+        """Queue a follower promoted to leader after a leader cancel."""
+        reg = self.registry
+        reg.counter("service.coalesce.promotions").inc()
+        if self._closed or not self.queue.put(job):
+            job.finish(JobState.REJECTED,
+                       error="queue full or service shut down")
+            reg.counter("service.jobs.rejected").inc()
+        reg.gauge("service.queue.depth").set(len(self.queue))
+
+    def _conclude_follower(self, follower: Job, leader: Job) -> bool:
+        """Fan one leader outcome out to one waiter; True iff it landed.
+
+        The follower inherits the leader's terminal state (result or
+        error), except that a follower whose *own* deadline lapsed
+        while it waited concludes ``TIMED_OUT`` — with the mesh still
+        attached, like any salvageable late finish.  Returns False for
+        followers already terminal (individually cancelled).
+        """
+        reg = self.registry
+        follower.coalesced = True
+        state = leader.state
+        if state is JobState.DONE:
+            if follower.expired():
+                if not follower.finish(
+                        JobState.TIMED_OUT, result=leader.result,
+                        error="deadline expired while coalesced"):
+                    return False
+                reg.counter("service.jobs.timed_out").inc()
+                return True
+            follower.tier = "coalesced"
+            if not follower.finish(JobState.DONE, result=leader.result):
+                return False
+            reg.counter("service.jobs.completed").inc()
+            self._observe_slo(follower)
+            return True
+        counters = {
+            JobState.FAILED: "service.jobs.failed",
+            JobState.TIMED_OUT: "service.jobs.timed_out",
+            JobState.CANCELLED: "service.jobs.cancelled",
+            JobState.REJECTED: "service.jobs.rejected",
+        }
+        error = leader.error or (
+            f"coalesced leader {leader.id} finished {leader.state.value}"
+        )
+        if not follower.finish(state, error=error):
+            return False
+        reg.counter(counters[state]).inc()
+        return True
+
+    def _observe_slo(self, job: Job) -> None:
+        """Attribute one successfully concluded job to its SLO tier."""
+        if job.finished_at is None:
+            return
+        self.slo.observe(job.tier, job.finished_at - job.submitted_at)
 
     def wait(self, job: Job, timeout: Optional[float] = None) -> Job:
         job.wait(timeout)
@@ -390,6 +469,7 @@ class MeshingService:
                     return
                 job.finish(JobState.DONE, result=result)
                 reg.counter("service.jobs.completed").inc()
+                self._observe_slo(job)
                 return
         finally:
             dt = time.perf_counter() - t0
@@ -402,7 +482,9 @@ class MeshingService:
         """One attempt: cache lookup → mesher run → cache store."""
         reg = self.registry
         request = job.request
-        keys = cache_keys(request)
+        # Reuse the keys submit computed for coalescing, if any — the
+        # image hash is the expensive half of the key.
+        keys = job.keys if job.keys is not None else cache_keys(request)
         if keys is None:
             reg.counter("service.jobs.uncacheable").inc()
         else:
@@ -413,17 +495,21 @@ class MeshingService:
         try:
             if keys is not None:
                 t0 = time.perf_counter()
-                cached = self.cache.get_mesh(keys[1])
+                cached, tier = self.cache.get_mesh_tiered(keys[1])
                 reg.histogram("service.stage.cache_seconds").observe(
                     time.perf_counter() - t0
                 )
                 if cached is not None:
                     reg.counter("service.cache.hit").inc()
                     job.cache_hit = True
+                    job.tier = (
+                        "memory_hit" if tier == "memory" else "disk_hit"
+                    )
                     return cached
                 reg.counter("service.cache.miss").inc()
             t0 = time.perf_counter()
             result = self._run_mesher(job, request)
+            job.tier = "full_mesh"
             reg.histogram("service.stage.mesh_seconds").observe(
                 time.perf_counter() - t0
             )
@@ -492,4 +578,6 @@ class MeshingService:
         reg.gauge("service.cache.evictions").set(cache_stats["evictions"])
         reg.gauge("service.cache.bytes_held").set(
             cache_stats["bytes_held"])
-        return reg.snapshot()
+        snap = reg.snapshot()
+        snap["slo"] = self.slo.snapshot()
+        return snap

@@ -23,13 +23,14 @@ import pytest
 from repro.api import MeshRequest
 from repro.imaging import sphere_phantom
 from repro.service import (
+    InProcessClient,
     Job,
     JobState,
     MeshingService,
-    ServiceClient,
     ServiceConfig,
     ServiceError,
     TransientMeshError,
+    connect,
 )
 
 
@@ -90,7 +91,7 @@ class TestArtifactCacheRoundTrip:
         cache_dir = str(tmp_path / "artifacts")
         req = MeshRequest(image=image, delta=3.0, mesher="sequential")
 
-        with ServiceClient(ServiceConfig(
+        with connect(config=ServiceConfig(
                 n_workers=1, cache_dir=cache_dir)) as client:
             t0 = time.perf_counter()
             cold = client.mesh(req)
@@ -100,7 +101,7 @@ class TestArtifactCacheRoundTrip:
 
         # Fresh service, empty memory LRU: the hit must come from disk,
         # proving the serialization round-trip (not object identity).
-        with ServiceClient(ServiceConfig(
+        with connect(config=ServiceConfig(
                 n_workers=1, cache_dir=cache_dir)) as client:
             t0 = time.perf_counter()
             warm = client.mesh(MeshRequest(
@@ -119,7 +120,7 @@ class TestArtifactCacheRoundTrip:
         assert warm_seconds < cold_seconds / 10.0
 
     def test_different_params_miss(self, image):
-        with ServiceClient(ServiceConfig(n_workers=1)) as client:
+        with connect(config=ServiceConfig(n_workers=1)) as client:
             client.mesh(MeshRequest(image=image, delta=3.0,
                                     mesher="sequential"))
             client.mesh(MeshRequest(image=image, delta=4.0,
@@ -131,7 +132,7 @@ class TestArtifactCacheRoundTrip:
     def test_size_function_requests_are_uncacheable(self, image):
         req = MeshRequest(image=image, delta=3.0, mesher="sequential",
                           size_function=lambda p: 3.0)
-        with ServiceClient(ServiceConfig(n_workers=1)) as client:
+        with connect(config=ServiceConfig(n_workers=1)) as client:
             client.mesh(req)
             snap = client.metrics()
             assert snap["counters"]["service.jobs.uncacheable"] == 1
@@ -185,7 +186,7 @@ class TestArtifactCacheByteBudget:
         cache.unpin("edt:mine")
 
     def test_service_exposes_cache_gauges(self, image):
-        with ServiceClient(ServiceConfig(
+        with connect(config=ServiceConfig(
                 n_workers=1, memory_cache_bytes=1)) as client:
             client.mesh(MeshRequest(image=image, delta=3.0,
                                     mesher="sequential"))
@@ -207,7 +208,7 @@ class TestEDTSharedAcrossRequests:
         version of this guarantee needs a shared ``cache_dir`` and is
         covered by the process-executor suite.
         """
-        with ServiceClient(ServiceConfig(n_workers=1,
+        with connect(config=ServiceConfig(n_workers=1,
                                          executor="thread")) as client:
             client.mesh(MeshRequest(image=image, delta=3.0,
                                     mesher="sequential"))
@@ -238,8 +239,12 @@ class TestConcurrentMixedWorkload:
         """32+ concurrent mixed requests over 4 workers: every job ends
         terminal, overflow is REJECTED (never silently dropped), and
         transient failures recover within the retry budget."""
+        # coalesce off: this test is about queue overflow, and the 6
+        # distinct request keys would otherwise absorb all 36 jobs
+        # into 6 runs with nothing left to reject.
         cfg = ServiceConfig(n_workers=4, queue_capacity=16,
-                            max_retries=2, retry_backoff=0.001)
+                            max_retries=2, retry_backoff=0.001,
+                            coalesce=False)
         service = MeshingService(cfg).start()
         flaky = FakeMesher(template_result, delay=0.01, fail_first=3)
         service.register_mesher("fake", flaky)
@@ -370,14 +375,14 @@ class TestCancelRace:
 # facade semantics
 # ---------------------------------------------------------------------------
 
-class TestServiceClientFacade:
+class TestInProcessClientFacade:
     def test_mesh_raises_service_error_on_failure(self, image,
                                                   template_result):
         service = MeshingService(ServiceConfig(
             n_workers=1, max_retries=0)).start()
         service.register_mesher("fake", FakeMesher(
             template_result, fail_first=99, exc_type=ValueError))
-        client = ServiceClient(service=service)
+        client = InProcessClient(service=service)
         try:
             with pytest.raises(ServiceError) as exc_info:
                 client.mesh(fake_request(image))
@@ -390,7 +395,7 @@ class TestServiceClientFacade:
     def test_borrowed_service_survives_client_close(self, image):
         service = MeshingService(ServiceConfig(n_workers=1)).start()
         try:
-            client = ServiceClient(service=service)
+            client = InProcessClient(service=service)
             client.close()
             job = service.submit(MeshRequest(
                 image=image, delta=3.0, mesher="sequential"))
@@ -401,11 +406,11 @@ class TestServiceClientFacade:
 
     def test_job_summary_is_json_safe(self, image):
         import json
-        with ServiceClient(ServiceConfig(n_workers=1)) as client:
-            job = client.submit(MeshRequest(
+        with connect(config=ServiceConfig(n_workers=1)) as client:
+            job_id = client.submit(MeshRequest(
                 image=image, delta=3.0, mesher="sequential"))
-            client.wait(job, 30.0)
-            doc = json.dumps(job.summary())
+            summary = client.wait(job_id, 30.0)
+            doc = json.dumps(summary)
             assert "DONE" in doc
 
 
@@ -443,12 +448,9 @@ class TestConnect:
             service.shutdown()
 
     def test_connect_rejects_unknown_scheme(self):
-        from repro.service import connect
-
         with pytest.raises(ValueError):
-            connect("http://localhost:1234")
+            connect("ftp://localhost:1234")
 
-    def test_service_client_shim_warns(self):
-        with pytest.warns(DeprecationWarning, match="connect"):
-            client = ServiceClient(ServiceConfig(n_workers=1))
-        client.close()
+    def test_connect_rejects_malformed_http_target(self):
+        with pytest.raises(ValueError):
+            connect("http://no-port-here")

@@ -1,0 +1,407 @@
+"""HTTP gateway: routes, status mapping, negotiation, client, CLI.
+
+Gateway-level tests drive :class:`MeshGateway.handle` directly (no
+sockets — every route and status code, fast); server-level tests run
+a real :class:`ThreadingHTTPServer` + :class:`HttpClient`; the CLI
+test boots ``repro serve --http`` as a subprocess and talks to it
+from the outside, like a deployment would.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import MeshRequest
+from repro.imaging import sphere_phantom
+from repro.service import (
+    HttpClient,
+    JobState,
+    MeshHTTPServer,
+    MeshingService,
+    PROTOCOL_VERSION,
+    ServiceConfig,
+    ServiceError,
+    connect,
+)
+from repro.service.http import (
+    ImageStore,
+    MeshGateway,
+    PROTOCOL_HEADER,
+    decode_image_b64,
+    encode_image_b64,
+)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return sphere_phantom(12)
+
+
+@pytest.fixture()
+def service():
+    svc = MeshingService(ServiceConfig(n_workers=2)).start()
+    yield svc
+    svc.shutdown()
+
+
+@pytest.fixture()
+def gateway(service):
+    return MeshGateway(service)
+
+
+def mesh_body(image, wait=True, **extra):
+    body = {"image_b64": encode_image_b64(image), "wait": wait}
+    body.update(extra)
+    return body
+
+
+# ---------------------------------------------------------------------------
+# image transport
+# ---------------------------------------------------------------------------
+
+class TestImageCodec:
+    def test_b64_round_trip(self, image):
+        clone = decode_image_b64(encode_image_b64(image))
+        np.testing.assert_array_equal(clone.labels, image.labels)
+        assert clone.spacing == image.spacing
+        assert clone.origin == image.origin
+
+    def test_bad_payload_is_protocol_error(self):
+        from repro.service.protocol import ProtocolError
+        with pytest.raises(ProtocolError):
+            decode_image_b64("not base64 at all!!!")
+
+    def test_store_lru_evicts_by_bytes(self, image):
+        one = int(image.labels.nbytes)
+        store = ImageStore(max_bytes=2 * one)
+        keys = []
+        for shift in range(4):
+            img = sphere_phantom(12, radius_frac=0.25 + 0.03 * shift)
+            keys.append(store.put(img))
+        snap = store.stats_snapshot()
+        assert snap["bytes_held"] <= 2 * one
+        assert snap["evicted"] >= 2
+        assert store.get(keys[0]) is None
+        assert store.get(keys[-1]) is not None
+
+
+# ---------------------------------------------------------------------------
+# gateway routes and status mapping
+# ---------------------------------------------------------------------------
+
+class TestGatewayRoutes:
+    def test_healthz(self, gateway):
+        status, out, _ = gateway.handle("GET", "/healthz")
+        assert status == 200 and out["ok"] is True
+        assert out["v"] == PROTOCOL_VERSION
+        assert out["coalesce"] is True
+
+    def test_healthz_reports_shutdown(self, image):
+        svc = MeshingService(ServiceConfig(n_workers=1)).start()
+        gw = MeshGateway(svc)
+        svc.shutdown()
+        status, out, _ = gw.handle("GET", "/healthz")
+        assert status == 503 and out["ok"] is False
+
+    def test_unknown_route_404(self, gateway):
+        status, out, _ = gateway.handle("GET", "/nope")
+        assert status == 404 and out["ok"] is False
+
+    def test_version_mismatch_400(self, gateway):
+        status, out, _ = gateway.handle("GET", "/healthz", version="99")
+        assert status == 400
+        assert str(PROTOCOL_VERSION) in out["error"]
+
+    def test_matching_version_passes(self, gateway):
+        status, _, _ = gateway.handle(
+            "GET", "/healthz", version=str(PROTOCOL_VERSION))
+        assert status == 200
+
+    def test_mesh_done_200(self, gateway, image):
+        status, out, _ = gateway.handle(
+            "POST", "/v1/mesh",
+            body=mesh_body(image, return_mesh=True))
+        assert status == 200
+        assert out["state"] == "DONE" and out["ok"] is True
+        assert out["result"]["mesh"]["tets"]
+
+    def test_mesh_unknown_params_400(self, gateway, image):
+        status, out, _ = gateway.handle(
+            "POST", "/v1/mesh",
+            body=mesh_body(image, params={"bogus_knob": 1}))
+        assert status == 400 and "bogus_knob" in out["error"]
+
+    def test_mesh_no_image_400(self, gateway):
+        status, out, _ = gateway.handle("POST", "/v1/mesh", body={})
+        assert status == 400
+
+    def test_unknown_image_key_404_with_flag(self, gateway):
+        status, out, _ = gateway.handle(
+            "POST", "/v1/mesh", body={"image_key": "deadbeef"})
+        assert status == 404 and out["unknown_image_key"] is True
+
+    def test_image_by_key_after_upload(self, gateway, image):
+        gateway.handle("POST", "/v1/mesh", body=mesh_body(image))
+        from repro.service.keys import image_content_key
+        status, out, _ = gateway.handle(
+            "POST", "/v1/mesh",
+            body={"image_key": image_content_key(image), "wait": True})
+        assert status == 200 and out["state"] == "DONE"
+        # Second identical request: a cache tier served it.
+        assert out["tier"] in ("memory_hit", "disk_hit", "coalesced")
+
+    def test_job_lifecycle_and_codes(self, gateway, image):
+        status, out, _ = gateway.handle(
+            "POST", "/v1/mesh", body=mesh_body(image, wait=False))
+        assert status == 202  # QUEUED/RUNNING straight after submit
+        job_id = out["id"]
+        status, out, _ = gateway.handle(
+            "GET", f"/v1/jobs/{job_id}", query={"wait": "30"})
+        assert status == 200 and out["state"] == "DONE"
+        status, out, _ = gateway.handle(
+            "GET", f"/v1/jobs/{job_id}", query={"result": "1"})
+        assert "result" in out
+        # cancel after DONE: refused, job state intact
+        status, out, _ = gateway.handle("DELETE", f"/v1/jobs/{job_id}")
+        assert status == 200 and out["ok"] is False
+
+    def test_unknown_job_404(self, gateway):
+        status, out, _ = gateway.handle("GET", "/v1/jobs/nope")
+        assert status == 404
+        status, out, _ = gateway.handle("DELETE", "/v1/jobs/nope")
+        assert status == 404
+
+    def test_cancelled_job_reports_409(self, image, template_block):
+        service, gate = template_block
+        gw = MeshGateway(service)
+        # Wedge the single worker so the victim stays QUEUED.
+        status, out, _ = gw.handle(
+            "POST", "/v1/mesh",
+            body=mesh_body(image, wait=False,
+                           params={"mesher": "fake", "seed": 1}))
+        wedge = service.job(out["id"])
+        # The victim must land in the 1-slot queue, not be rejected
+        # from it — wait until the worker has claimed the wedge.
+        end = time.monotonic() + 5.0
+        while (wedge.state is not JobState.RUNNING
+               and time.monotonic() < end):
+            time.sleep(0.005)
+        assert wedge.state is JobState.RUNNING
+        status, out, _ = gw.handle(
+            "POST", "/v1/mesh",
+            body=mesh_body(image, wait=False,
+                           params={"mesher": "fake", "seed": 2}))
+        victim = out["id"]
+        status, out, _ = gw.handle("DELETE", f"/v1/jobs/{victim}")
+        assert status == 200 and out["ok"] is True
+        status, out, _ = gw.handle("GET", f"/v1/jobs/{victim}")
+        assert status == 409 and out["state"] == "CANCELLED"
+        gate.set()
+
+    def test_rejected_429_with_retry_after(self, image, template_block):
+        service, gate = template_block
+        gw = MeshGateway(service)
+        bodies = [mesh_body(image, wait=False,
+                            params={"mesher": "fake", "seed": s})
+                  for s in range(1, 5)]
+        results = [gw.handle("POST", "/v1/mesh", body=b) for b in bodies]
+        gate.set()
+        statuses = [r[0] for r in results]
+        assert 429 in statuses
+        rejected = next(r for r in results if r[0] == 429)
+        assert rejected[1]["state"] == "REJECTED"
+        assert rejected[2].get("Retry-After") == "1"
+
+    def test_metricsz_has_slo_section(self, gateway, image):
+        gateway.handle("POST", "/v1/mesh", body=mesh_body(image))
+        gateway.handle("POST", "/v1/mesh", body=mesh_body(image))
+        status, out, _ = gateway.handle("GET", "/metricsz")
+        assert status == 200
+        slo = out["slo"]
+        assert set(slo["tiers"]) == {"memory_hit", "disk_hit",
+                                     "coalesced", "full_mesh"}
+        assert slo["requests"] == 2
+        assert 0.0 < slo["hit_rate"] <= 1.0
+        tier = slo["tiers"]["full_mesh"]
+        for k in ("p50_seconds", "p95_seconds", "p99_seconds",
+                  "mean_seconds", "share"):
+            assert k in tier
+        # Raw histograms carry derived percentiles too.
+        hist = out["histograms"]["service.slo.full_mesh.latency_seconds"]
+        assert {"p50", "p95", "p99", "mean"} <= set(hist)
+        assert json.dumps(out)  # whole document is JSON-safe
+
+
+@pytest.fixture()
+def template_block(image):
+    """A 1-worker/1-slot service wedged on a gated fake mesher."""
+    from repro.api import mesh as run_mesh
+    template = run_mesh(MeshRequest(image=image, delta=3.0,
+                                    mesher="sequential"))
+    gate = threading.Event()
+
+    class Gated:
+        def mesh(self, request):
+            gate.wait(10.0)
+            return template
+
+    svc = MeshingService(ServiceConfig(
+        n_workers=1, queue_capacity=1, coalesce=False)).start()
+    svc.register_mesher("fake", Gated())
+    yield svc, gate
+    gate.set()
+    svc.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# real server + HttpClient
+# ---------------------------------------------------------------------------
+
+class TestHttpServerAndClient:
+    def test_connect_returns_http_client(self, service, image):
+        with MeshHTTPServer(service) as server:
+            with connect(server.url) as client:
+                assert isinstance(client, HttpClient)
+                result = client.mesh(MeshRequest(
+                    image=image, delta=3.0, mesher="sequential"))
+                assert result.mesh.n_tets > 0
+
+    def test_image_travels_by_key_on_repeat(self, service, image):
+        with MeshHTTPServer(service) as server:
+            with connect(server.url) as client:
+                client.mesh(MeshRequest(image=image, delta=3.0,
+                                        mesher="sequential"))
+                client.mesh(MeshRequest(image=image, delta=4.0,
+                                        mesher="sequential"))
+                store = server.gateway.images.stats_snapshot()
+                # First request uploaded (after one known-miss probe);
+                # the second found the image already resident.
+                assert store["stored"] == 1
+                assert store["hits"] >= 1
+
+    def test_submit_wait_status_cancel(self, service, image):
+        with MeshHTTPServer(service) as server:
+            with connect(server.url) as client:
+                job_id = client.submit(MeshRequest(
+                    image=image, delta=3.0, mesher="sequential"))
+                summary = client.wait(job_id, timeout=60.0)
+                assert summary["state"] == "DONE"
+                assert client.status(job_id)["state"] == "DONE"
+                assert client.cancel(job_id) is False  # already DONE
+                with pytest.raises(ServiceError):
+                    client.status("job-does-not-exist")
+                metrics = client.metrics()
+                assert "slo" in metrics
+
+    def test_mesh_failure_raises_service_error(self, service, image):
+        class Broken:
+            def mesh(self, request):
+                raise ValueError("kaput")
+
+        service.register_mesher("fake", Broken())
+        with MeshHTTPServer(service) as server:
+            with connect(server.url) as client:
+                with pytest.raises(ServiceError, match="FAILED"):
+                    client.mesh(MeshRequest(image=image, mesher="fake"))
+
+    def test_protocol_header_on_every_response(self, service):
+        with MeshHTTPServer(service) as server:
+            with urllib.request.urlopen(server.url + "/healthz",
+                                        timeout=10) as resp:
+                assert resp.headers[PROTOCOL_HEADER] == str(
+                    PROTOCOL_VERSION)
+
+    def test_wrong_version_header_rejected(self, service):
+        with MeshHTTPServer(service) as server:
+            req = urllib.request.Request(
+                server.url + "/healthz",
+                headers={PROTOCOL_HEADER: "99"})
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10)
+            assert err.value.code == 400
+
+    def test_bad_json_body_400(self, service):
+        with MeshHTTPServer(service) as server:
+            req = urllib.request.Request(
+                server.url + "/v1/mesh", data=b"{not json",
+                method="POST")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10)
+            assert err.value.code == 400
+
+    def test_concurrent_http_duplicates_coalesce(self, service, image):
+        """The burst crosses the real transport: identical concurrent
+        POSTs still share one run."""
+        gate = threading.Event()
+        calls = []
+
+        class Gated:
+            def mesh(self, request):
+                calls.append(1)
+                gate.wait(10.0)
+                from repro.api import mesh as run_mesh
+                return run_mesh(MeshRequest(image=request.image,
+                                            delta=3.0,
+                                            mesher="sequential"))
+
+        service.register_mesher("fake", Gated())
+        with MeshHTTPServer(service) as server:
+            clients = [HttpClient(*server.address) for _ in range(4)]
+            try:
+                ids = [c.submit(MeshRequest(image=image, mesher="fake"))
+                       for c in clients]
+                time.sleep(0.1)
+                gate.set()
+                states = [c.wait(i, timeout=60.0)["state"]
+                          for c, i in zip(clients, ids)]
+                assert states == ["DONE"] * 4
+                assert len(calls) == 1
+                counters = service.metrics_snapshot()["counters"]
+                assert counters["service.coalesce.followers"] == 3
+            finally:
+                gate.set()
+                for c in clients:
+                    c.close()
+
+
+# ---------------------------------------------------------------------------
+# the CLI entry point
+# ---------------------------------------------------------------------------
+
+class TestCliServeHttp:
+    def test_serve_http_subprocess(self, image, tmp_path):
+        import os
+        import socket
+        import subprocess
+        import sys
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--http", f"127.0.0.1:{port}", "--workers", "2"],
+            env=env, stderr=subprocess.PIPE, text=True,
+            cwd=os.path.dirname(os.path.dirname(__file__)),
+        )
+        try:
+            banner = proc.stderr.readline()
+            assert f"http://127.0.0.1:{port}" in banner
+            with connect(f"http://127.0.0.1:{port}",
+                         timeout=60.0) as client:
+                result = client.mesh(MeshRequest(
+                    image=image, delta=3.0, mesher="sequential"))
+                assert result.mesh.n_tets > 0
+                assert client.metrics()["slo"]["requests"] == 1
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -17,7 +17,7 @@ import pytest
 from repro.api import MeshResult
 from repro.imaging import sphere_phantom
 from repro.io import save_image_npz
-from repro.service import MeshingService, ServiceConfig, SocketServiceClient
+from repro.service import MeshingService, ServiceConfig, SocketClient
 from repro.service.frontend import UnixSocketFrontend, serve_stream
 from repro.service.protocol import (
     decode_line,
@@ -174,7 +174,7 @@ class TestUnixSocket:
         server = threading.Thread(target=front.serve_forever, daemon=True)
         server.start()
         try:
-            with SocketServiceClient(sock_path, timeout=60.0) as c1:
+            with SocketClient(sock_path, timeout=60.0) as c1:
                 assert c1.request({"op": "ping"})["op"] == "pong"
                 cold = c1.mesh_path(image_npz, params={
                     "mesher": "sequential", "delta": 3.0})
@@ -182,12 +182,12 @@ class TestUnixSocket:
 
                 # Second connection: same service, so the artifact cache
                 # and job namespace are shared.
-                with SocketServiceClient(sock_path, timeout=60.0) as c2:
+                with SocketClient(sock_path, timeout=60.0) as c2:
                     warm = c2.mesh_path(image_npz, params={
                         "mesher": "sequential", "delta": 3.0})
                     assert warm["cache_hit"] is True
                     assert warm["n_tets"] == cold["n_tets"]
-                    metrics = c2.metrics()["metrics"]
+                    metrics = c2.metrics()
                     assert metrics["counters"]["service.cache.hit"] == 1
 
                 # submit on c1, observe on c2 path via status op
@@ -209,7 +209,7 @@ class TestUnixSocket:
         server = threading.Thread(target=front.serve_forever, daemon=True)
         server.start()
         try:
-            with SocketServiceClient(sock_path, timeout=10.0) as client:
+            with SocketClient(sock_path, timeout=10.0) as client:
                 assert client.request({"op": "shutdown"})["ok"] is True
             server.join(5.0)
             assert not server.is_alive()
@@ -226,7 +226,7 @@ class TestUnixSocket:
         server = threading.Thread(target=front.serve_forever, daemon=True)
         server.start()
         try:
-            with SocketServiceClient(sock_path, timeout=10.0) as client:
+            with SocketClient(sock_path, timeout=10.0) as client:
                 client._file.write(b"garbage\n")
                 client._file.flush()
                 bad = json.loads(client._file.readline())
@@ -344,21 +344,6 @@ class TestSocketConnect:
                 job_id = client.submit(MeshRequest(
                     image=image, delta=2.8, mesher="sequential"))
                 assert client.wait(job_id, timeout=120.0)["state"] == "DONE"
-        finally:
-            front.stop()
-            t.join(5.0)
-            service.shutdown()
-
-    def test_socket_service_client_shim_warns(self, tmp_path):
-        sock_path = str(tmp_path / "shim.sock")
-        service = MeshingService(ServiceConfig(n_workers=1)).start()
-        front = UnixSocketFrontend(service, sock_path)
-        t = threading.Thread(target=front.serve_forever, daemon=True)
-        t.start()
-        try:
-            with pytest.warns(DeprecationWarning, match="connect"):
-                client = SocketServiceClient(sock_path, timeout=10.0)
-            client.close()
         finally:
             front.stop()
             t.join(5.0)
