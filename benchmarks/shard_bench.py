@@ -15,6 +15,17 @@ overhead that parallel shard meshing must first buy back:
 * 1 CPU (or no process support): recorded but advisory — blocks mesh
   serially, so sharding is pure overhead there by construction.
 
+A second, *near-duplicate* workload measures the incremental path: a
+ball-grid phantom with one small inclusion is meshed cold, then meshed
+again with the inclusion displaced (well under 10% of voxels change).
+On the second request only the block containing the inclusion misses
+the block content cache; the rest replay their refined point sets and
+stitching stays seam-local.  With ``>= 4`` usable CPUs the incremental
+request must beat the cold one by ``>= 3x`` (enforced); below that the
+ratio is recorded but advisory — with fewer workers the cold request
+cannot overlap its block meshes, which deflates the very denominator
+the gate divides by.
+
 Exit code 0 iff every enforced check holds::
 
     PYTHONPATH=src python benchmarks/shard_bench.py
@@ -32,7 +43,7 @@ import tempfile
 import time
 
 from repro.api import MeshRequest
-from repro.imaging import ball_grid_phantom
+from repro.imaging import ball_grid_phantom, near_duplicate_phantom
 from repro.service import (
     JobState,
     MeshingService,
@@ -46,6 +57,15 @@ DEFAULT_BENCH = RESULTS_DIR / "BENCH_shard.json"
 #: enforced sharded-over-unsharded speedups by usable CPU count.
 GATE_4CPU = 1.4
 GATE_2CPU = 1.0
+
+#: enforced incremental-over-cold speedup on >= 4 usable CPUs.
+GATE_INCREMENTAL = 3.0
+#: near-duplicate phantom size (fixed: the workload geometry is tuned
+#: so the inclusion shift keeps the decomposition cut planes put).
+INCR_PHANTOM_N = 48
+INCR_SHIFT = 2.0
+INCR_DELTA = 2.0
+INCR_SHARDS = 4
 
 FAILURES = []
 
@@ -64,7 +84,7 @@ def usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def _timed_job(service, request) -> float:
+def _timed_job(service, request):
     t0 = time.perf_counter()
     job = service.submit(request)
     job.wait(1200.0)
@@ -73,7 +93,62 @@ def _timed_job(service, request) -> float:
         raise RuntimeError(
             f"benchmark job {job.state}: {job.error or 'no error'}"
         )
-    return seconds, job.result
+    return seconds, job
+
+
+def run_near_duplicate(service, enforced: bool) -> dict:
+    """Cold vs incremental on the near-duplicate inclusion workload."""
+    base = near_duplicate_phantom(INCR_PHANTOM_N)
+    shifted = near_duplicate_phantom(INCR_PHANTOM_N,
+                                     inclusion_shift=INCR_SHIFT)
+    changed = int((base.labels != shifted.labels).sum())
+    frac = changed / base.labels.size
+    print(f"  near-duplicate: {changed} voxels changed ({frac:.3%})")
+
+    cold_s, cold = _timed_job(service, MeshRequest(
+        image=base, mesher="sequential", delta=INCR_DELTA,
+        shards=INCR_SHARDS))
+    incr_s, incr = _timed_job(service, MeshRequest(
+        image=shifted, mesher="sequential", delta=INCR_DELTA,
+        shards=INCR_SHARDS))
+    bc = incr.result.stats.get("block_cache", {})
+    stitch = incr.result.stats.get("stitch", {})
+    speedup = cold_s / incr_s if incr_s > 0 else 0.0
+    print(f"  cold       : {cold_s:.2f}s ({cold.result.mesh.n_tets} tets)")
+    print(f"  incremental: {incr_s:.2f}s ({incr.result.mesh.n_tets} tets, "
+          f"{bc.get('hits', 0)} block hits / {bc.get('misses', 0)} "
+          f"misses, stitch {stitch.get('mode', '?')}, tier {incr.tier})")
+
+    check("incremental run replayed cached blocks",
+          bc.get("hits", 0) >= 1 and bc.get("misses", 0) >= 1,
+          f"hits={bc.get('hits', 0)} misses={bc.get('misses', 0)}")
+    check("incremental job landed on block_hit tier",
+          incr.tier == "block_hit", str(incr.tier))
+    passed = speedup >= GATE_INCREMENTAL
+    print(f"  incremental speedup: {speedup:.2f}x "
+          f"(required {GATE_INCREMENTAL}x, "
+          f"{'enforced' if enforced else 'advisory'})")
+    if enforced:
+        check(f"incremental >= {GATE_INCREMENTAL}x cold", passed,
+              f"{speedup:.2f}x")
+    return {
+        "workload": {"phantom": "near_duplicate",
+                     "phantom_n": INCR_PHANTOM_N,
+                     "inclusion_shift": INCR_SHIFT,
+                     "delta": INCR_DELTA, "shards": INCR_SHARDS,
+                     "changed_voxels": changed,
+                     "changed_fraction": frac},
+        "cold": {"seconds": cold_s, "tets": cold.result.mesh.n_tets},
+        "incremental": {"seconds": incr_s,
+                        "tets": incr.result.mesh.n_tets,
+                        "block_hits": bc.get("hits", 0),
+                        "block_misses": bc.get("misses", 0),
+                        "stitch_mode": stitch.get("mode"),
+                        "tier": incr.tier},
+        "speedup_incremental_over_cold": speedup,
+        "gate": {"required": GATE_INCREMENTAL, "enforced": enforced,
+                 "passed": passed},
+    }
 
 
 def run(out_path: pathlib.Path, phantom_n: int, shards: int) -> None:
@@ -99,15 +174,18 @@ def run(out_path: pathlib.Path, phantom_n: int, shards: int) -> None:
         # Warmup off the clock: spawn workers, prime imports and EDT.
         service.mesh(MeshRequest(image=ball_grid_phantom(16),
                                  mesher="sequential"))
-        plain_s, plain = _timed_job(service, MeshRequest(
+        plain_s, plain_job = _timed_job(service, MeshRequest(
             image=image, mesher="sequential"))
+        plain = plain_job.result
         print(f"  unsharded: {plain_s:.2f}s "
               f"({plain.mesh.n_tets} tets)")
-        shard_s, sharded = _timed_job(service, MeshRequest(
+        shard_s, shard_job = _timed_job(service, MeshRequest(
             image=image, mesher="sequential", shards=shards))
+        sharded = shard_job.result
         n_blocks = sharded.stats.get("shards", 1)
         print(f"  sharded  : {shard_s:.2f}s "
               f"({sharded.mesh.n_tets} tets, {n_blocks} blocks)")
+        near_dup = run_near_duplicate(service, enforced=cpus >= 4 and procs)
         fallback = service.executor_fallback
     finally:
         service.shutdown()
@@ -115,7 +193,7 @@ def run(out_path: pathlib.Path, phantom_n: int, shards: int) -> None:
     speedup = plain_s / shard_s if shard_s > 0 else 0.0
     passed = speedup >= required
     doc = {
-        "schema": 1,
+        "schema": 2,
         "workload": {"phantom": "ball_grid", "phantom_n": phantom_n,
                      "shards_requested": shards, "blocks": n_blocks,
                      "n_workers": n_workers, "mesher": "sequential"},
@@ -127,6 +205,7 @@ def run(out_path: pathlib.Path, phantom_n: int, shards: int) -> None:
         "speedup_sharded_over_unsharded": speedup,
         "gate": {"required": required, "enforced": enforced,
                  "passed": passed},
+        "near_duplicate": near_dup,
     }
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(doc, indent=2) + "\n")

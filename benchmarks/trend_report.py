@@ -147,6 +147,8 @@ def record_shard(bench_path: pathlib.Path, history_path: pathlib.Path,
               "nothing recorded", file=sys.stderr)
         return None
     gate = doc.get("gate", {})
+    near = doc.get("near_duplicate", {})
+    near_gate = near.get("gate", {})
     rec = {
         "label": label,
         "schema": doc.get("schema"),
@@ -157,6 +159,15 @@ def record_shard(bench_path: pathlib.Path, history_path: pathlib.Path,
         "speedup": doc.get("speedup_sharded_over_unsharded"),
         "gate_enforced": bool(gate.get("enforced")),
         "gate_passed": bool(gate.get("passed")),
+        # schema 2: near-duplicate incremental workload
+        "cold_seconds": near.get("cold", {}).get("seconds"),
+        "incremental_seconds":
+            near.get("incremental", {}).get("seconds"),
+        "block_hits": near.get("incremental", {}).get("block_hits"),
+        "incremental_speedup":
+            near.get("speedup_incremental_over_cold"),
+        "incremental_gate_enforced": bool(near_gate.get("enforced")),
+        "incremental_gate_passed": bool(near_gate.get("passed")),
     }
     history_path.parent.mkdir(parents=True, exist_ok=True)
     with open(history_path, "a", encoding="utf-8") as fh:
@@ -226,7 +237,9 @@ def render_http(history: list, drift_threshold: float) -> str:
     for r in history:
         rate = r.get("hit_rate")
         note = ""
-        if best_rate > 0 and rate is not None:
+        if len(history) == 1:
+            note = "n=1 (no baseline)"
+        elif best_rate > 0 and rate is not None:
             drop = 1.0 - rate / best_rate
             if drop > drift_threshold:
                 note = (f"HIT-RATE DRIFT -{drop:.0%} "
@@ -249,35 +262,58 @@ def render_http(history: list, drift_threshold: float) -> str:
 
 
 def render_shard(history: list, drift_threshold: float) -> str:
-    """Third report section: sharded-over-unsharded meshing trend."""
+    """Third report section: sharded + incremental meshing trend.
+
+    Two speedups per row: sharded-over-unsharded on the ball grid, and
+    (schema 2) incremental-over-cold on the near-duplicate workload,
+    with the block-cache hit count behind it.  Each drifts against the
+    best enforced run of its own kind.
+    """
     lines = [
-        "domain-sharded meshing trend (sharded vs unsharded, ball-grid)",
+        "domain-sharded meshing trend "
+        "(sharded vs unsharded; incremental vs cold)",
         "",
-        f"{'label':<24} {'cpus':>5} {'blocks':>7} {'plain s':>8} "
-        f"{'shard s':>8} {'speedup':>8} {'gate':>9}  note",
+        f"{'label':<24} {'cpus':>5} {'plain s':>8} {'shard s':>8} "
+        f"{'speedup':>8} {'incr x':>7} {'hits':>5} {'gate':>9}  note",
         "-" * 88,
     ]
-    best = max((r.get("speedup") or 0.0
-                for r in history if r.get("gate_enforced")), default=0.0)
+    enforced = [r for r in history if r.get("gate_enforced")]
+    best = max((r.get("speedup") or 0.0 for r in enforced), default=0.0)
+    incr_enforced = [r for r in history
+                     if r.get("incremental_gate_enforced")]
+    best_incr = max((r.get("incremental_speedup") or 0.0
+                     for r in incr_enforced), default=0.0)
     for r in history:
         speedup = r.get("speedup")
+        incr = r.get("incremental_speedup")
         if not r.get("gate_enforced"):
             note = "few CPUs: advisory"
+        elif len(enforced) == 1:
+            note = "n=1 (no baseline)"
         elif best > 0 and speedup is not None:
             drop = 1.0 - speedup / best
             note = (f"DRIFT -{drop:.0%} vs best {best:.2f}x"
                     if drop > drift_threshold else "")
         else:
             note = ""
-        gate = ("pass" if r.get("gate_passed") else "FAIL") \
-            if r.get("gate_enforced") else "n/a"
+        if (not note and r.get("incremental_gate_enforced")
+                and len(incr_enforced) > 1
+                and best_incr > 0 and incr is not None):
+            drop = 1.0 - incr / best_incr
+            if drop > drift_threshold:
+                note = f"INCR DRIFT -{drop:.0%} vs best {best_incr:.2f}x"
+        incr_ok = (bool(r.get("incremental_gate_passed"))
+                   if r.get("incremental_gate_enforced") else True)
+        gate = ("pass" if (r.get("gate_passed") and incr_ok)
+                else "FAIL") if r.get("gate_enforced") else "n/a"
         lines.append(
             f"{str(r.get('label', '?')):<24.24} "
             f"{_fmt(r.get('cpus'), 5, 0)} "
-            f"{_fmt(r.get('blocks'), 7, 0)} "
             f"{_fmt(r.get('unsharded_seconds'), 8, 2)} "
             f"{_fmt(r.get('sharded_seconds'), 8, 2)} "
-            f"{_fmt(speedup, 8, 2)} {gate:>9}  {note}"
+            f"{_fmt(speedup, 8, 2)} "
+            f"{_fmt(incr, 7, 2)} "
+            f"{_fmt(r.get('block_hits'), 5, 0)} {gate:>9}  {note}"
         )
     if not history:
         lines.append("(no shard history recorded yet)")
@@ -294,14 +330,16 @@ def render_service(history: list, drift_threshold: float) -> str:
         f"{'process j/s':>12} {'speedup':>8} {'gate':>9}  note",
         "-" * 88,
     ]
-    best = max((r.get("speedup") or 0.0
-                for r in history if r.get("gate_enforced")), default=0.0)
+    enforced = [r for r in history if r.get("gate_enforced")]
+    best = max((r.get("speedup") or 0.0 for r in enforced), default=0.0)
     for r in history:
         speedup = r.get("speedup")
         if r.get("process_fallback"):
             note = "process fell back to threads"
         elif not r.get("gate_enforced"):
             note = "single CPU: advisory"
+        elif len(enforced) == 1:
+            note = "n=1 (no baseline)"
         elif best > 0 and speedup is not None:
             drop = 1.0 - speedup / best
             note = (f"DRIFT -{drop:.0%} vs best {best:.2f}x"
@@ -386,6 +424,11 @@ def render(history: list, drift_threshold: float) -> str:
             note = "accel unavailable"
         elif id(r) not in in_window:
             pass  # pre-window: shown, never drift-flagged
+        elif len(window) == 1:
+            # A window of one has nothing to drift against: comparing
+            # the sole record to itself always reads 0% and would
+            # imply a baseline exists.  Say so instead.
+            note = "n=1 (no baseline)"
         elif best > 0 and speedup is not None:
             drop = 1.0 - speedup / best
             if drop > drift_threshold:

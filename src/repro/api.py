@@ -79,6 +79,11 @@ class MeshRequest:
     #: CPU (capped), N = split the image into up to N blocks meshed in
     #: parallel workers and stitched (:mod:`repro.delaunay.shard`).
     shards: Optional[Any] = None
+    #: incremental meshing for sharded requests: content-address each
+    #: block's refined point set and warm-start the stitch from the
+    #: previous run's delta, so near-duplicate images only pay for the
+    #: blocks whose crop bytes changed.  No effect when ``shards <= 1``.
+    incremental: bool = True
     # -- guard rails ----------------------------------------------------
     max_operations: Optional[int] = None
     timeout: Optional[float] = None
@@ -129,6 +134,8 @@ class MeshRequest:
             "seed": int(self.seed),
             "max_operations": self.max_operations,
             "shards": int(self.resolved_shards()),
+            "incremental": bool(self.incremental)
+            and self.resolved_shards() > 1,
         }
 
     def validate(self) -> None:

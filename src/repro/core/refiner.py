@@ -21,6 +21,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.core.domain import OperationResult, RefineDomain
 from repro.core.pel import PoorElementList
 from repro.observability import Observability
@@ -50,12 +52,20 @@ class SequentialRefiner:
 
     def __init__(self, domain: RefineDomain,
                  max_operations: Optional[int] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 seed_filter=None):
         self.domain = domain
         self.pel = PoorElementList(domain.tri.mesh)
         self.max_operations = max_operations
         self.stats = RefineStats()
         self.obs = obs
+        #: ``seed_filter(live_tet_ids) -> bool mask``: restricts the
+        #: initial PEL seed scan to a region of interest (the seam-local
+        #: stitch).  Tets created *during* refinement are still screened
+        #: unconditionally — rule side effects stay local to the seeds'
+        #: cavities, so the restriction is only about skipping the
+        #: per-tet scalar screen on already-refined bulk.
+        self.seed_filter = seed_filter
         # Predicate-filter counters are process-wide; snapshot so the
         # published kernel stats cover exactly this run.
         self._predicates_before: Dict[str, int] = {}
@@ -95,6 +105,8 @@ class SequentialRefiner:
 
         mesh_store = domain.tri.mesh
         live = mesh_store.live_tet_ids()
+        if self.seed_filter is not None and live.size:
+            live = live[np.asarray(self.seed_filter(live), dtype=bool)]
         _, short_edges = quality_screen(
             mesh_store.coords, mesh_store.tet_verts_arr, live
         )

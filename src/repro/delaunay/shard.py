@@ -44,9 +44,10 @@ default serial runner) and the service's process-pool fan-out
 
 from __future__ import annotations
 
+import hashlib
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -60,6 +61,10 @@ Vec3f = Tuple[float, float, float]
 #: a cut.  Below this a block's crop is mostly band, and shard overhead
 #: outweighs the win.
 MIN_CORE_VOXELS = 4
+
+#: Cut planes snap to this voxel grid so that near-duplicate images
+#: decompose identically (see :func:`_median_cut`).
+CUT_QUANTUM = 2
 
 #: Cap on post-stitch quality passes.  Each pass re-seeds the refiner
 #: from every live tet and runs to convergence; the loop exits as soon
@@ -264,8 +269,15 @@ def _best_split(mask: np.ndarray, boxes, spacing
 
 def _median_cut(mask: np.ndarray, lo: Vec3i, hi: Vec3i,
                 axis: int) -> Optional[int]:
-    """Occupancy-median plane along ``axis``, clamped to leave
-    ``MIN_CORE_VOXELS`` on both sides."""
+    """Occupancy-median plane along ``axis``, snapped to the
+    ``CUT_QUANTUM`` voxel grid and clamped to leave
+    ``MIN_CORE_VOXELS`` on both sides.
+
+    The snap trades at most a couple voxels of balance for plan
+    stability: a small edit shifts the occupancy median by a fraction
+    of a voxel, and without quantization that fraction rounds into a
+    moved cut plane, which changes every descendant block's crop and
+    defeats the incremental block cache."""
     sub = mask[lo[0]:hi[0], lo[1]:hi[1], lo[2]:hi[2]]
     counts = sub.sum(axis=tuple(d for d in range(3) if d != axis))
     total = int(counts.sum())
@@ -273,6 +285,10 @@ def _median_cut(mask: np.ndarray, lo: Vec3i, hi: Vec3i,
         return None
     cum = np.cumsum(counts)
     cut = int(np.searchsorted(cum, total / 2.0)) + 1
+    snapped = (
+        (lo[axis] + cut + CUT_QUANTUM // 2) // CUT_QUANTUM * CUT_QUANTUM
+    )
+    cut = int(snapped) - lo[axis]
     cut = min(max(cut, MIN_CORE_VOXELS), (hi[axis] - lo[axis])
               - MIN_CORE_VOXELS)
     if cut <= 0 or cut >= hi[axis] - lo[axis]:
@@ -360,19 +376,256 @@ def mesh_block(image: SegmentedImage, block: Block, plan: ShardPlan,
 
 
 # ---------------------------------------------------------------------------
+# content keys
+# ---------------------------------------------------------------------------
+
+#: Version of the per-block export and stitch-delta artifact formats.
+#: Bump to orphan every cached block / stitch artifact after a semantic
+#: change to ``refine_block``, the export schema, or the stitch protocol.
+BLOCK_FORMAT_VERSION = 1
+
+
+def _params_blob(delta: float, radius_edge_bound: float,
+                 planar_angle_bound_deg: float,
+                 max_operations: Optional[int]) -> bytes:
+    return repr((
+        BLOCK_FORMAT_VERSION, float(delta), float(radius_edge_bound),
+        float(planar_angle_bound_deg), max_operations,
+    )).encode()
+
+
+def block_content_key(image: SegmentedImage, block: Block, *, delta: float,
+                      radius_edge_bound: float = 2.0,
+                      planar_angle_bound_deg: float = 30.0,
+                      max_operations: Optional[int] = None) -> str:
+    """Content address of one block's refined point set.
+
+    Hashes exactly what :func:`refine_block` sees: the band-dilated
+    label crop (dtype, shape, bytes), its world placement (crop origin,
+    spacing, ownership box) and the canonical refinement parameters.
+    ``refine_block`` is deterministic in those inputs — across
+    processes too (pure byte hashing, nothing derived from ``id()`` or
+    randomized ``hash()``) — so equal keys imply bit-identical exports.
+    """
+    lo, hi = block.crop_lo, block.crop_hi
+    crop = image.labels[lo[0]:hi[0], lo[1]:hi[1], lo[2]:hi[2]]
+    h = hashlib.blake2b(digest_size=20)
+    h.update(_params_blob(delta, radius_edge_bound,
+                          planar_angle_bound_deg, max_operations))
+    h.update(str(crop.dtype).encode())
+    h.update(repr(crop.shape).encode())
+    h.update(repr(tuple(image.spacing)).encode())
+    h.update(repr(
+        tuple(_world(image, d, lo[d]) for d in range(3))
+    ).encode())
+    h.update(repr((block.own_lo, block.own_hi)).encode())
+    h.update(np.ascontiguousarray(crop).tobytes())
+    return h.hexdigest()
+
+
+def plan_content_key(image: SegmentedImage, plan: ShardPlan, *,
+                     radius_edge_bound: float = 2.0,
+                     planar_angle_bound_deg: float = 30.0,
+                     max_operations: Optional[int] = None) -> str:
+    """Address of the stitch-delta artifact for one decomposition.
+
+    Hashes the decomposition *geometry* (grid placement, band, block
+    cores) plus the refinement parameters — image content deliberately
+    excluded, so a perturbed image that decomposes into the same block
+    layout finds the previous run's stitch delta to warm-start from.
+    """
+    h = hashlib.blake2b(digest_size=20)
+    h.update(_params_blob(plan.delta, radius_edge_bound,
+                          planar_angle_bound_deg, max_operations))
+    h.update(repr((
+        tuple(image.shape), tuple(image.spacing), tuple(image.origin)
+    )).encode())
+    h.update(repr(tuple(plan.band_voxels)).encode())
+    for b in plan.blocks:
+        h.update(repr((b.core_lo, b.core_hi)).encode())
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
 # stitching
 # ---------------------------------------------------------------------------
+
+#: Above this changed-block fraction the seam-local path stops paying
+#: for itself — most seams need re-refinement anyway — so the stitch
+#: falls back to the full reload-and-re-refine (which also refreshes
+#: the stitch-delta artifact for the next request).
+INCREMENTAL_MAX_CHANGED_FRACTION = 0.5
+
+
+@dataclass
+class IncrementalStitch:
+    """Warm-start context one :func:`stitch` call consumes and refills.
+
+    ``prev`` is the previous run's stitch delta for the same plan
+    geometry: the Steiner points the stitch *added* over the raw block
+    exports (``points``/``kinds``, insertion order) and the
+    block-exported points it *removed* (``removed``).  ``changed``
+    lists the block indices whose content key differs from the record
+    the delta was computed under.  After the stitch, ``export`` holds
+    the refreshed delta and ``mode`` names the path that ran
+    (``"full"``, ``"seam_local"``, or ``"seam_local+repair"``).
+    """
+
+    block_keys: List[str]
+    prev: Optional[Dict[str, np.ndarray]] = None
+    changed: List[int] = field(default_factory=list)
+    threshold: float = INCREMENTAL_MAX_CHANGED_FRACTION
+    mode: str = "full"
+    export: Optional[Dict[str, np.ndarray]] = None
+
+
+def _in_boxes(pts: np.ndarray, boxes) -> np.ndarray:
+    """Row mask: point inside any of the half-open world ``boxes``."""
+    mask = np.zeros(len(pts), dtype=bool)
+    for lo, hi in boxes:
+        m = np.ones(len(pts), dtype=bool)
+        for d in range(3):
+            m &= (pts[:, d] >= lo[d]) & (pts[:, d] < hi[d])
+        mask |= m
+    return mask
+
+
+def _changed_boxes(image: SegmentedImage, plan: ShardPlan,
+                   changed: Sequence[int]):
+    """World boxes covering the refinement influence of changed blocks:
+    the ownership box clipped to the image (a changed block only
+    exports points it owns), dilated by the ``2*delta`` rule radius.
+    Everything a changed export can directly affect — including the
+    seam bands it shares with its neighbours — lies inside these
+    boxes; longer-range cascades are caught by the global acceptance
+    screen."""
+    margin = 2.0 * plan.delta
+    boxes = []
+    for i in changed:
+        b = plan.blocks[i]
+        boxes.append((
+            tuple(max(b.own_lo[d], _world(image, d, b.crop_lo[d])) - margin
+                  for d in range(3)),
+            tuple(min(b.own_hi[d], _world(image, d, b.crop_hi[d])) + margin
+                  for d in range(3)),
+        ))
+    return boxes
+
+
+def _changed_holes(image: SegmentedImage, plan: ShardPlan,
+                   changed: Sequence[int]):
+    """Eroded ownership boxes of the changed blocks — their deep
+    interior.  The fresh block export is already refined to completion
+    there (the crop band makes the in-block EDT exact throughout the
+    core), and no foreign point reaches it: neighbouring owners stop at
+    the ownership boundary and reused Steiner points are dropped
+    throughout the influence box.  Subtracting these holes from the
+    seed/replay region leaves the shell within ``2*delta`` of the
+    ownership boundary, where stitching can actually create poor or
+    crowded elements; the global acceptance screen still guards the
+    whole mesh."""
+    margin = 2.0 * plan.delta
+    holes = []
+    for i in changed:
+        b = plan.blocks[i]
+        lo = tuple(b.own_lo[d] + margin for d in range(3))
+        hi = tuple(b.own_hi[d] - margin for d in range(3))
+        if all(lo[d] < hi[d] for d in range(3)):
+            holes.append((lo, hi))
+    return holes
+
+
+def _row_bytes(arr: np.ndarray) -> List[bytes]:
+    a = np.ascontiguousarray(arr, dtype=np.float64).reshape(-1, 3)
+    return [a[i].tobytes() for i in range(len(a))]
+
+
+def _radius_edge_offenders(domain, bound: float) -> List[int]:
+    """Live tets violating the radius-edge bound with an inside-object
+    circumcenter — the post-stitch acceptance screen.  The ratio pass
+    is vectorized; the scalar inside-object test runs only on the
+    flagged tail."""
+    from repro.geometry.batch import quality_screen
+
+    mesh = domain.tri.mesh
+    live = mesh.live_tet_ids()
+    if len(live) == 0:
+        return []
+    ratios, _ = quality_screen(mesh.coords, mesh.tet_verts_arr, live)
+    flagged = live[(ratios > bound) | ~np.isfinite(ratios)]
+    poor = []
+    for t in flagged.tolist():
+        c, _ = domain.circumball(t)
+        if domain.point_inside_object(c):
+            poor.append(t)
+    return poor
+
+
+def _export_delta(domain, block_pts: np.ndarray) -> Dict[str, np.ndarray]:
+    """The stitch's net effect over the raw block exports.
+
+    ``points``/``kinds`` are the alive non-box vertices the stitch
+    added beyond the block exports (insertion order); ``removed`` the
+    block-exported points no longer alive.  Reloading
+    ``blocks − removed + points`` reproduces this mesh's vertex set
+    exactly, which is what lets the next request skip re-refining
+    unchanged seams.  Matching is by coordinate bytes — exports are
+    bit-deterministic, and vertex ids are recycled so they cannot
+    serve as identities across runs.
+    """
+    from repro.core.domain import VertexKind
+
+    mesh = domain.tri.mesh
+    rows = []
+    for v, kind in domain.vertex_kind.items():
+        if kind == VertexKind.BOX or not mesh.alive_vertex[v]:
+            continue
+        rows.append((mesh.timestamps[v], v, int(kind)))
+    rows.sort()
+    pts = np.array([mesh.points[v] for _, v, _ in rows],
+                   dtype=np.float64).reshape(-1, 3)
+    kinds = np.array([k for _, _, k in rows], dtype=np.int8)
+    block_rows = _row_bytes(block_pts)
+    loaded = set(block_rows)
+    alive = set()
+    extra_rows = []
+    for i, b in enumerate(_row_bytes(pts)):
+        alive.add(b)
+        if b not in loaded:
+            extra_rows.append(i)
+    removed = np.array(
+        [block_pts[i] for i, b in enumerate(block_rows) if b not in alive],
+        dtype=np.float64,
+    ).reshape(-1, 3)
+    return {
+        "points": pts[extra_rows].reshape(-1, 3),
+        "kinds": kinds[extra_rows],
+        "removed": removed,
+    }
+
 
 def stitch(image: SegmentedImage, plan: ShardPlan,
            shard_points: List[Dict[str, np.ndarray]], *,
            radius_edge_bound: float = 2.0,
            planar_angle_bound_deg: float = 30.0,
            max_operations: Optional[int] = None,
-           obs=None):
+           obs=None,
+           inc: Optional[IncrementalStitch] = None):
     """Merge shard point clouds into one refined global mesh.
 
     ``shard_points[i]`` is block ``i``'s ``{"points", "kinds"}`` export.
     Returns ``(MeshingResult, stitch_stats)``.
+
+    With an :class:`IncrementalStitch` context carrying a previous
+    stitch delta whose changed fraction is under the threshold, the
+    stitch runs **seam-local**: the previous run's Steiner points
+    outside the changed blocks' influence boxes are bulk-loaded
+    alongside the block exports, R6 replay and refinement seeding are
+    restricted to those boxes, and a global vectorized radius-edge
+    screen guards the result (any inside-object violation triggers
+    unrestricted repair passes).  Otherwise the classic full path runs:
+    load every owned point, replay R6 in every seam band, re-refine
+    globally.
     """
     from repro.core import MeshingResult, extract_mesh
     from repro.core.domain import RefineDomain, VertexKind
@@ -386,12 +639,58 @@ def stitch(image: SegmentedImage, plan: ShardPlan,
     )
     tri = domain.tri
 
+    # -- assemble the load set -----------------------------------------
+    block_pts = np.concatenate([
+        np.asarray(out["points"], dtype=np.float64).reshape(-1, 3)
+        for out in shard_points
+    ]) if shard_points else np.zeros((0, 3), dtype=np.float64)
+    block_kinds = np.concatenate([
+        np.asarray(out["kinds"], dtype=np.int8).reshape(-1)
+        for out in shard_points
+    ]) if shard_points else np.zeros(0, dtype=np.int8)
+
+    seam_local = (
+        inc is not None and inc.prev is not None
+        and len(inc.changed) <= inc.threshold * plan.n_blocks
+    )
+    boxes = None
+    holes = None
+    reused = 0
+    dropped = 0
+    if seam_local:
+        boxes = _changed_boxes(image, plan, inc.changed)
+        holes = _changed_holes(image, plan, inc.changed)
+        prev_pts = np.asarray(
+            inc.prev["points"], dtype=np.float64).reshape(-1, 3)
+        keep = ~_in_boxes(prev_pts, boxes)
+        extra_pts = prev_pts[keep]
+        extra_kinds = np.asarray(
+            inc.prev["kinds"], dtype=np.int8).reshape(-1)[keep]
+        removed_pts = np.asarray(
+            inc.prev["removed"], dtype=np.float64).reshape(-1, 3)
+        removed_pts = removed_pts[~_in_boxes(removed_pts, boxes)]
+        reused = int(len(extra_pts))
+        if len(removed_pts):
+            removed_set = set(_row_bytes(removed_pts))
+            keep_rows = np.array(
+                [b not in removed_set for b in _row_bytes(block_pts)],
+                dtype=bool,
+            )
+            dropped = int((~keep_rows).sum())
+            load_pts = np.concatenate([block_pts[keep_rows], extra_pts])
+            load_kinds = np.concatenate(
+                [block_kinds[keep_rows], extra_kinds])
+        else:
+            load_pts = np.concatenate([block_pts, extra_pts])
+            load_kinds = np.concatenate([block_kinds, extra_kinds])
+    else:
+        load_pts, load_kinds = block_pts, block_kinds
+
     # -- bulk load: one batched bw_insert_many sweep in block order ----
-    points: List[Tuple[float, float, float]] = []
-    kinds: List[int] = []
-    for out in shard_points:
-        points.extend(map(tuple, out["points"].tolist()))
-        kinds.extend(out["kinds"].tolist())
+    points: List[Tuple[float, float, float]] = list(
+        map(tuple, load_pts.tolist())
+    )
+    kinds: List[int] = load_kinds.tolist()
     vids = tri.insert_many(points)
     inserted = 0
     duplicates = 0
@@ -415,9 +714,13 @@ def stitch(image: SegmentedImage, plan: ShardPlan,
     # Each shard applied R6 only against its own isosurface samples; a
     # circumcenter owned by one block can sit within 2*delta of an
     # isosurface sample owned by its neighbour.  Replay the purge for
-    # isosurface vertices in the seam bands.
+    # isosurface vertices in the seam bands — in seam-local mode only
+    # inside the changed boxes: reused Steiner points already survived
+    # the previous purge, and the block points that purge removed were
+    # dropped through the delta's removed set.
     t1 = time.perf_counter()
-    removed = _replay_r6_bands(domain, plan, image, iso_loaded)
+    removed = _replay_r6_bands(domain, plan, image, iso_loaded,
+                               boxes=boxes, holes=holes)
     r6_seconds = time.perf_counter() - t1
 
     # -- local re-refinement until every rule passes -------------------
@@ -425,9 +728,35 @@ def stitch(image: SegmentedImage, plan: ShardPlan,
     # plus the scalar rule checks over all live tets; away from the
     # seams the shards already refined to completion, so the seed is
     # (nearly) empty there and the work concentrates on the interfaces.
+    # In seam-local mode the seed scan itself is restricted to tets
+    # touching a changed box — the scalar rule checks over a complete
+    # mesh are the dominant stitch cost on a warm cache.
+    seed_filter = None
+    if seam_local:
+        def _quad_in(quads: np.ndarray, box_list) -> np.ndarray:
+            m = np.zeros(quads.shape[:2], dtype=bool)
+            for lo, hi in box_list:
+                inside = np.ones(quads.shape[:2], dtype=bool)
+                for d in range(3):
+                    inside &= ((quads[..., d] >= lo[d])
+                               & (quads[..., d] < hi[d]))
+                m |= inside
+            return m
+
+        def seed_filter(live: np.ndarray) -> np.ndarray:
+            mesh_store = tri.mesh
+            quads = mesh_store.coords[
+                mesh_store.tet_verts_arr[live].ravel()
+            ].reshape(-1, 4, 3)
+            vert_in = _quad_in(quads, boxes)
+            if holes:
+                vert_in &= ~_quad_in(quads, holes)
+            return vert_in.any(axis=1)
+
     t2 = time.perf_counter()
+    skip_snap = domain.n_skipped
     refiner = SequentialRefiner(domain, max_operations=max_operations,
-                                obs=obs)
+                                obs=obs, seed_filter=seed_filter)
     if tracer is not None and tracer.enabled:
         with tracer.span("shard.stitch.refine"):
             rstats = refiner.refine()
@@ -441,21 +770,58 @@ def stitch(image: SegmentedImage, plan: ShardPlan,
     # no insertions or removals, so no inside-object tet escapes the
     # radius-edge / size screen for lack of a retry.
     quality_rounds = 0
+    last_skipped = domain.n_skipped - skip_snap
     while quality_rounds < _MAX_QUALITY_ROUNDS:
+        # Rounds exist to retry tets dropped on transiently degenerate
+        # cavities; the refiner counts those as skips.  In seam-local
+        # mode a pass with no skips therefore already reached the
+        # fixpoint — skip the (full-seed-scan) confirmation round and
+        # let the acceptance screen below stand guard.
+        if seam_local and last_skipped == 0:
+            break
         before = domain.n_insertions + domain.n_removals
+        skip_before = domain.n_skipped
         extra = SequentialRefiner(
-            domain, max_operations=max_operations
+            domain, max_operations=max_operations, seed_filter=seed_filter
         ).refine()
         rstats.n_operations += extra.n_operations
+        last_skipped = domain.n_skipped - skip_before
         if domain.n_insertions + domain.n_removals == before:
             break
         quality_rounds += 1
+
+    # -- acceptance screen + repair (seam-local only) ------------------
+    # The warm-started regions were refined under the previous image;
+    # assert the radius-edge bound globally and fall back to
+    # unrestricted passes if anything slipped through the restriction.
+    mode = "seam_local" if seam_local else "full"
+    offenders = 0
+    if seam_local:
+        poor = _radius_edge_offenders(domain, radius_edge_bound)
+        offenders = len(poor)
+        if poor:
+            mode = "seam_local+repair"
+            repair_rounds = 0
+            while repair_rounds < _MAX_QUALITY_ROUNDS:
+                before = domain.n_insertions + domain.n_removals
+                extra = SequentialRefiner(
+                    domain, max_operations=max_operations
+                ).refine()
+                rstats.n_operations += extra.n_operations
+                if domain.n_insertions + domain.n_removals == before:
+                    break
+                repair_rounds += 1
+            quality_rounds += repair_rounds
     rstats.final_tets = domain.tri.n_tets
     rstats.final_vertices = domain.tri.n_vertices
     rstats.n_insertions = domain.n_insertions
     rstats.n_removals = domain.n_removals
     rstats.n_skipped = domain.n_skipped
     refine_seconds = time.perf_counter() - t2
+
+    if inc is not None:
+        inc.mode = mode
+        inc.export = _export_delta(domain, block_pts)
 
     mesh = extract_mesh(domain)
     stitch_stats = {
@@ -464,6 +830,12 @@ def stitch(image: SegmentedImage, plan: ShardPlan,
         "band_removed": removed,
         "refine_operations": rstats.n_operations,
         "quality_rounds": quality_rounds,
+        "mode": mode,
+        "changed_blocks": (len(inc.changed) if seam_local
+                           else plan.n_blocks),
+        "reused_points": reused,
+        "dropped_points": dropped,
+        "screen_offenders": offenders,
         "load_seconds": load_seconds,
         "r6_seconds": r6_seconds,
         "refine_seconds": refine_seconds,
@@ -483,8 +855,13 @@ def stitch(image: SegmentedImage, plan: ShardPlan,
 
 
 def _replay_r6_bands(domain, plan: ShardPlan, image: SegmentedImage,
-                     iso_loaded) -> int:
-    """R6 for seam-band isosurface vertices; returns removal count."""
+                     iso_loaded, boxes=None, holes=None) -> int:
+    """R6 for seam-band isosurface vertices; returns removal count.
+
+    ``boxes`` (seam-local mode) restricts the replay to isosurface
+    vertices inside the changed blocks' influence boxes; ``holes``
+    further excludes their deep interior (see :func:`_changed_holes`).
+    """
     from repro.core.domain import VertexKind
     from repro.delaunay import RemovalError
 
@@ -496,6 +873,10 @@ def _replay_r6_bands(domain, plan: ShardPlan, image: SegmentedImage,
     near = np.zeros(len(iso_loaded), dtype=bool)
     for axis, w in planes:
         near |= np.abs(pts[:, axis] - w) <= radius
+    if boxes is not None:
+        near &= _in_boxes(pts, boxes)
+        if holes:
+            near &= ~_in_boxes(pts, holes)
     removed = 0
     tri = domain.tri
     mesh = tri.mesh
@@ -527,20 +908,32 @@ def _replay_r6_bands(domain, plan: ShardPlan, image: SegmentedImage,
 # composition
 # ---------------------------------------------------------------------------
 
-#: ``runner(plan) -> list of {"points", "kinds"} in block order``.
-ShardRunner = Callable[[ShardPlan], List[Dict[str, np.ndarray]]]
+#: ``runner(plan, indices, keys) -> outs`` for the requested block
+#: indices (in order), each ``{"arrays": {"points", "kinds"},
+#: "stats": {...}}``.  ``keys`` aligns with ``plan.blocks`` (not with
+#: ``indices``) and is ``None`` when no block cache is in play.
+ShardRunner = Callable[..., List[Dict[str, Any]]]
 
 
 def mesh_sharded(request, plan: Optional[ShardPlan] = None,
-                 runner: Optional[ShardRunner] = None, obs=None):
+                 runner: Optional[ShardRunner] = None, obs=None,
+                 block_cache=None, incremental: Optional[bool] = None):
     """Decompose, mesh every block, stitch; returns a ``MeshResult``.
 
-    ``runner`` maps the plan to per-block point exports; ``None`` runs
-    the blocks serially in-process (correctness path — the speedup
-    comes from the service's process-pool runner).  Raises
+    ``runner`` maps (plan, block indices) to per-block point exports;
+    ``None`` runs the blocks serially in-process (correctness path —
+    the speedup comes from the service's process-pool runner).  Raises
     :class:`ShardingUnavailable` when the decomposition yields fewer
     than two occupied blocks; callers fall back to the unsharded
     mesher.
+
+    With a ``block_cache`` (an :class:`repro.service.cache
+    .ArtifactCache`), block exports are content-addressed by
+    :func:`block_content_key`: only blocks whose crop bytes changed
+    reach the runner, the rest load from the cache.  ``incremental``
+    (``None`` = the request's ``incremental`` flag) additionally
+    warm-starts the stitch from the previous run's delta artifact —
+    see :func:`stitch`.
     """
     from repro.api import MeshResult
     from repro.observability import Observability
@@ -563,40 +956,112 @@ def mesh_sharded(request, plan: Optional[ShardPlan] = None,
         )
     t_dec = time.perf_counter() - t0
 
+    params = dict(
+        radius_edge_bound=request.radius_edge_bound,
+        planar_angle_bound_deg=request.planar_angle_bound_deg,
+        max_operations=request.max_operations,
+    )
+    if incremental is None:
+        incremental = bool(getattr(request, "incremental", True))
+    incremental = bool(incremental) and block_cache is not None
+
+    keys: Optional[List[str]] = None
+    outs: List[Optional[dict]] = [None] * plan.n_blocks
+    hits = 0
+    memory_hits = 0
+    if block_cache is not None:
+        keys = [
+            block_content_key(request.image, b, delta=plan.delta, **params)
+            for b in plan.blocks
+        ]
+        for i, key in enumerate(keys):
+            arrays, tier = block_cache.get_block_tiered(key)
+            if arrays is not None:
+                hits += 1
+                memory_hits += 1 if tier == "memory" else 0
+                outs[i] = {"arrays": arrays,
+                           "stats": {"cached": tier, "content_key": key}}
+    miss = [i for i, o in enumerate(outs) if o is None]
+
     if runner is None:
         runner = _serial_runner(request)
     t1 = time.perf_counter()
-    outs = runner(plan)
+    fresh = runner(plan, miss, keys) if miss else []
     shard_seconds = time.perf_counter() - t1
-    if len(outs) != plan.n_blocks or any(o is None for o in outs):
+    if len(fresh) != len(miss) or any(o is None for o in fresh):
         raise ShardingUnavailable("a shard produced no output")
+    for i, out in zip(miss, fresh):
+        outs[i] = out
+        if block_cache is not None:
+            out["stats"].setdefault("content_key", keys[i])
+            block_cache.put_block(keys[i], out["arrays"])
+
+    inc: Optional[IncrementalStitch] = None
+    pkey: Optional[str] = None
+    if block_cache is not None:
+        # Even with incremental off, export the delta so a later
+        # incremental request can warm-start from this run.
+        pkey = plan_content_key(request.image, plan, **params)
+        inc = IncrementalStitch(block_keys=keys)
+        if incremental:
+            prev = block_cache.get_stitch(pkey)
+            prev_keys = ([str(k) for k in prev["block_keys"]]
+                         if prev is not None else None)
+            if prev_keys is not None and len(prev_keys) == plan.n_blocks:
+                inc.prev = prev
+                inc.changed = [
+                    i for i in range(plan.n_blocks)
+                    if prev_keys[i] != keys[i]
+                ]
 
     result, stitch_stats = stitch(
         request.image, plan, [o["arrays"] for o in outs],
         radius_edge_bound=request.radius_edge_bound,
         planar_angle_bound_deg=request.planar_angle_bound_deg,
-        max_operations=request.max_operations, obs=obs,
+        max_operations=request.max_operations, obs=obs, inc=inc,
     )
+    if inc is not None and inc.export is not None:
+        export = dict(inc.export)
+        export["block_keys"] = np.asarray(keys)
+        block_cache.put_stitch(pkey, export)
+
     wall = time.perf_counter() - t0
     shard_stats = [o["stats"] for o in outs]
-    s = result.stats
+    stats: Dict[str, Any] = {
+        "operations": result.stats.n_operations,
+        "insertions": (result.stats.n_insertions
+                       + stitch_stats["points_loaded"]),
+        "removals": result.stats.n_removals,
+        "skipped": result.stats.n_skipped,
+        "rule_counts": dict(result.stats.rule_counts),
+        "elements_per_second": (
+            result.mesh.n_tets / wall if wall > 0 else 0.0
+        ),
+        "shards": plan.n_blocks,
+        "shard_plan": plan.to_meta(),
+        "shard_stats": shard_stats,
+        "stitch": stitch_stats,
+    }
+    if block_cache is not None:
+        stats["block_cache"] = {
+            "hits": hits,
+            "memory_hits": memory_hits,
+            "misses": len(miss),
+            "stitch_mode": stitch_stats["mode"],
+        }
+        reg = obs.registry
+        reg.counter("shard.cache.block_hits").inc(hits)
+        reg.counter("shard.cache.block_misses").inc(len(miss))
+        if inc is not None and inc.prev is not None:
+            reg.counter("shard.cache.stitch_hits").inc()
+        else:
+            reg.counter("shard.cache.stitch_misses").inc()
+        if stitch_stats["mode"] != "full":
+            reg.counter("shard.cache.incremental_stitches").inc()
     return MeshResult(
         mesh=result.mesh,
         mesher=request.resolved_mesher(),
-        stats={
-            "operations": s.n_operations,
-            "insertions": s.n_insertions + stitch_stats["points_loaded"],
-            "removals": s.n_removals,
-            "skipped": s.n_skipped,
-            "rule_counts": dict(s.rule_counts),
-            "elements_per_second": (
-                result.mesh.n_tets / wall if wall > 0 else 0.0
-            ),
-            "shards": plan.n_blocks,
-            "shard_plan": plan.to_meta(),
-            "shard_stats": shard_stats,
-            "stitch": stitch_stats,
-        },
+        stats=stats,
         metrics=obs.snapshot(),
         timings={
             "wall_seconds": wall,
@@ -609,11 +1074,11 @@ def mesh_sharded(request, plan: Optional[ShardPlan] = None,
 
 
 def _serial_runner(request) -> ShardRunner:
-    def run(plan: ShardPlan):
+    def run(plan: ShardPlan, indices: Sequence[int], keys=None):
         outs = []
-        for block in plan.blocks:
+        for i in indices:
             arrays, stats = mesh_block(
-                request.image, block, plan,
+                request.image, plan.blocks[i], plan,
                 radius_edge_bound=request.radius_edge_bound,
                 planar_angle_bound_deg=request.planar_angle_bound_deg,
                 max_operations=request.max_operations,
@@ -625,13 +1090,16 @@ def _serial_runner(request) -> ShardRunner:
 
 __all__ = [
     "Block",
+    "IncrementalStitch",
     "ShardPlan",
     "ShardingUnavailable",
     "band_width_voxels",
+    "block_content_key",
     "crop_image",
     "decompose",
     "mesh_block",
     "mesh_sharded",
+    "plan_content_key",
     "refine_block",
     "resolve_delta",
     "stitch",

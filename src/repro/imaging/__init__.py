@@ -30,6 +30,7 @@ from repro.imaging.synthetic import (
     ball_grid_phantom,
     head_neck_phantom,
     knee_phantom,
+    near_duplicate_phantom,
     shell_phantom,
     sphere_phantom,
     two_spheres_phantom,
@@ -44,6 +45,7 @@ __all__ = [
     "surface_voxel_mask",
     "sphere_phantom",
     "ball_grid_phantom",
+    "near_duplicate_phantom",
     "shell_phantom",
     "two_spheres_phantom",
     "abdominal_phantom",

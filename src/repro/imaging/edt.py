@@ -19,6 +19,13 @@ Two drivers are provided:
   the paper's pre-processing step prescribes, and the simulator charges
   it as the linearly-scaling phase the paper reports.
 
+When scipy is importable (the normal case — it is a dependency of the
+imaging stack) both drivers delegate to ``scipy.ndimage``'s exact EDT
+and rebuild ``dist2``/``feature`` from the returned nearest-site
+indices, which is orders of magnitude faster than the Python scan at
+clinical volume sizes.  Set ``REPRO_EDT=python`` to force the reference
+implementation.
+
 Both drivers consult an optional process-wide *feature-transform cache*
 (:func:`set_feature_transform_cache`), keyed by the content of the site
 mask and the voxel spacing.  The meshing service installs one so that
@@ -33,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -198,6 +206,72 @@ def _feature_transform(sites: np.ndarray, spacing, pool) -> EDTResult:
 
 
 # ---------------------------------------------------------------------------
+# scipy fast path
+# ---------------------------------------------------------------------------
+
+try:  # scipy is already a hard dependency of the repo's imaging stack
+    from scipy import ndimage as _ndimage
+except ImportError:  # pragma: no cover - degraded environments only
+    _ndimage = None
+
+
+def _use_scipy() -> bool:
+    """Whether the scipy-backed transform should run.
+
+    ``REPRO_EDT=python`` forces the pure-Python lower-envelope scan
+    (useful for benchmarking the reference implementation or chasing a
+    suspected backend discrepancy); anything else uses scipy when
+    importable.
+    """
+    return (
+        _ndimage is not None
+        and os.environ.get("REPRO_EDT", "").lower() != "python"
+    )
+
+
+def _feature_transform_scipy(sites: np.ndarray, spacing) -> EDTResult:
+    """scipy.ndimage-backed exact EDT with the same result contract.
+
+    ``distance_transform_edt(~sites, return_indices=True)`` yields the
+    3-index of the nearest site per voxel; ``dist2`` is rebuilt from
+    those indices in float64 (exact squared anisotropic distance — no
+    sqrt/square round-trip) and ``feature`` is the C-order flat index.
+    Semantics match the pure-Python scan exactly except that equidistant
+    ties may resolve to a different, equally-nearest site.
+    """
+    sites = np.asarray(sites, dtype=bool)
+    if sites.ndim != 3:
+        raise ValueError("sites mask must be 3D")
+    shape = sites.shape
+    idx = _ndimage.distance_transform_edt(
+        ~sites,
+        sampling=[float(s) for s in spacing],
+        return_distances=False,
+        return_indices=True,
+    )
+    dist2 = np.zeros(shape, dtype=np.float64)
+    for axis in range(3):
+        coord = np.arange(shape[axis], dtype=np.float64).reshape(
+            [-1 if a == axis else 1 for a in range(3)]
+        )
+        d = (idx[axis].astype(np.float64) - coord) * float(spacing[axis])
+        dist2 += d * d
+    feature = np.ravel_multi_index(tuple(idx), shape).astype(np.int64)
+    return EDTResult(
+        dist2=dist2,
+        feature=feature,
+        shape=tuple(shape),
+        spacing=tuple(float(s) for s in spacing),
+    )
+
+
+def _compute_transform(sites: np.ndarray, spacing, pool) -> EDTResult:
+    if _use_scipy():
+        return _feature_transform_scipy(sites, spacing)
+    return _feature_transform(sites, spacing, pool)
+
+
+# ---------------------------------------------------------------------------
 # feature-transform cache hook
 # ---------------------------------------------------------------------------
 
@@ -313,7 +387,7 @@ def euclidean_feature_transform(
     if not np.any(sites):
         raise ValueError("feature transform of an empty site mask")
     return _compute_via_cache(
-        sites, spacing, lambda: _feature_transform(sites, spacing, pool=None)
+        sites, spacing, lambda: _compute_transform(sites, spacing, pool=None)
     )
 
 
@@ -330,6 +404,10 @@ def euclidean_feature_transform_parallel(
         return euclidean_feature_transform(sites, spacing)
 
     def compute() -> EDTResult:
+        if _use_scipy():
+            # scipy's C kernel beats any thread fan-out of the Python
+            # scan; both drivers share it so seq == par bit-for-bit.
+            return _feature_transform_scipy(sites, spacing)
         with ThreadPoolExecutor(max_workers=n_workers) as pool:
             return _feature_transform(sites, spacing, pool)
 

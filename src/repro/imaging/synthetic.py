@@ -14,7 +14,6 @@ inside the body envelope).
 
 from __future__ import annotations
 
-import math
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -161,6 +160,35 @@ def ball_grid_phantom(n: int = 48, side: int = 2) -> SegmentedImage:
                 c = ((i + 0.5) * step, (j + 0.5) * step, (l + 0.5) * step)
                 b.ball(c, r, 1 + (k % 3))
                 k += 1
+    return b.build()
+
+
+def near_duplicate_phantom(n: int = 48,
+                           inclusion_shift: float = 0.0) -> SegmentedImage:
+    """A 2x2x2 ball grid plus one small off-grid inclusion ball.
+
+    The pair ``near_duplicate_phantom(n)`` /
+    ``near_duplicate_phantom(n, inclusion_shift=2.0)`` differs only
+    where the inclusion moved — well under 1% of voxels at the default
+    size — which is the incremental-meshing workload: on the shifted
+    image only the block containing the inclusion changes content, the
+    other blocks replay from the block cache and stitching stays
+    seam-local.  The inclusion sits away from the grid balls and away
+    from the occupancy-median cut planes so a small shift does not move
+    the decomposition.
+    """
+    b = PhantomBuilder((n, n, n))
+    step = n / 2.0
+    r = 0.25 * step
+    lab = 1
+    for i in range(2):
+        for j in range(2):
+            for k in range(2):
+                c = ((i + 0.5) * step, (j + 0.5) * step, (k + 0.5) * step)
+                b.ball(c, r, lab)
+                lab = lab % 3 + 1
+    b.ball((0.1875 * n, 0.1875 * n, 0.5 * n + inclusion_shift),
+           0.0625 * n, 2)
     return b.build()
 
 

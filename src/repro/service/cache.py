@@ -72,6 +72,11 @@ class ArtifactCache:
         self.stats = {
             "hits": 0, "misses": 0, "memory_hits": 0,
             "corrupt": 0, "writes": 0, "evictions": 0,
+            # Shard-level artifacts get their own ledgers so the mesh
+            # hit rate (service.cache.store.*) stays a request-level
+            # signal — one sharded request touches many block slots.
+            "block_hits": 0, "block_misses": 0,
+            "stitch_hits": 0, "stitch_misses": 0,
         }
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -91,6 +96,9 @@ class ArtifactCache:
     @staticmethod
     def _sizeof(value: Any) -> int:
         """Array payload of an artifact, in bytes (metadata ignored)."""
+        if isinstance(value, dict):  # block / stitch array bundles
+            return max(sum(int(getattr(a, "nbytes", 0))
+                           for a in value.values()), 1024)
         total = 0
         mesh = getattr(value, "mesh", None)
         for holder in (value, mesh):
@@ -270,6 +278,86 @@ class ArtifactCache:
                     spacing=np.asarray(result.spacing, dtype=np.float64),
                 )
             self._publish(path, write)
+
+    # -- shard artifacts: block exports + stitch deltas ----------------
+    # Both are plain dicts of ndarrays, stored as compressed npz.  A
+    # block export ({"points", "kinds"}) is addressed by
+    # ``repro.delaunay.shard.block_content_key``; a stitch delta
+    # ({"points", "kinds", "removed", "block_keys"}) by
+    # ``plan_content_key``.  No pickling — every member is a numeric or
+    # unicode array — so a corrupt or adversarial file can at worst
+    # fail to parse (counted, unlinked, miss).
+
+    def _get_arrays(self, kind: str, key: str, *, hit_field: str,
+                    miss_field: str, count: bool = True
+                    ) -> Tuple[Optional[Dict[str, np.ndarray]],
+                               Optional[str]]:
+        slot = f"{kind}:{key}"
+        hit = self._mem_get(slot)
+        if hit is not None:
+            if count:
+                self._bump(hit_field)
+            return hit, "memory"
+        path = self._path(kind, key, ".npz")
+        if path is not None and path.exists():
+            try:
+                with np.load(path) as doc:
+                    arrays = {name: doc[name] for name in doc.files}
+            except Exception:
+                self._discard_corrupt(path)
+            else:
+                if count:
+                    self._bump(hit_field)
+                self._mem_put(slot, arrays)
+                return arrays, "disk"
+        if count:
+            self._bump(miss_field)
+        return None, None
+
+    def _put_arrays(self, kind: str, key: str,
+                    arrays: Dict[str, np.ndarray]) -> None:
+        arrays = {k: np.asarray(v) for k, v in arrays.items()}
+        self._mem_put(f"{kind}:{key}", arrays)
+        path = self._path(kind, key, ".npz")
+        if path is not None:
+            self._publish(
+                path, lambda fh: np.savez_compressed(fh, **arrays)
+            )
+
+    def get_block(self, key: str,
+                  count: bool = True) -> Optional[Dict[str, np.ndarray]]:
+        """One block's refined point export.  ``count=False`` reads
+        without touching the hit/miss ledgers (bookkeeping lookups,
+        e.g. fetching the *previous* export to diff against, must not
+        masquerade as workload hits)."""
+        return self._get_arrays("block", key, hit_field="block_hits",
+                                miss_field="block_misses",
+                                count=count)[0]
+
+    def get_block_tiered(
+            self, key: str) -> Tuple[Optional[Dict[str, np.ndarray]],
+                                     Optional[str]]:
+        """``(arrays, tier)`` for one block's refined point export."""
+        return self._get_arrays("block", key, hit_field="block_hits",
+                                miss_field="block_misses")
+
+    def put_block(self, key: str,
+                  arrays: Dict[str, np.ndarray]) -> None:
+        self._put_arrays("block", key, arrays)
+
+    def get_stitch(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        arrays, _ = self._get_arrays(
+            "stitch", key, hit_field="stitch_hits",
+            miss_field="stitch_misses",
+        )
+        return arrays
+
+    def put_stitch(self, key: str,
+                   arrays: Dict[str, np.ndarray]) -> None:
+        """Store a stitch delta; re-puts of the same plan key are the
+        normal case (every sharded run refreshes its plan's delta) and
+        land atomically via the same ``os.replace`` publish."""
+        self._put_arrays("stitch", key, arrays)
 
     # -- reporting -----------------------------------------------------
     @property

@@ -21,6 +21,10 @@ Routes
                                   ``return_mesh`` inlines the result
 ``GET /v1/jobs/<id>``             job status; ``?wait=S`` long-polls,
                                   ``?result=1`` inlines a DONE mesh
+                                  (the response carries an ``ETag`` —
+                                  the request's content key — and
+                                  ``If-None-Match`` answers 304 with
+                                  no body when it still matches)
 ``DELETE /v1/jobs/<id>``          cancel a queued job
 ``GET /healthz``                  liveness + negotiated protocol
 ``GET /metricsz``                 metrics snapshot incl. the SLO
@@ -177,6 +181,28 @@ class ImageStore:
             return snap
 
 
+def etag_matches(header: str, etag: str) -> bool:
+    """RFC 7232 ``If-None-Match`` against one entity-tag value.
+
+    ``*`` matches anything; otherwise the header is a comma-separated
+    list of (possibly ``W/``-prefixed, possibly quoted) entity-tags,
+    compared by opaque value — a weak validator is good enough for a
+    cache answer, which is exactly what ``If-None-Match`` asks about.
+    """
+    header = header.strip()
+    if header == "*":
+        return True
+    for token in header.split(","):
+        token = token.strip()
+        if token.startswith("W/"):
+            token = token[2:].strip()
+        if len(token) >= 2 and token[0] == '"' and token[-1] == '"':
+            token = token[1:-1]
+        if token == etag:
+            return True
+    return False
+
+
 # -- gateway (transport-free request handling) -------------------------
 class MeshGateway:
     """Routing/translation between HTTP semantics and a service.
@@ -196,13 +222,15 @@ class MeshGateway:
                query: Optional[Dict[str, str]] = None,
                body: Optional[Dict[str, Any]] = None,
                version: Optional[str] = None,
+               if_none_match: Optional[str] = None,
                ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         reg = self.service.registry
         reg.counter("service.http.requests").inc()
         t0 = time.perf_counter()
         try:
             status, out, headers = self._route(
-                method, path, query or {}, body or {}, version
+                method, path, query or {}, body or {}, version,
+                if_none_match,
             )
         except ProtocolError as exc:
             status, out, headers = 400, {"ok": False, "error": str(exc)}, {}
@@ -219,6 +247,7 @@ class MeshGateway:
 
     def _route(self, method: str, path: str, query: Dict[str, str],
                body: Dict[str, Any], version: Optional[str],
+               if_none_match: Optional[str] = None,
                ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         if version is not None and version != str(PROTOCOL_VERSION):
             return 400, {
@@ -235,7 +264,7 @@ class MeshGateway:
         if path.startswith("/v1/jobs/"):
             job_id = path[len("/v1/jobs/"):]
             if method == "GET":
-                return self._job_get(job_id, query)
+                return self._job_get(job_id, query, if_none_match)
             if method == "DELETE":
                 return self._job_cancel(job_id)
         return 404, {"ok": False, "error": f"no route {method} {path}"}, {}
@@ -304,6 +333,7 @@ class MeshGateway:
         return self.images.get(key)
 
     def _job_get(self, job_id: str, query: Dict[str, str],
+                 if_none_match: Optional[str] = None,
                  ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         job = self.service.job(job_id)
         if job is None:
@@ -317,7 +347,8 @@ class MeshGateway:
                 raise ProtocolError(f"bad wait value {wait!r}") from None
             job.wait(min(max(seconds, 0.0), MAX_WAIT))
         want_result = query.get("result") in ("1", "true", "yes")
-        return self._job_answer(job, want_result)
+        return self._job_answer(job, want_result,
+                                if_none_match=if_none_match)
 
     def _job_cancel(self, job_id: str,
                     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
@@ -330,15 +361,26 @@ class MeshGateway:
                      "state": job.state.value}, {}
 
     def _job_answer(self, job, return_mesh: bool,
+                    if_none_match: Optional[str] = None,
                     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         out = job.summary()
         out["ok"] = job.state in (JobState.QUEUED, JobState.RUNNING,
                                   JobState.DONE)
+        headers: Dict[str, str] = {}
         if (return_mesh and job.state is JobState.DONE
                 and job.result is not None):
+            etag = job.keys[1] if job.keys is not None else None
+            if etag is not None:
+                # The request key already names the exact (image,
+                # params) pair, and a DONE job's result never changes:
+                # the key is a perfect validator for the result body.
+                headers["ETag"] = f'"{etag}"'
+                if if_none_match and etag_matches(if_none_match, etag):
+                    self.service.registry.counter(
+                        "service.http.not_modified").inc()
+                    return 304, {}, headers
             out["result"] = job.result.to_dict()
         status = STATE_STATUS[job.state]
-        headers: Dict[str, str] = {}
         if job.state is JobState.REJECTED:
             if self.service._closed:
                 status = 503  # shutting down: back off for good
@@ -390,11 +432,16 @@ class _Handler(BaseHTTPRequestHandler):
             status, out, headers = gateway.handle(
                 method, parsed.path, query, body,
                 version=self.headers.get(PROTOCOL_HEADER),
+                if_none_match=self.headers.get("If-None-Match"),
             )
-        payload = json.dumps(out).encode("utf-8")
+        # A 304 must not carry a body (RFC 7232); everything else is
+        # JSON.
+        payload = (b"" if status == 304
+                   else json.dumps(out).encode("utf-8"))
         self.send_response(status)
         self.send_header(PROTOCOL_HEADER, str(PROTOCOL_VERSION))
-        self.send_header("Content-Type", "application/json")
+        if payload:
+            self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
         for name, value in headers.items():
             self.send_header(name, value)
@@ -638,4 +685,5 @@ __all__ = [
     "STATE_STATUS",
     "decode_image_b64",
     "encode_image_b64",
+    "etag_matches",
 ]

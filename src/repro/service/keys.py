@@ -26,7 +26,7 @@ from repro.imaging.image import SegmentedImage
 
 #: Bump to invalidate every cached mesh after a format/semantic change.
 #: v2: ``shards`` joined the canonical params (domain-sharded meshing).
-CACHE_FORMAT_VERSION = 2
+CACHE_FORMAT_VERSION = 3
 
 
 def image_content_key(image: SegmentedImage) -> str:

@@ -353,7 +353,8 @@ class ProcessWorkerPool:
             self._checkin(slot)
 
     def run_shard(self, request, plan, block,
-                  deadline: Optional[float] = None) -> dict:
+                  deadline: Optional[float] = None,
+                  content_key: Optional[str] = None) -> dict:
         """Mesh one decomposition block in a worker process.
 
         Returns ``{"arrays": {"points", "kinds"}, "stats": {...}}``
@@ -364,7 +365,8 @@ class ProcessWorkerPool:
         slot = self._checkout()
         arena_name = self._arena_name(slot)
         try:
-            payload = procworker.build_shard_payload(request, plan, block)
+            payload = procworker.build_shard_payload(
+                request, plan, block, content_key=content_key)
             return slot.run(payload, deadline, arena_name)
         finally:
             if arena_name is not None:

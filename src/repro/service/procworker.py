@@ -104,13 +104,19 @@ def build_payload(request) -> Dict[str, Any]:
     }
 
 
-def build_shard_payload(request, plan, block) -> Dict[str, Any]:
+def build_shard_payload(request, plan, block,
+                        content_key: Optional[str] = None
+                        ) -> Dict[str, Any]:
     """Parent side: the picklable body for one decomposition block.
 
     The label crop happens here (only the block's sub-volume crosses
     the pipe) and every parameter the shard needs arrives resolved —
     ``delta`` in particular, so all shards and the stitch domain agree
-    even when the request left it defaulted.
+    even when the request left it defaulted.  ``content_key`` (the
+    block's content address, when a block cache is in play) rides as a
+    top-level field — ``params`` must stay exactly ``refine_block``'s
+    keyword arguments — and is echoed back in the shard's stats so the
+    parent can publish the fresh export under it.
     """
     image = request.image
     lo, hi = block.crop_lo, block.crop_hi
@@ -126,6 +132,7 @@ def build_shard_payload(request, plan, block) -> Dict[str, Any]:
         "origin": origin,
         "own_lo": tuple(block.own_lo),
         "own_hi": tuple(block.own_hi),
+        "content_key": content_key,
         "params": {
             "delta": plan.delta,
             "radius_edge_bound": request.radius_edge_bound,
@@ -205,6 +212,8 @@ def _run_shard(body: Dict[str, Any]) -> tuple:
             arrays, stats = refine_block(
                 sub, body["own_lo"], body["own_hi"], **body["params"]
             )
+        if body.get("content_key"):
+            stats["content_key"] = body["content_key"]
         fields = tuple(arrays)
         meta = {"kind": "shard", "fields": list(fields), "stats": stats}
         if arena is not None:

@@ -58,7 +58,7 @@ PROTOCOL_OPS = (
 REQUEST_PARAMS = (
     "mesher", "delta", "radius_edge_bound", "planar_angle_bound_deg",
     "n_threads", "cm", "lb", "hyperthreading", "seed",
-    "max_operations", "timeout", "shards",
+    "max_operations", "timeout", "shards", "incremental",
 )
 
 

@@ -27,7 +27,7 @@ import os
 import threading
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Type
 
 from repro.api import MESHER_NAMES, MeshRequest, MeshResult, get_mesher
@@ -89,6 +89,11 @@ class ServiceConfig:
     #: interface-band width override in voxels (``None`` = derived
     #: from delta; see :func:`repro.delaunay.shard.band_width_voxels`).
     shard_band_voxels: Optional[int] = None
+    #: incremental sharded meshing: content-address per-block exports
+    #: in the artifact cache and warm-start the stitch from the
+    #: previous run's delta (see :mod:`repro.delaunay.shard`).  The
+    #: request's own ``incremental`` flag must also be set.
+    incremental: bool = True
     #: coalesce identical in-flight requests onto one mesh run
     #: (:mod:`repro.service.coalesce`); keyed on the content-addressed
     #: request key, so only provably-identical requests join.
@@ -509,7 +514,11 @@ class MeshingService:
                 reg.counter("service.cache.miss").inc()
             t0 = time.perf_counter()
             result = self._run_mesher(job, request)
-            job.tier = "full_mesh"
+            bc = result.stats.get("block_cache") if result.stats else None
+            job.tier = (
+                "block_hit" if bc and bc.get("hits", 0) > 0
+                else "full_mesh"
+            )
             reg.histogram("service.stage.mesh_seconds").observe(
                 time.perf_counter() - t0
             )

@@ -43,7 +43,8 @@ ShardHook = Callable[[str, Any, Dict[str, Any]], None]
 
 def _run_one_shard(pool: ProcessWorkerPool, request, plan, block,
                    deadline: Optional[float], retries: int,
-                   hook: Optional[ShardHook]) -> dict:
+                   hook: Optional[ShardHook],
+                   content_key: Optional[str] = None) -> dict:
     """One block through the pool, with bounded crash/transient re-runs.
 
     ``DeadlineKilled`` is never retried (the parent deadline already
@@ -58,7 +59,8 @@ def _run_one_shard(pool: ProcessWorkerPool, request, plan, block,
             hook("start", block, {"attempt": attempt})
         t0 = time.perf_counter()
         try:
-            out = pool.run_shard(request, plan, block, deadline=deadline)
+            out = pool.run_shard(request, plan, block, deadline=deadline,
+                                 content_key=content_key)
         except (WorkerCrashed, TransientMeshError) as exc:
             crashed = isinstance(exc, WorkerCrashed)
             if attempt > retries:
@@ -92,9 +94,12 @@ def pool_runner(pool: ProcessWorkerPool, request,
     worker slots for successive blocks; the first non-retryable error
     stops assignment and re-raises after in-flight shards settle.
     """
-    def run(plan: shard_mod.ShardPlan):
-        outs: List[Optional[dict]] = [None] * plan.n_blocks
-        pending = list(range(plan.n_blocks))
+    def run(plan: shard_mod.ShardPlan, indices=None, keys=None):
+        if indices is None:
+            indices = range(plan.n_blocks)
+        indices = list(indices)
+        outs: List[Optional[dict]] = [None] * len(indices)
+        pending = list(enumerate(indices))
         errors: List[BaseException] = []
         lock = threading.Lock()
 
@@ -103,18 +108,19 @@ def pool_runner(pool: ProcessWorkerPool, request,
                 with lock:
                     if errors or not pending:
                         return
-                    i = pending.pop(0)
+                    pos, i = pending.pop(0)
                 try:
-                    outs[i] = _run_one_shard(
+                    outs[pos] = _run_one_shard(
                         pool, request, plan, plan.blocks[i],
                         deadline, retries, hook,
+                        content_key=keys[i] if keys is not None else None,
                     )
                 except BaseException as exc:
                     with lock:
                         errors.append(exc)
                     return
 
-        n = min(plan.n_blocks, pool.n_workers)
+        n = min(len(indices), pool.n_workers)
         if n <= 1:
             worker()
         else:
@@ -136,9 +142,12 @@ def pool_runner(pool: ProcessWorkerPool, request,
 def serial_runner(request, hook: Optional[ShardHook] = None
                   ) -> shard_mod.ShardRunner:
     """Mesh the blocks one by one in this process (no pool)."""
-    def run(plan: shard_mod.ShardPlan):
+    def run(plan: shard_mod.ShardPlan, indices=None, keys=None):
+        if indices is None:
+            indices = range(plan.n_blocks)
         outs = []
-        for block in plan.blocks:
+        for i in indices:
+            block = plan.blocks[i]
             if hook is not None:
                 hook("start", block, {"attempt": 1})
             t0 = time.perf_counter()
@@ -160,6 +169,23 @@ def serial_runner(request, hook: Optional[ShardHook] = None
 # ---------------------------------------------------------------------------
 # api-path entry point
 # ---------------------------------------------------------------------------
+
+#: Lazily created, process-wide, memory-only block/stitch cache for the
+#: api path — repeated ``repro.api.mesh`` calls on near-duplicate
+#: images in one process get the same incremental treatment the
+#: service provides, without any disk state.
+_LOCAL_BLOCK_CACHE = None
+_LOCAL_BLOCK_CACHE_GUARD = threading.Lock()
+
+
+def _local_block_cache():
+    global _LOCAL_BLOCK_CACHE
+    with _LOCAL_BLOCK_CACHE_GUARD:
+        if _LOCAL_BLOCK_CACHE is None:
+            from repro.service.cache import ArtifactCache
+            _LOCAL_BLOCK_CACHE = ArtifactCache(root=None)
+        return _LOCAL_BLOCK_CACHE
+
 
 def run_local(request):
     """Sharded meshing for ``repro.api.mesh`` (no service running).
@@ -189,8 +215,13 @@ def run_local(request):
         runner = pool_runner(pool, request)
     else:
         runner = serial_runner(request)
+    block_cache = (
+        _local_block_cache()
+        if getattr(request, "incremental", True) else None
+    )
     try:
-        return shard_mod.mesh_sharded(request, plan=plan, runner=runner)
+        return shard_mod.mesh_sharded(request, plan=plan, runner=runner,
+                                      block_cache=block_cache)
     except shard_mod.ShardingUnavailable:
         return None
     finally:
@@ -233,11 +264,25 @@ class ServiceShardRunner:
             )
         else:
             runner = serial_runner(request, hook=hook)
+        block_cache = (
+            svc.cache
+            if (svc.cache is not None and svc.config.incremental
+                and getattr(request, "incremental", True))
+            else None
+        )
         try:
             result = shard_mod.mesh_sharded(request, plan=plan,
-                                            runner=runner)
+                                            runner=runner,
+                                            block_cache=block_cache)
         except shard_mod.ShardingUnavailable:
             return None
+        bc = result.stats.get("block_cache")
+        if bc:
+            reg.counter("shard.cache.block_hits").inc(bc.get("hits", 0))
+            reg.counter("shard.cache.block_misses").inc(
+                bc.get("misses", 0))
+            if bc.get("stitch_mode", "full") != "full":
+                reg.counter("shard.cache.incremental_stitches").inc()
         stitch = result.stats.get("stitch", {})
         reg.counter("shard.stitch.points").inc(
             stitch.get("points_loaded", 0))

@@ -8,6 +8,9 @@ Every request the service concludes successfully is attributed to the
 ``disk_hit``     the mesh was loaded from the disk artifact store
 ``coalesced``    the result was fanned out from an in-flight leader
                  (:mod:`repro.service.coalesce`) — no cache read at all
+``block_hit``    a sharded mesher ran, but at least one block loaded
+                 from the content-addressed block cache (incremental
+                 meshing — part of the work was skipped)
 ``full_mesh``    a mesher actually ran
 ============== ======================================================
 
@@ -29,7 +32,7 @@ from typing import Dict, Optional
 from repro.observability.metrics import LATENCY_BUCKETS, MetricsRegistry
 
 #: The tiers, cheapest first.  Order matters only for reporting.
-TIERS = ("memory_hit", "disk_hit", "coalesced", "full_mesh")
+TIERS = ("memory_hit", "disk_hit", "coalesced", "block_hit", "full_mesh")
 
 #: Tiers that did not run a mesher (the numerator of the hit rate).
 HIT_TIERS = frozenset({"memory_hit", "disk_hit", "coalesced"})

@@ -36,6 +36,7 @@ from repro.service.http import (
     PROTOCOL_HEADER,
     decode_image_b64,
     encode_image_b64,
+    etag_matches,
 )
 
 
@@ -226,7 +227,8 @@ class TestGatewayRoutes:
         assert status == 200
         slo = out["slo"]
         assert set(slo["tiers"]) == {"memory_hit", "disk_hit",
-                                     "coalesced", "full_mesh"}
+                                     "coalesced", "block_hit",
+                                     "full_mesh"}
         assert slo["requests"] == 2
         assert 0.0 < slo["hit_rate"] <= 1.0
         tier = slo["tiers"]["full_mesh"]
@@ -237,6 +239,74 @@ class TestGatewayRoutes:
         hist = out["histograms"]["service.slo.full_mesh.latency_seconds"]
         assert {"p50", "p95", "p99", "mean"} <= set(hist)
         assert json.dumps(out)  # whole document is JSON-safe
+
+
+# ---------------------------------------------------------------------------
+# ETag / If-None-Match on job results
+# ---------------------------------------------------------------------------
+
+class TestResultETag:
+    def _done_job(self, gateway, image):
+        status, out, _ = gateway.handle(
+            "POST", "/v1/mesh", body=mesh_body(image, wait=False))
+        job_id = out["id"]
+        status, out, _ = gateway.handle(
+            "GET", f"/v1/jobs/{job_id}", query={"wait": "30"})
+        assert status == 200 and out["state"] == "DONE"
+        return job_id
+
+    def test_result_carries_stable_quoted_etag(self, gateway, image):
+        job_id = self._done_job(gateway, image)
+        status, out, headers = gateway.handle(
+            "GET", f"/v1/jobs/{job_id}", query={"result": "1"})
+        assert status == 200 and "result" in out
+        etag = headers["ETag"]
+        assert etag.startswith('"') and etag.endswith('"')
+        # Stable across polls: the validator is the request key.
+        _, _, again = gateway.handle(
+            "GET", f"/v1/jobs/{job_id}", query={"result": "1"})
+        assert again["ETag"] == etag
+        # A plain status poll carries no result and no validator.
+        _, out, headers = gateway.handle("GET", f"/v1/jobs/{job_id}")
+        assert "result" not in out and "ETag" not in headers
+
+    def test_if_none_match_hit_304_no_body(self, gateway, image):
+        job_id = self._done_job(gateway, image)
+        _, _, headers = gateway.handle(
+            "GET", f"/v1/jobs/{job_id}", query={"result": "1"})
+        etag = headers["ETag"]
+        status, out, headers = gateway.handle(
+            "GET", f"/v1/jobs/{job_id}", query={"result": "1"},
+            if_none_match=etag)
+        assert status == 304
+        assert out == {}  # no body on a validator hit
+        assert headers["ETag"] == etag
+        snap = gateway.service.registry.snapshot()
+        assert snap["counters"]["service.http.not_modified"] == 1
+
+    def test_if_none_match_variants(self, gateway, image):
+        job_id = self._done_job(gateway, image)
+        _, _, headers = gateway.handle(
+            "GET", f"/v1/jobs/{job_id}", query={"result": "1"})
+        etag = headers["ETag"]
+        for header in (etag, f"W/{etag}", f'"other", {etag}', "*"):
+            status, out, _ = gateway.handle(
+                "GET", f"/v1/jobs/{job_id}", query={"result": "1"},
+                if_none_match=header)
+            assert status == 304, header
+        # Mismatch: full 200 with the result payload.
+        status, out, _ = gateway.handle(
+            "GET", f"/v1/jobs/{job_id}", query={"result": "1"},
+            if_none_match='"nope"')
+        assert status == 200 and "result" in out
+
+    def test_etag_matches_parser(self):
+        assert etag_matches("*", "abc")
+        assert etag_matches('"abc"', "abc")
+        assert etag_matches('W/"abc"', "abc")
+        assert etag_matches('"x", "y" , "abc"', "abc")
+        assert not etag_matches('"x", "y"', "abc")
+        assert not etag_matches("", "abc")
 
 
 @pytest.fixture()
@@ -310,6 +380,28 @@ class TestHttpServerAndClient:
             with connect(server.url) as client:
                 with pytest.raises(ServiceError, match="FAILED"):
                     client.mesh(MeshRequest(image=image, mesher="fake"))
+
+    def test_if_none_match_over_the_wire_304_empty_body(
+            self, service, image):
+        with MeshHTTPServer(service) as server:
+            body = json.dumps(mesh_body(image, wait=False)).encode()
+            req = urllib.request.Request(
+                server.url + "/v1/mesh", data=body, method="POST")
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                job_id = json.loads(resp.read())["id"]
+            url = server.url + f"/v1/jobs/{job_id}?wait=30&result=1"
+            with urllib.request.urlopen(url, timeout=60) as resp:
+                etag = resp.headers["ETag"]
+                assert "result" in json.loads(resp.read())
+            req = urllib.request.Request(
+                url, headers={"If-None-Match": etag})
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10)
+            # urllib surfaces 304 as an HTTPError; the body must be
+            # empty and the validator echoed back.
+            assert err.value.code == 304
+            assert err.value.headers["ETag"] == etag
+            assert err.value.read() == b""
 
     def test_protocol_header_on_every_response(self, service):
         with MeshHTTPServer(service) as server:

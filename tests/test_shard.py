@@ -17,8 +17,6 @@ The guarantees under test, in rough dependency order:
 * two process pools in one process never sweep each other's arenas.
 """
 
-import math
-
 import numpy as np
 import pytest
 
@@ -27,11 +25,16 @@ from repro.delaunay import arena as arena_mod
 from repro.delaunay.shard import (
     ShardingUnavailable,
     band_width_voxels,
+    block_content_key,
     decompose,
     mesh_sharded,
     resolve_delta,
 )
-from repro.imaging import sphere_phantom, two_spheres_phantom
+from repro.imaging import (
+    ball_grid_phantom,
+    sphere_phantom,
+    two_spheres_phantom,
+)
 from repro.metrics import quality_report
 from repro.service import (
     JobState,
@@ -42,9 +45,17 @@ from repro.service import (
 
 
 def _topo(mesh_arrays):
-    """Canonical topology signature of an extracted mesh."""
+    """Canonical topology signature of an extracted mesh.
+
+    Coordinate-based: vertex ids are recycled and insertion order
+    differs between a cold stitch and a warm (block-cache) stitch of
+    the same point set, so each tet is identified by its sorted vertex
+    coordinates rather than by ids.
+    """
+    v = np.asarray(mesh_arrays.vertices, dtype=np.float64)
     return sorted(
-        tuple(sorted(int(v) for v in tet)) for tet in mesh_arrays.tets
+        tuple(sorted(map(tuple, v[np.asarray(tet, dtype=int)])))
+        for tet in mesh_arrays.tets
     )
 
 
@@ -144,8 +155,12 @@ class TestStitchedMesh:
     def test_same_shards_same_topology(self, runs):
         _, _, sharded = runs
         assert _topo(sharded[0].mesh) == _topo(sharded[1].mesh)
-        assert sharded[0].mesh.vertices.tobytes() == \
-            sharded[1].mesh.vertices.tobytes()
+        # Same vertex set; the order may differ because the second run
+        # warm-starts from the process-wide block cache (the cold run
+        # interleaves Steiner insertions, the warm run bulk-loads).
+        a = np.sort(sharded[0].mesh.vertices, axis=0)
+        b = np.sort(sharded[1].mesh.vertices, axis=0)
+        np.testing.assert_array_equal(a, b)
 
     def test_shards_one_bit_identical_to_unsharded(self, runs):
         img, plain, _ = runs
@@ -187,6 +202,176 @@ class TestStitchedMesh:
         _, plain, sharded = runs
         n0, n1 = plain.mesh.n_tets, sharded[0].mesh.n_tets
         assert 0.6 * n0 <= n1 <= 2.5 * n0
+
+
+# ---------------------------------------------------------------------------
+# incremental meshing: block content keys + seam-local stitching
+# ---------------------------------------------------------------------------
+
+def _edited_ball_grid(img):
+    """The ball-grid image with a few voxels relabelled inside the
+    first block's crop only (x < 5; the second block's crop starts at
+    x = 5 for this size/shard count)."""
+    labels = img.labels.copy()
+    labels[2:4, 5:7, 5:7] = 3
+    return type(img)(labels, spacing=img.spacing, origin=img.origin)
+
+
+class TestBlockContentKeys:
+    def _keys(self, img, plan):
+        return [block_content_key(img, b, delta=plan.delta)
+                for b in plan.blocks]
+
+    def test_stable_across_decomposition_runs(self):
+        img = ball_grid_phantom(24)
+        a = decompose(img, 2, delta=2.0)
+        b = decompose(img, 2, delta=2.0)
+        assert self._keys(img, a) == self._keys(img, b)
+
+    def test_stable_across_processes(self):
+        # Pure byte hashing: nothing keyed on id() or the randomized
+        # str hash, so a fresh interpreter derives the same keys.
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        script = (
+            "from repro.imaging import ball_grid_phantom\n"
+            "from repro.delaunay.shard import block_content_key, "
+            "decompose\n"
+            "img = ball_grid_phantom(24)\n"
+            "plan = decompose(img, 2, delta=2.0)\n"
+            "print(','.join(block_content_key(img, b, delta=plan.delta)"
+            " for b in plan.blocks))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["PYTHONHASHSEED"] = "12345"
+        out = subprocess.run([sys.executable, "-c", script], env=env,
+                             capture_output=True, text=True, timeout=120)
+        assert out.returncode == 0, out.stderr
+        img = ball_grid_phantom(24)
+        plan = decompose(img, 2, delta=2.0)
+        assert out.stdout.strip().split(",") == self._keys(img, plan)
+
+    def test_keys_change_only_for_blocks_overlapping_edit(self):
+        img = ball_grid_phantom(24)
+        edited = _edited_ball_grid(img)
+        plan = decompose(img, 2, delta=2.0)
+        plan2 = decompose(edited, 2, delta=2.0)
+        # The small edit must not move the decomposition (cut planes
+        # snap to CUT_QUANTUM), or every downstream crop changes.
+        assert [b.core_lo for b in plan.blocks] == \
+            [b.core_lo for b in plan2.blocks]
+        keys, keys2 = self._keys(img, plan), self._keys(edited, plan2)
+        diff = np.argwhere(img.labels != edited.labels)
+        assert len(diff) > 0
+        for b, k, k2 in zip(plan.blocks, keys, keys2):
+            overlaps = bool(np.any(
+                np.all((diff >= b.crop_lo) & (diff < b.crop_hi), axis=1)
+            ))
+            assert (k != k2) == overlaps, b.index
+
+
+class TestIncrementalStitching:
+    @pytest.fixture(scope="class")
+    def warm_runs(self):
+        from repro.service.cache import ArtifactCache
+
+        img = ball_grid_phantom(24)
+        edited = _edited_ball_grid(img)
+        cache = ArtifactCache(root=None)
+        cold = mesh_sharded(
+            MeshRequest(image=img, mesher="sequential", delta=2.0,
+                        shards=2),
+            block_cache=cache,
+        )
+        warm = mesh_sharded(
+            MeshRequest(image=edited, mesher="sequential", delta=2.0,
+                        shards=2),
+            block_cache=cache,
+        )
+        return cold, warm
+
+    def test_cold_run_misses_every_block(self, warm_runs):
+        cold, _ = warm_runs
+        bc = cold.stats["block_cache"]
+        assert bc["hits"] == 0
+        assert bc["misses"] == cold.stats["shards"]
+        assert cold.stats["stitch"]["mode"] == "full"
+
+    def test_only_changed_blocks_rerun(self, warm_runs):
+        _, warm = warm_runs
+        bc = warm.stats["block_cache"]
+        assert bc["hits"] == warm.stats["shards"] - 1
+        assert bc["misses"] == 1
+        assert warm.stats["stitch"]["mode"].startswith("seam_local")
+
+    def test_incremental_mesh_keeps_radius_edge_bound(self, warm_runs):
+        _, warm = warm_runs
+        assert quality_report(warm.mesh).max_radius_edge <= 2.0 + 1e-9
+
+    def test_incremental_false_disables_block_cache(self):
+        edited = _edited_ball_grid(ball_grid_phantom(24))
+        res = mesh(MeshRequest(image=edited, mesher="sequential",
+                               delta=2.0, shards=2, incremental=False))
+        assert "block_cache" not in res.stats
+        assert res.stats["stitch"]["mode"] == "full"
+
+    def test_shards_one_identical_to_unsharded_either_flag(self):
+        img = sphere_phantom(16)
+        plain = mesh(MeshRequest(image=img, mesher="sequential"))
+        for incremental in (True, False):
+            one = mesh(MeshRequest(image=img, mesher="sequential",
+                                   shards=1, incremental=incremental))
+            assert one.mesh.vertices.tobytes() == \
+                plain.mesh.vertices.tobytes()
+            assert one.mesh.tets.tobytes() == plain.mesh.tets.tobytes()
+
+
+class TestServiceIncrementalCounters:
+    def test_block_hit_counters_and_tier(self, tmp_path):
+        img = ball_grid_phantom(24)
+        edited = _edited_ball_grid(img)
+        config = ServiceConfig(n_workers=1, executor="thread",
+                               cache_dir=str(tmp_path / "cache"))
+        with MeshingService(config) as svc:
+            cold = svc.submit(MeshRequest(image=img, mesher="sequential",
+                                          delta=2.0, shards=2))
+            cold.wait(300)
+            assert cold.state is JobState.DONE, cold.error
+            assert cold.tier == "full_mesh"
+            warm = svc.submit(MeshRequest(image=edited,
+                                          mesher="sequential",
+                                          delta=2.0, shards=2))
+            warm.wait(300)
+            assert warm.state is JobState.DONE, warm.error
+            assert warm.tier == "block_hit"
+            counters = svc.metrics_snapshot()["counters"]
+            assert counters["shard.cache.block_hits"] == 1
+            assert counters["shard.cache.block_misses"] == 3
+            assert counters["shard.cache.incremental_stitches"] == 1
+
+    def test_service_incremental_off_never_hits(self, tmp_path):
+        img = ball_grid_phantom(24)
+        edited = _edited_ball_grid(img)
+        config = ServiceConfig(n_workers=1, executor="thread",
+                               cache_dir=str(tmp_path / "cache"),
+                               incremental=False)
+        with MeshingService(config) as svc:
+            for image in (img, edited):
+                job = svc.submit(MeshRequest(image=image,
+                                             mesher="sequential",
+                                             delta=2.0, shards=2))
+                job.wait(300)
+                assert job.state is JobState.DONE, job.error
+                assert job.tier == "full_mesh"
+            counters = svc.metrics_snapshot()["counters"]
+            assert counters.get("shard.cache.block_hits", 0) == 0
 
 
 # ---------------------------------------------------------------------------
@@ -284,8 +469,8 @@ class TestServiceShardedJobs:
         real = procworker.build_shard_payload
         crashes = {"armed": True}
 
-        def sabotaged(request, plan, block):
-            body = real(request, plan, block)
+        def sabotaged(request, plan, block, **kwargs):
+            body = real(request, plan, block, **kwargs)
             if block.index == 0 and crashes["armed"]:
                 crashes["armed"] = False
                 body["fault"] = "exit"  # worker os._exit(3)s
@@ -311,8 +496,8 @@ class TestServiceShardedJobs:
         img = two_spheres_phantom(24)
         real = procworker.build_shard_payload
 
-        def always_crash(request, plan, block):
-            body = real(request, plan, block)
+        def always_crash(request, plan, block, **kwargs):
+            body = real(request, plan, block, **kwargs)
             if block.index == 0:
                 body["fault"] = "exit"
             return body
