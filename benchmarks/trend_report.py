@@ -85,6 +85,11 @@ def record(bench_path: pathlib.Path, history_path: pathlib.Path,
         # schema 2: vertex-removal and batched-insertion workloads
         "removal_speedup": doc.get("removal", {}).get("speedup"),
         "batch_speedup": doc.get("batch", {}).get("speedup"),
+        # schema 3: thread-scaling workload (per-thread commit arenas)
+        "threads_speedup_4":
+            doc.get("thread_scaling", {}).get("speedup_4_over_1"),
+        "commit_wait_share_4":
+            doc.get("thread_scaling", {}).get("commit_wait_share_4"),
     }
     history_path.parent.mkdir(parents=True, exist_ok=True)
     with open(history_path, "a", encoding="utf-8") as fh:
@@ -406,8 +411,9 @@ def render(history: list, drift_threshold: float) -> str:
         "kernel benchmark trend (insert-uniform-box)",
         "",
         f"{'label':<24} {'python ips':>12} {'accel ips':>12} "
-        f"{'speedup':>8} {'rm x':>7} {'batch x':>7}  note",
-        "-" * 88,
+        f"{'speedup':>8} {'rm x':>7} {'batch x':>7} {'thr x':>6} "
+        f"{'wait':>6}  note",
+        "-" * 102,
     ]
     window = _baseline_window(history)
     best = max((r.get("speedup") or 0.0 for r in window), default=0.0)
@@ -443,7 +449,9 @@ def render(history: list, drift_threshold: float) -> str:
             f"{_fmt(r.get('python_inserts_per_second'), 12)} "
             f"{_fmt(r.get('accel_inserts_per_second'), 12)} "
             f"{_fmt(speedup, 8, 2)} {_fmt(rm, 7, 2)} "
-            f"{_fmt(r.get('batch_speedup'), 7, 2)}  {note}"
+            f"{_fmt(r.get('batch_speedup'), 7, 2)} "
+            f"{_fmt(r.get('threads_speedup_4'), 6, 2)} "
+            f"{_fmt(r.get('commit_wait_share_4'), 6, 3)}  {note}"
         )
     if not history:
         lines.append("(no history recorded yet)")

@@ -1,0 +1,33 @@
+"""Deterministic schedule exploration for the speculative mesh protocol.
+
+``repro.concurrency`` proves out lock-protocol changes (per-thread
+commit arenas, two-phase insert/remove) by exhaustively *scheduling*
+them rather than stress-testing and hoping: the protocol is modeled as
+coroutine state machines with a yield at every shared-memory step, and
+a deterministic scheduler drives seeded random interleavings plus
+targeted adversarial schedules, failing on deadlock, lost update,
+double free/alloc, or a topology-invariant violation.
+
+- :mod:`repro.concurrency.model` — the protocol model: a ring of sites
+  whose live cells are the arcs between them (a 1D stand-in for the
+  tetrahedral mesh) mutated by two-phase insert/remove operations with
+  per-thread allocation arenas, plus deliberately buggy protocol
+  variants used as negative controls.
+- :mod:`repro.concurrency.explorer` — the scheduler, the schedule
+  corpus (random + adversarial), trace recording, and the CLI
+  (``python -m repro.concurrency.explorer``).
+"""
+
+from repro.concurrency.explorer import (  # noqa: F401
+    AdversarialCase,
+    ExploreResult,
+    RunResult,
+    adversarial_corpus,
+    explore,
+    run_adversarial_case,
+    run_random_schedule,
+)
+from repro.concurrency.model import (  # noqa: F401
+    ProtocolModel,
+    Violation,
+)

@@ -1,0 +1,7 @@
+"""``python -m repro.concurrency`` — run the schedule explorer CLI."""
+
+import sys
+
+from repro.concurrency.explorer import main
+
+sys.exit(main())

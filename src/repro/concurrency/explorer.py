@@ -1,0 +1,466 @@
+"""Deterministic schedule explorer for the two-phase commit protocol.
+
+Drives the coroutine state machines of :mod:`repro.concurrency.model`
+under a deterministic scheduler, two ways:
+
+- **Seeded random interleavings** (:func:`run_random_schedule`): each
+  seed fixes the per-thread op mix and every scheduling decision, so a
+  failure replays exactly from its seed.
+- **Targeted adversarial schedules** (:func:`run_adversarial_case`):
+  scripted ``(thread, until-label)`` phases that force the historically
+  dangerous interleavings by name — validate-then-invalidate, the
+  epoch-ABA slot recycle, double remove, and the shared-allocation
+  race that reintroducing the old global commit lock removal *without*
+  per-thread arenas would produce.
+
+Every run ends with a quiescent check (partition invariant +
+sequential replay of the commit log) and a lock-leak check; any
+:class:`~repro.concurrency.model.Violation` fails the run and carries
+the trace tail for replay.  Rolled-back ops are retried a bounded
+number of times and then drained *solo*; an op that still rolls back
+with no other thread running is itself a violation (livelock).
+
+CLI (used by the CI ``concurrency`` job)::
+
+    python -m repro.concurrency.explorer --seeds 10000 --adversarial
+    python -m repro.concurrency.explorer --adversarial \
+        --variant shared-alloc --expect-violations   # negative control
+
+Exit status is 0 when the outcome matches the expectation (zero
+violations normally; at least one under ``--expect-violations``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.concurrency.model import (
+    ProtocolModel,
+    Violation,
+    make_op,
+    OpOutcome,
+)
+
+_MAX_RETRIES = 3        # contention retries before an op is deferred
+_PHASE_STEP_CAP = 500   # steps one adversarial phase may take
+_RANDOM_STEP_CAP = 5000  # steps the random phase may take
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scheduled run (one seed or one adversarial case)."""
+
+    name: str
+    steps: int
+    committed: int
+    rollbacks: int
+    noops: int
+    violations: List[Violation]
+    trace: List[str] = field(default_factory=list, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe_failure(self, tail: int = 40) -> str:
+        lines = [f"run {self.name}: {len(self.violations)} violation(s)"]
+        lines += [f"  {v}" for v in self.violations]
+        lines.append(f"  trace tail ({min(tail, len(self.trace))} of "
+                     f"{len(self.trace)} steps):")
+        lines += [f"    {t}" for t in self.trace[-tail:]]
+        return "\n".join(lines)
+
+
+@dataclass
+class AdversarialCase:
+    """A scripted schedule: run ``thread`` until it yields ``label``."""
+
+    name: str
+    description: str
+    thread_ops: Sequence[Sequence[Tuple[str, int]]]
+    schedule: Sequence[Tuple[int, str]]
+    initial_sites: Tuple[int, ...] = (0, 4, 8)
+
+
+@dataclass
+class ExploreResult:
+    """Aggregate of an explorer invocation."""
+
+    runs: int
+    committed: int
+    rollbacks: int
+    variant: str
+    failures: List[RunResult]
+    elapsed: float
+
+    @property
+    def n_violations(self) -> int:
+        return sum(len(r.violations) for r in self.failures)
+
+
+class _ThreadState:
+    __slots__ = ("tid", "queue", "gen", "out", "opdesc", "cur")
+
+    def __init__(self, tid: int,
+                 ops: Sequence[Tuple[str, int]]) -> None:
+        self.tid = tid
+        # queue entries: (kind, arg, retries-so-far)
+        self.queue: Deque[Tuple[str, int, int]] = deque(
+            (k, a, 0) for k, a in ops)
+        self.gen = None
+        self.out: Optional[OpOutcome] = None
+        self.opdesc = ""
+        self.cur: Optional[Tuple[str, int, int]] = None
+
+    @property
+    def runnable(self) -> bool:
+        return self.gen is not None or bool(self.queue)
+
+
+class _Scheduler:
+    """Advances thread state machines one yield at a time."""
+
+    def __init__(self, model: ProtocolModel,
+                 thread_ops: Sequence[Sequence[Tuple[str, int]]]) -> None:
+        self.model = model
+        self.threads = [_ThreadState(tid, ops)
+                        for tid, ops in enumerate(thread_ops)]
+        self.trace: List[str] = []
+        self.deferred: List[Tuple[int, str, int]] = []
+        self.committed = 0
+        self.rollbacks = 0
+        self.noops = 0
+
+    # -- single-step machinery -----------------------------------------
+    def _start_next(self, ts: _ThreadState) -> bool:
+        if not ts.queue:
+            return False
+        kind, arg, tries = ts.queue.popleft()
+        ts.out = OpOutcome()
+        ts.gen = make_op(self.model, ts.tid, kind, arg, ts.out)
+        ts.opdesc = f"{kind}({arg})" + (f"#retry{tries}" if tries else "")
+        ts.cur = (kind, arg, tries)
+        return True
+
+    def advance(self, ts: _ThreadState) -> Optional[str]:
+        """One step of ``ts``; returns the yielded label, None if op ended."""
+        if ts.gen is None and not self._start_next(ts):
+            return None
+        self.model.step += 1
+        try:
+            label = next(ts.gen)
+        except StopIteration:
+            label = None
+        if label is None:
+            status = ts.out.status
+            self.trace.append(
+                f"{self.model.step:5d} t{ts.tid} {ts.opdesc} -> {status}")
+            self._finish(ts, status)
+        else:
+            self.trace.append(
+                f"{self.model.step:5d} t{ts.tid} {ts.opdesc} {label}")
+        return label
+
+    def _finish(self, ts: _ThreadState, status: str) -> None:
+        kind, arg, tries = ts.cur
+        ts.gen = None
+        ts.cur = None
+        if status == "committed":
+            self.committed += 1
+        elif status == "noop":
+            self.noops += 1
+        else:
+            self.rollbacks += 1
+            if tries + 1 < _MAX_RETRIES:
+                ts.queue.appendleft((kind, arg, tries + 1))
+            else:
+                self.deferred.append((ts.tid, kind, arg))
+
+    # -- drain / final checks ------------------------------------------
+    def drain_solo(self) -> None:
+        """Finish every remaining op with no interleaving.
+
+        Solo there is no contention and no invalidation window, so a
+        rollback here means the op can never make progress: livelock.
+        """
+        model = self.model
+        for ts in self.threads:
+            # Rollbacks re-queue through _finish until the retry cap
+            # moves them to `deferred`, which is flagged below.
+            while ts.runnable:
+                self.advance(ts)
+        for tid, kind, arg in self.deferred:
+            done = False
+            for _attempt in range(2):
+                out = OpOutcome()
+                gen = make_op(model, tid, kind, arg, out)
+                for label in gen:
+                    model.step += 1
+                    self.trace.append(
+                        f"{model.step:5d} t{tid} {kind}({arg})"
+                        f"[solo] {label}")
+                if out.status == "committed":
+                    self.committed += 1
+                    done = True
+                    break
+                if out.status == "noop":
+                    self.noops += 1
+                    done = True
+                    break
+                self.rollbacks += 1
+            if not done:
+                model._flag(
+                    "livelock",
+                    f"t{tid} {kind}({arg}) rolls back with no other "
+                    f"thread running")
+        self.deferred.clear()
+
+    def finalize(self) -> None:
+        model = self.model
+        if model.locks:
+            model._flag("deadlock",
+                        f"locks leaked at quiescence: {model.locks}")
+        for t in model.shared_free + [s for a in model.arenas
+                                      for s in a.free]:
+            if model.slots[t].arc is not None:
+                model._flag("double-free",
+                            f"live slot {t} ({model.slots[t].arc}) "
+                            f"sits on a free list")
+        model.check_quiescent()
+
+
+def _result(name: str, sched: _Scheduler) -> RunResult:
+    return RunResult(
+        name=name,
+        steps=sched.model.step,
+        committed=sched.committed,
+        rollbacks=sched.rollbacks,
+        noops=sched.noops,
+        violations=list(sched.model.violations),
+        trace=sched.trace,
+    )
+
+
+# ----------------------------------------------------------------------
+# random interleavings
+# ----------------------------------------------------------------------
+def run_random_schedule(seed: int, variant: str = "arenas",
+                        n_threads: int = 2, n_ops: int = 8,
+                        n_pos: int = 12) -> RunResult:
+    """One fully deterministic run: ``seed`` fixes ops AND schedule."""
+    rng = random.Random(seed)
+    model = ProtocolModel(n_pos=n_pos, n_threads=n_threads,
+                          variant=variant)
+    thread_ops = []
+    for _tid in range(n_threads):
+        ops = []
+        for _ in range(n_ops):
+            if rng.random() < 0.6:
+                ops.append(("insert", rng.randrange(n_pos)))
+            else:
+                ops.append(("remove", rng.randrange(n_pos)))
+        thread_ops.append(ops)
+    sched = _Scheduler(model, thread_ops)
+    while model.step < _RANDOM_STEP_CAP:
+        runnable = [ts for ts in sched.threads if ts.runnable]
+        if not runnable:
+            break
+        sched.advance(rng.choice(runnable))
+    sched.drain_solo()
+    sched.finalize()
+    return _result(f"seed={seed}", sched)
+
+
+# ----------------------------------------------------------------------
+# adversarial corpus
+# ----------------------------------------------------------------------
+def adversarial_corpus() -> List[AdversarialCase]:
+    """The targeted schedules; every one is a proven-dangerous shape."""
+    return [
+        AdversarialCase(
+            name="lock-then-invalidate",
+            description=("T1 removes the cavity T0 has locked; the "
+                         "vertex locks must force T1 to roll back"),
+            thread_ops=[[("insert", 2)], [("remove", 4)]],
+            schedule=[(0, "locked"), (1, "done"), (0, "done")],
+        ),
+        AdversarialCase(
+            name="validate-then-invalidate",
+            description=("T1 retriangulates between T0's validate and "
+                         "commit; only the locks stand in the way"),
+            thread_ops=[[("insert", 2)], [("remove", 4)]],
+            schedule=[(0, "validated"), (1, "done"), (0, "done")],
+        ),
+        AdversarialCase(
+            name="epoch-aba",
+            description=("T1 kills and recycles T0's recorded slot "
+                         "between read and validate; the epoch bump is "
+                         "the only thing that exposes the swap"),
+            thread_ops=[[("insert", 2)],
+                        [("remove", 4), ("insert", 4)]],
+            schedule=[(0, "read"), (1, "done"), (1, "done"),
+                      (0, "done")],
+        ),
+        AdversarialCase(
+            name="double-remove",
+            description=("both threads remove the same site; exactly "
+                         "one may win, the other must roll back or "
+                         "noop"),
+            thread_ops=[[("remove", 4)], [("remove", 4)]],
+            schedule=[(0, "locked"), (1, "done"), (0, "done"),
+                      (1, "done")],
+        ),
+        AdversarialCase(
+            name="duplicate-insert",
+            description=("both threads insert the same site; the "
+                         "aliveness re-check under locks must turn the "
+                         "loser into a noop"),
+            thread_ops=[[("insert", 2)], [("insert", 2)]],
+            schedule=[(0, "validated"), (1, "done"), (0, "done")],
+        ),
+        AdversarialCase(
+            name="alloc-race",
+            description=("two disjoint-cavity commits allocate "
+                         "concurrently; without per-thread arenas the "
+                         "shared free-list/tail claim is a lost-update "
+                         "machine"),
+            thread_ops=[[("insert", 1)], [("insert", 7)]],
+            schedule=[(0, "validated"), (1, "validated"),
+                      (0, "alloc-read"), (1, "done"), (0, "done")],
+            initial_sites=(0, 3, 6, 9),
+        ),
+        AdversarialCase(
+            name="free-then-refill",
+            description=("T0 frees cavity slots while T1's insert is "
+                         "mid-allocation; recycled ids must never "
+                         "collide with a concurrent claim"),
+            thread_ops=[[("remove", 4)], [("insert", 10)]],
+            schedule=[(1, "validated"), (0, "done"), (1, "done")],
+        ),
+    ]
+
+
+def run_adversarial_case(case: AdversarialCase,
+                         variant: str = "arenas") -> RunResult:
+    """Run one scripted schedule, then drain solo and check invariants.
+
+    A phase ``(tid, label)`` advances thread ``tid`` until it yields
+    ``label`` or runs out of work; a label the variant never emits
+    (e.g. ``alloc-read`` under arenas) simply runs the thread to
+    completion, so every case is valid for every variant.
+    """
+    model = ProtocolModel(n_threads=len(case.thread_ops),
+                          variant=variant,
+                          initial_sites=case.initial_sites)
+    sched = _Scheduler(model, case.thread_ops)
+    for tid, until in case.schedule:
+        ts = sched.threads[tid]
+        for _ in range(_PHASE_STEP_CAP):
+            if not ts.runnable:
+                break
+            label = sched.advance(ts)
+            if label == until:
+                break
+            # "done" = the op actually completed (locks released in
+            # its finally), which advance() reports as label None
+            # with the generator cleared.
+            if label is None and ts.gen is None and until == "done":
+                break
+        else:
+            model._flag("livelock",
+                        f"phase (t{tid}, {until!r}) exceeded "
+                        f"{_PHASE_STEP_CAP} steps")
+    sched.drain_solo()
+    sched.finalize()
+    return _result(f"adversarial:{case.name}", sched)
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def explore(seeds: int = 1000, adversarial: bool = True,
+            variant: str = "arenas", n_threads: int = 2,
+            n_ops: int = 8) -> ExploreResult:
+    """Run the full corpus: ``seeds`` random runs + adversarial cases."""
+    t0 = time.perf_counter()
+    failures: List[RunResult] = []
+    committed = rollbacks = runs = 0
+    if adversarial:
+        for case in adversarial_corpus():
+            r = run_adversarial_case(case, variant=variant)
+            runs += 1
+            committed += r.committed
+            rollbacks += r.rollbacks
+            if not r.ok:
+                failures.append(r)
+    for seed in range(seeds):
+        r = run_random_schedule(seed, variant=variant,
+                                n_threads=n_threads, n_ops=n_ops)
+        runs += 1
+        committed += r.committed
+        rollbacks += r.rollbacks
+        if not r.ok:
+            failures.append(r)
+    return ExploreResult(
+        runs=runs,
+        committed=committed,
+        rollbacks=rollbacks,
+        variant=variant,
+        failures=failures,
+        elapsed=time.perf_counter() - t0,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.concurrency.explorer",
+        description="deterministic schedule explorer for the "
+                    "two-phase commit protocol")
+    ap.add_argument("--seeds", type=int, default=1000,
+                    help="number of seeded random interleavings")
+    ap.add_argument("--adversarial", action="store_true",
+                    help="also run the targeted adversarial corpus")
+    ap.add_argument("--variant", default="arenas",
+                    help="protocol variant (arenas | shared-alloc | "
+                         "no-epoch-bump | no-locks)")
+    ap.add_argument("--threads", type=int, default=2)
+    ap.add_argument("--ops", type=int, default=8,
+                    help="ops per thread per random run")
+    ap.add_argument("--expect-violations", action="store_true",
+                    help="negative-control mode: exit 0 only if the "
+                         "corpus DOES catch at least one violation")
+    ap.add_argument("--max-reports", type=int, default=3,
+                    help="failing runs to print in full")
+    args = ap.parse_args(argv)
+
+    res = explore(seeds=args.seeds, adversarial=args.adversarial,
+                  variant=args.variant, n_threads=args.threads,
+                  n_ops=args.ops)
+    print(f"explorer: variant={res.variant} runs={res.runs} "
+          f"committed={res.committed} rollbacks={res.rollbacks} "
+          f"violations={res.n_violations} "
+          f"({len(res.failures)} failing runs) "
+          f"in {res.elapsed:.2f}s")
+    for r in res.failures[:args.max_reports]:
+        print(r.describe_failure())
+    if len(res.failures) > args.max_reports:
+        print(f"... and {len(res.failures) - args.max_reports} more "
+              f"failing runs")
+
+    if args.expect_violations:
+        if res.n_violations:
+            print("negative control OK: the corpus caught the bug")
+            return 0
+        print("negative control FAILED: buggy variant ran clean")
+        return 1
+    return 1 if res.failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

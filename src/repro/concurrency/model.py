@@ -1,0 +1,436 @@
+"""Protocol model for the two-phase speculative commit path.
+
+The real triangulation is far too large to schedule exhaustively, so
+the protocol is modeled on a miniature structure with the same shape:
+a ring of ``n_pos`` integer positions, some of which are alive *sites*
+(vertices).  Live *cells* (the tet stand-ins) are the arcs between
+ring-adjacent alive sites, stored in epoch-stamped slots recycled
+through free lists — the live cells partition the ring at every
+quiescent point, which is the model's topology invariant.
+
+Two operations mirror the kernel's two-phase insert/remove:
+
+- ``insert(p)``: optimistic scan finds the arc ``(a, b)`` containing
+  position ``p`` (recording the slot's epoch), locks ``a`` and ``b``
+  (the new site ``p`` is *not* locked, exactly like ``vnew`` in the
+  real kernel), re-validates the recorded ``(slot, epoch)`` pair,
+  allocates two slots, bumps their epochs *before* writing the rows
+  ``(a, p)``/``(p, b)``, kills the old slot, releases.
+- ``remove(s)``: optimistic scan finds the two arcs meeting at ``s``,
+  locks ``a, s, b``, validates both pairs, allocates one slot for the
+  merged arc ``(a, b)``, kills both cavity slots, frees the site.
+
+Every shared-memory access sits behind a ``yield`` (a *step*), so the
+scheduler in :mod:`repro.concurrency.explorer` can interleave threads
+at the granularity where real races live.
+
+Slot allocation goes through per-thread arenas (private free list +
+a chunk of fresh slots claimed from the shared tail in one atomic
+step), mirroring :class:`repro.delaunay.mesh.ThreadAllocArena`.
+``variant`` selects deliberately broken protocols used as negative
+controls:
+
+- ``"shared-alloc"`` — the global-lock-removal-*without*-arenas bug:
+  slots come from the shared free list / shared tail with a yield
+  between the read and the write of the pop, so two threads can
+  allocate the same slot (exactly what dropping ``_commit_lock``
+  without private arenas would do).
+- ``"no-epoch-bump"`` — slot recycling does not bump the epoch, so a
+  stale optimistic read survives validation.
+- ``"no-locks"`` — the lock phase is skipped entirely
+  (validate-then-invalidate races commit on top of each other).
+
+The model self-checks continuously (double alloc, double free, kill of
+a dead slot) and at quiescence (partition invariant + sequential
+replay of the commit log), reporting :class:`Violation` instead of
+raising so the explorer can attach the schedule trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+VARIANTS = ("arenas", "shared-alloc", "no-epoch-bump", "no-locks")
+
+_CHUNK = 4  # fresh slots claimed per arena refill (small: forces reuse)
+
+
+@dataclass
+class Violation:
+    """A detected protocol failure."""
+
+    kind: str          # "double-alloc" | "double-free" | "lost-update" |
+    #                    "partition" | "replay" | "deadlock" | "livelock"
+    detail: str
+    step: int          # global step index at detection time
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"[step {self.step}] {self.kind}: {self.detail}"
+
+
+class _Slot:
+    __slots__ = ("arc", "epoch")
+
+    def __init__(self) -> None:
+        self.arc: Optional[Tuple[int, int]] = None  # None = dead row
+        self.epoch = -1  # first allocation bumps to 0, like the mesh
+
+
+class _Arena:
+    __slots__ = ("free", "cursor", "end")
+
+    def __init__(self) -> None:
+        self.free: List[int] = []
+        self.cursor = 0
+        self.end = 0
+
+
+class ProtocolModel:
+    """Shared state + invariant checking for one scheduled run."""
+
+    def __init__(self, n_pos: int = 12, n_threads: int = 2,
+                 variant: str = "arenas",
+                 initial_sites: Tuple[int, ...] = (0, 4, 8)) -> None:
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}")
+        self.n_pos = n_pos
+        self.variant = variant
+        self.slots: List[_Slot] = [_Slot() for _ in range(64)]
+        self.top = 0                      # shared fresh-slot tail
+        self.shared_free: List[int] = []  # shared slot free list
+        self.locks: Dict[int, int] = {}   # site -> owning thread
+        self.site_alive = [False] * n_pos
+        self.arenas = [_Arena() for _ in range(n_threads)]
+        self.violations: List[Violation] = []
+        self.step = 0                     # advanced by the scheduler
+        self.commit_log: List[dict] = []
+        # (slot, epoch) -> committed creation; kills must hit live pairs
+        self._live_pairs: Dict[int, int] = {}
+        self.initial_cells: List[Tuple[int, int]] = []
+        for s in initial_sites:
+            self.site_alive[s] = True
+        sites = sorted(initial_sites)
+        for i, a in enumerate(sites):
+            b = sites[(i + 1) % len(sites)]
+            t = self._bootstrap_slot()
+            self.slots[t].arc = (a, b)
+            self.slots[t].epoch = 0
+            self._live_pairs[t] = 0
+            self.initial_cells.append((a, b))
+
+    # -- bootstrap ------------------------------------------------------
+    def _bootstrap_slot(self) -> int:
+        t = self.top
+        self.top = t + 1
+        return t
+
+    # -- invariant hooks ------------------------------------------------
+    def _flag(self, kind: str, detail: str) -> None:
+        self.violations.append(Violation(kind, detail, self.step))
+
+    def note_alloc(self, t: int, tid: int) -> None:
+        if self.slots[t].arc is not None:
+            self._flag("double-alloc",
+                       f"thread {tid} allocated live slot {t} "
+                       f"(arc {self.slots[t].arc})")
+
+    def note_free_slot(self, t: int, tid: int) -> None:
+        on_free = t in self.shared_free or any(
+            t in a.free for a in self.arenas)
+        if on_free:
+            self._flag("double-free",
+                       f"thread {tid} freed slot {t} twice")
+
+    def note_kill(self, t: int, expected_arc: Tuple[int, int],
+                  tid: int) -> None:
+        slot = self.slots[t]
+        if slot.arc is None:
+            self._flag("lost-update",
+                       f"thread {tid} killed already-dead slot {t}")
+        elif slot.arc != expected_arc:
+            self._flag("lost-update",
+                       f"thread {tid} killed slot {t} holding "
+                       f"{slot.arc}, expected {expected_arc}")
+
+    def note_free_site(self, s: int, tid: int) -> None:
+        if not self.site_alive[s]:
+            self._flag("double-free",
+                       f"thread {tid} freed dead site {s}")
+
+    # -- final checks ---------------------------------------------------
+    def live_cells(self) -> List[Tuple[int, int]]:
+        return sorted(s.arc for s in self.slots if s.arc is not None)
+
+    def check_quiescent(self) -> None:
+        """Partition + replay invariants; call when no op is in flight."""
+        cells = self.live_cells()
+        sites = sorted(p for p in range(self.n_pos) if self.site_alive[p])
+        lefts = sorted(c[0] for c in cells)
+        rights = sorted(c[1] for c in cells)
+        if not (lefts == sites and rights == sites):
+            self._flag("partition",
+                       f"cells {cells} do not partition ring over "
+                       f"sites {sites}")
+        # Sequential replay of the commit log must reproduce the final
+        # cell multiset: any lost update diverges here even if the
+        # structural check above happens to pass.
+        state = sorted(self.initial_cells)
+        for rec in self.commit_log:
+            for arc in rec["killed"]:
+                if arc in state:
+                    state.remove(arc)
+                else:
+                    self._flag("replay",
+                               f"op {rec['op']} killed {arc} absent from "
+                               f"sequential replay state")
+            state.extend(rec["created"])
+        if sorted(state) != cells:
+            self._flag("replay",
+                       f"replay produced {sorted(state)}, live cells are "
+                       f"{cells}")
+
+    # -- allocation (the tentpole under test) ---------------------------
+    def alloc_slot(self, tid: int) -> Iterator[Tuple[str, Optional[int]]]:
+        """Allocate one slot; yields steps, final yield carries the id.
+
+        Generator protocol: every yielded item is ``(label, None)``
+        except the last, which is ``("alloced", t)``.
+        """
+        if self.variant == "shared-alloc":
+            # Buggy: shared structures without the commit lock.  The
+            # read and the write of the pop are separate steps, so two
+            # threads can pop the same slot / claim the same tail id.
+            if self.shared_free:
+                t = self.shared_free[-1]     # read
+                yield ("alloc-read", None)
+                if self.shared_free and self.shared_free[-1] == t:
+                    self.shared_free.pop()   # write, possibly stale
+            else:
+                t = self.top                 # read
+                yield ("alloc-read", None)
+                self.top = t + 1             # write, possibly stale
+                self._ensure_capacity(t)
+            self.note_alloc(t, tid)
+            yield ("alloced", t)
+            return
+        arena = self.arenas[tid]
+        if arena.free:
+            t = arena.free.pop()
+        else:
+            if arena.cursor >= arena.end:
+                # Chunk refill: one atomic bump under the allocator
+                # lock (single step — the short lock is kept).
+                yield ("chunk-claim", None)
+                arena.cursor = self.top
+                self.top = arena.end = self.top + _CHUNK
+                self._ensure_capacity(arena.end)
+            t = arena.cursor
+            arena.cursor += 1
+        self.note_alloc(t, tid)
+        yield ("alloced", t)
+
+    def _ensure_capacity(self, need: int) -> None:
+        while need >= len(self.slots):
+            self.slots.extend(_Slot() for _ in range(len(self.slots)))
+
+    def free_slot(self, t: int, tid: int) -> None:
+        self.note_free_slot(t, tid)
+        if self.variant == "shared-alloc":
+            self.shared_free.append(t)
+        else:
+            self.arenas[tid].free.append(t)
+
+    def write_slot(self, t: int, arc: Tuple[int, int], tid: int) -> None:
+        slot = self.slots[t]
+        if self.variant != "no-epoch-bump":
+            slot.epoch += 1
+        slot.arc = arc
+        self._live_pairs[t] = slot.epoch
+
+    def kill_slot(self, t: int, expected_arc: Tuple[int, int],
+                  tid: int) -> None:
+        self.note_kill(t, expected_arc, tid)
+        self.slots[t].arc = None
+        self._live_pairs.pop(t, None)
+
+    # -- locks ----------------------------------------------------------
+    def try_lock(self, site: int, tid: int) -> bool:
+        owner = self.locks.setdefault(site, tid)
+        return owner == tid
+
+    def release_locks(self, held: List[int], tid: int) -> None:
+        for site in held:
+            if self.locks.get(site) == tid:
+                del self.locks[site]
+        held.clear()
+
+
+# ----------------------------------------------------------------------
+# operations as yield-point state machines
+# ----------------------------------------------------------------------
+class OpOutcome:
+    """Mutable result cell shared between an op generator and its driver."""
+
+    __slots__ = ("status",)
+
+    def __init__(self) -> None:
+        self.status = "pending"  # -> "committed" | "rollback" | "noop"
+
+
+def _scan_arc_containing(model: ProtocolModel, p: int):
+    """Optimistic scan: the live arc whose half-open span contains ``p``."""
+    n = model.n_pos
+    for t in range(model.top):
+        arc = model.slots[t].arc
+        if arc is None:
+            continue
+        a, b = arc
+        span = (b - a) % n or n
+        if (p - a) % n < span and p != a:
+            return t, arc, model.slots[t].epoch
+    return None
+
+
+def insert_op(model: ProtocolModel, tid: int, p: int,
+              out: OpOutcome) -> Iterator[str]:
+    """Two-phase insert of site ``p``; yields a label per atomic step."""
+    held: List[int] = []
+    try:
+        # ---- optimistic read (no locks); the "read" step completes
+        # with the (slot, epoch) pair recorded ----
+        if model.site_alive[p]:
+            out.status = "noop"  # duplicate site: nothing to do
+            return
+        found = _scan_arc_containing(model, p)
+        if found is None:
+            out.status = "rollback"
+            return
+        t0, (a, b), e0 = found
+        yield "read"
+        # ---- lock phase (p itself is NOT locked, like vnew) ----
+        if model.variant != "no-locks":
+            for site in (a, b):
+                yield "lock"
+                if not model.try_lock(site, tid):
+                    out.status = "rollback"
+                    return
+                held.append(site)
+        yield "locked"
+        # ---- validate (epoch + liveness, like the real kernel: the
+        # row content is NOT re-read — the epoch is the ABA guard) ----
+        slot = model.slots[t0]
+        if slot.epoch != e0 or slot.arc is None or model.site_alive[p]:
+            out.status = "rollback"
+            return
+        yield "validated"
+        # ---- allocate (arena fast path / shared-alloc bug) ----
+        new_ids = []
+        for _ in range(2):
+            alloc = model.alloc_slot(tid)
+            for label, value in alloc:
+                if label == "alloced":
+                    new_ids.append(value)
+                else:
+                    yield label
+        yield "alloced"
+        # ---- commit: epoch-bump + row writes, then the kill ----
+        model.site_alive[p] = True
+        yield "site-live"
+        model.write_slot(new_ids[0], (a, p), tid)
+        yield "write"
+        model.write_slot(new_ids[1], (p, b), tid)
+        yield "write"
+        model.kill_slot(t0, (a, b), tid)
+        yield "kill"
+        model.free_slot(t0, tid)
+        yield "freed"
+        model.commit_log.append({
+            "op": f"t{tid}:insert({p})",
+            "killed": [(a, b)],
+            "created": [(a, p), (p, b)],
+        })
+        out.status = "committed"
+    finally:
+        model.release_locks(held, tid)
+
+
+def remove_op(model: ProtocolModel, tid: int, s: int,
+              out: OpOutcome) -> Iterator[str]:
+    """Two-phase removal of site ``s``; merges its two arcs."""
+    held: List[int] = []
+    try:
+        if not model.site_alive[s] or sum(model.site_alive) <= 1:
+            out.status = "noop"
+            return
+        left = right = None
+        for t in range(model.top):
+            arc = model.slots[t].arc
+            if arc is None:
+                continue
+            if arc[1] == s:
+                left = (t, arc, model.slots[t].epoch)
+            elif arc[0] == s:
+                right = (t, arc, model.slots[t].epoch)
+        if left is None or right is None:
+            out.status = "rollback"
+            return
+        tl, (a, _), el = left
+        tr, (_, b), er = right
+        if a == s or b == s:
+            out.status = "noop"  # last sites standing; keep >= 2 alive
+            return
+        yield "read"
+        if model.variant != "no-locks":
+            for site in (a, s, b):
+                yield "lock"
+                if not model.try_lock(site, tid):
+                    out.status = "rollback"
+                    return
+                held.append(site)
+        yield "locked"
+        sl, sr = model.slots[tl], model.slots[tr]
+        if (sl.epoch != el or sl.arc is None
+                or sr.epoch != er or sr.arc is None
+                or not model.site_alive[s]):
+            out.status = "rollback"
+            return
+        yield "validated"
+        alloc = model.alloc_slot(tid)
+        new_id = None
+        for label, value in alloc:
+            if label == "alloced":
+                new_id = value
+            else:
+                yield label
+        yield "alloced"
+        model.write_slot(new_id, (a, b), tid)
+        yield "write"
+        model.kill_slot(tl, (a, s), tid)
+        yield "kill"
+        model.free_slot(tl, tid)
+        yield "freed"
+        model.kill_slot(tr, (s, b), tid)
+        yield "kill"
+        model.free_slot(tr, tid)
+        yield "freed"
+        model.note_free_site(s, tid)
+        model.site_alive[s] = False
+        yield "site-dead"
+        model.commit_log.append({
+            "op": f"t{tid}:remove({s})",
+            "killed": [(a, s), (s, b)],
+            "created": [(a, b)],
+        })
+        out.status = "committed"
+    finally:
+        model.release_locks(held, tid)
+
+
+def make_op(model: ProtocolModel, tid: int, kind: str, arg: int,
+            out: OpOutcome) -> Iterator[str]:
+    if kind == "insert":
+        return insert_op(model, tid, arg, out)
+    if kind == "remove":
+        return remove_op(model, tid, arg, out)
+    raise ValueError(f"unknown op kind {kind!r}")

@@ -85,12 +85,19 @@ class RollbackSignal(Exception):
     """Raised by a touch callback to abort an operation without side effects.
 
     Carries the id of the thread that owns the contended vertex so the
-    contention manager can record the dependency (``conflicting_id``).
+    contention manager can record the dependency (``conflicting_id``),
+    plus a ``reason`` tag distinguishing lock contention from
+    optimistic-read aborts and post-lock validation failures.  Raisers
+    chain the underlying exception (``raise ... from exc``) so an
+    ``IndexError`` from a torn optimistic read keeps its provenance in
+    tracebacks instead of being masked.
     """
 
-    def __init__(self, owner: int = -1):
-        super().__init__(f"rollback: vertex owned by thread {owner}")
+    def __init__(self, owner: int = -1, reason: str = "contention"):
+        super().__init__(
+            f"rollback ({reason}): vertex owned by thread {owner}")
         self.owner = owner
+        self.reason = reason
 
 
 class PointLocationError(Exception):
@@ -124,13 +131,16 @@ class KernelCounters:
         "accel_inserts", "accel_retries",
         "accel_batch_calls", "accel_batch_inserts",
         "accel_removals", "accel_remove_retries",
-        "commits", "commit_seconds",
+        "commits", "commit_wait_seconds", "commit_work_seconds",
+        "rollbacks_optimistic", "rollbacks_contention",
+        "rollbacks_validation",
     )
 
     def __init__(self) -> None:
         for name in self.__slots__:
             setattr(self, name, 0)
-        self.commit_seconds = 0.0
+        self.commit_wait_seconds = 0.0
+        self.commit_work_seconds = 0.0
 
     def snapshot(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -140,8 +150,17 @@ class KernelCounters:
         return self.walk_steps / self.locate_calls if self.locate_calls else 0.0
 
     @property
+    def commit_seconds(self) -> float:
+        """Total commit time (wait + work); kept for back-compat."""
+        return self.commit_wait_seconds + self.commit_work_seconds
+
+    @property
     def mean_commit_seconds(self) -> float:
-        return self.commit_seconds / self.commits if self.commits else 0.0
+        return self.commit_work_seconds / self.commits if self.commits else 0.0
+
+    @property
+    def mean_commit_wait_seconds(self) -> float:
+        return self.commit_wait_seconds / self.commits if self.commits else 0.0
 
 
 class Triangulation3D:
@@ -811,8 +830,11 @@ class Triangulation3D:
             genout = gen + 1
             e0 = epoch[t0]  # epoch before row: recycling bumps the epoch
             v0 = tva[t0].tolist()
-            if v0[0] < 0:
-                raise RollbackSignal(owner=-1)
+            # Reject any negative id, not just a dead row: rows are
+            # written front to back, so a torn read of a slot being
+            # populated always shows a -1 suffix.
+            if v0[0] < 0 or v0[1] < 0 or v0[2] < 0 or v0[3] < 0:
+                raise RollbackSignal(owner=-1, reason="optimistic-read")
             tested = [(t0, e0)]
             vlist = list(v0)
             vseen = set(v0)
@@ -841,8 +863,10 @@ class Triangulation3D:
                         continue
                     e = epoch[nbr]
                     nverts = tva[nbr].tolist()
-                    if nverts[0] < 0:
-                        raise RollbackSignal(owner=-1)
+                    if (nverts[0] < 0 or nverts[1] < 0
+                            or nverts[2] < 0 or nverts[3] < 0):
+                        raise RollbackSignal(owner=-1,
+                                             reason="optimistic-read")
                     tested.append((nbr, e))
                     for w in nverts:
                         if w not in vseen:
@@ -858,8 +882,10 @@ class Triangulation3D:
                         tag[nbr] = genout
                         boundary.append((t, i))
             return cavity, boundary, vlist, tested
-        except (IndexError, PointLocationError):
-            raise RollbackSignal(owner=-1) from None
+        except (IndexError, PointLocationError) as exc:
+            # Chain the cause: a torn read surfacing as IndexError keeps
+            # its provenance instead of being masked by ``from None``.
+            raise RollbackSignal(owner=-1, reason="optimistic-read") from exc
 
     def _insert_point_two_phase(self, p: Sequence[float],
                                 hint: Optional[int], touch: TouchFn
@@ -873,68 +899,146 @@ class Triangulation3D:
         Phase 2 re-validates the recorded ``(tet, epoch)`` pairs — any
         concurrent conflicting operation must have locked at least three
         of the vertices we now hold, so a successful validation cannot
-        go stale — and commits under the triangulation's commit lock,
-        through the C kernel when available (the pre-validated cavity
-        makes the commit a straight-line array transform), falling back
-        to the Python commit on an inconclusive filter.
+        go stale — and commits, through the C kernel when available (the
+        pre-validated cavity makes the commit a straight-line array
+        transform), falling back to the Python commit on an inconclusive
+        filter.
+
+        With a per-thread allocation arena installed (threaded driver),
+        commits from threads holding disjoint lock sets run concurrently:
+        slot allocation is arena-private and the only shared section is
+        the resize gate's reader entry.  Without an arena (direct
+        two-phase callers), the commit serializes on ``_commit_lock`` as
+        before.
         """
-        cavity, boundary, vlist, tested = \
-            self._compute_cavity_optimistic(p, hint)
-        for v in vlist:
-            touch(v)
+        counters = self.counters
+        try:
+            cavity, boundary, vlist, tested = \
+                self._compute_cavity_optimistic(p, hint)
+        except RollbackSignal:
+            counters.rollbacks_optimistic += 1
+            raise
+        try:
+            for v in vlist:
+                touch(v)
+        except RollbackSignal:
+            counters.rollbacks_contention += 1
+            raise
         mesh = self.mesh
         tva = mesh.tet_verts_arr
         epoch = mesh.tet_epoch
         for t, e in tested:
             if tva[t, 0] < 0 or epoch[t] != e:
-                raise RollbackSignal(owner=-1)
+                counters.rollbacks_validation += 1
+                raise RollbackSignal(owner=-1, reason="validation")
         if cavity is None:
             # Validated under locks: the duplicate was genuine.
             raise InsertionError(
                 f"point {tuple(p)} duplicates an existing vertex"
             )
-        counters = self.counters
         counters.cavity_calls += 1
         counters.cavity_tets += len(cavity)
+        arena = mesh.current_alloc_arena()
         t0 = time.perf_counter()
-        with self._commit_lock:
-            result = None
-            if _accel.bw_commit is not None:
-                result = self._commit_insertion_c(p, cavity, boundary)
-            if result is None:
-                result = self._commit_insertion(p, cavity, boundary)
+        if arena is None:
+            with self._commit_lock:
+                t1 = time.perf_counter()
+                result = None
+                if _accel.bw_commit is not None:
+                    result = self._commit_insertion_c(p, cavity, boundary)
+                if result is None:
+                    result = self._commit_insertion(p, cavity, boundary)
+        else:
+            # Capacity first (chunk refills may grow arrays, which takes
+            # the gate exclusively), then enter the gate shared and
+            # commit concurrently with other arena-backed threads.
+            mesh.ensure_arena_capacity(arena, n_tets=len(boundary),
+                                       n_verts=1)
+            gate = mesh.resize_gate
+            gate.acquire_shared()
+            t1 = time.perf_counter()
+            try:
+                result = None
+                if _accel.bw_commit is not None:
+                    result = self._commit_insertion_c(p, cavity, boundary,
+                                                      arena)
+                if result is None:
+                    result = self._commit_insertion(p, cavity, boundary)
+            finally:
+                gate.release_shared()
         counters.commits += 1
-        counters.commit_seconds += time.perf_counter() - t0
+        counters.commit_wait_seconds += t1 - t0
+        counters.commit_work_seconds += time.perf_counter() - t1
         return result
 
     def _commit_insertion_c(self, p: Sequence[float], cavity: List[int],
-                            boundary: List[Tuple[int, int]]
+                            boundary: List[Tuple[int, int]],
+                            arena=None
                             ) -> Optional[Tuple[int, List[int], List[int]]]:
         """Commit a pre-validated cavity through the C kernel.
 
-        Caller holds ``_commit_lock`` and every vertex lock of the
-        cavity's closure.  Returns ``None`` on an inconclusive
-        orientation filter (caller falls back to the Python commit,
-        still under the same locks — no lock is dropped across the
-        retry).  Uses per-thread scratch so concurrent speculative
-        threads never share buffers.
+        Caller holds every vertex lock of the cavity's closure, plus
+        either ``_commit_lock`` (no arena: commits serialized) or a
+        shared hold on the resize gate with ``arena`` installed (slot
+        allocation arena-private, commits concurrent).  Returns ``None``
+        on an inconclusive orientation filter (caller falls back to the
+        Python commit, still under the same locks — no lock is dropped
+        across the retry).  Uses per-thread scratch so concurrent
+        speculative threads never share buffers.
+
+        Arena-mode ordering, load-bearing for lock-free readers: the
+        new vertex's coordinates are published *before* the C kernel
+        writes any row naming it, and the epoch of every slot the kernel
+        may populate is bumped *before* the row write — so an optimistic
+        reader either never sees the new rows or fails validation.
         """
         mesh = self.mesh
         tls = self._tls
         acc = getattr(tls, "acc", None)
         if acc is None:
             acc = tls.acc = _accel.AccelScratch()
-        free_t = mesh._free_tets
-        free_v = mesh._free_verts
-        vnew = free_v[-1] if free_v else len(mesh.points)
-        gen = next(self._cav_gen)
-        tail = mesh.tet_top
         px = float(p[0])
         py = float(p[1])
         pz = float(p[2])
+        nb = len(boundary)
+        epoch = mesh.tet_epoch
+        if arena is None:
+            free_t = mesh._free_tets
+            free_v = mesh._free_verts
+            vnew = free_v[-1] if free_v else len(mesh.points)
+            tail = mesh.tet_top
+            cap = None
+        else:
+            free_t = arena.free_tets
+            free_v = arena.free_verts
+            vnew = arena.peek_vertex_id()
+            tail = arena.tet_cursor
+            cap = arena.tet_chunk_end
+            # Publish the new vertex's geometry before any row can name
+            # it (the slot already exists: free-list entry or chunk
+            # slot below len(points)).
+            pt = (px, py, pz)
+            c = mesh.coords[vnew]
+            c[0] = px
+            c[1] = py
+            c[2] = pz
+            mesh.points[vnew] = pt
+            # Pre-bump the epoch of every slot the kernel may write:
+            # the free-list window it pops from, and the fresh chunk
+            # range.  Extra bumps on slots it ends up not consuming are
+            # harmless (dead slots; any later allocation bumps again).
+            n_win = len(free_t)
+            if n_win > _accel._FREE_CAP:
+                n_win = _accel._FREE_CAP
+            for t in free_t[len(free_t) - n_win:]:
+                epoch[t] += 1
+            for t in range(tail, tail + nb):
+                epoch[t] += 1
+        gen = next(self._cav_gen)
         codes = [t * 4 + i for t, i in boundary]
         status = acc.commit(mesh, px, py, pz, gen, vnew, len(free_t),
-                            cavity, codes)
+                            cavity, codes, tail=tail, cap=cap,
+                            free_list=free_t)
         counters = self.counters
         stats = STATS
         out = acc.out_i
@@ -954,20 +1058,22 @@ class Triangulation3D:
             )
         counters.accel_inserts += 1
         ncav = len(cavity)
-        nb = len(boundary)
         consumed = int(out[0])
         new_tets = acc.newt[:nb].tolist()
         rows = mesh.tet_verts_arr[acc.newt[:nb]].tolist()
         mesh.add_vertex((px, py, pz))  # allocates exactly vnew
         if consumed:
             del free_t[-consumed:]
-        epoch = mesh.tet_epoch
         ccs = mesh.tet_cc
         v2t = mesh.v2t
         for j in range(nb):
             t = new_tets[j]
             row = rows[j]
-            if t < tail:  # recycled slot
+            if arena is not None:
+                # Epochs were pre-bumped; every slot (window pop or
+                # chunk slot) already has an epoch/cc entry.
+                ccs[t] = None
+            elif t < tail:  # recycled slot
                 epoch[t] += 1
                 ccs[t] = None
             else:
@@ -977,9 +1083,14 @@ class Triangulation3D:
             v2t[row[1]] = t
             v2t[row[2]] = t
             v2t[row[3]] = t
-        mesh.tet_top = tail + int(out[1])
-        free_t.extend(cavity)
-        mesh.n_live_tets += nb - ncav
+        if arena is None:
+            mesh.tet_top = tail + int(out[1])
+            free_t.extend(cavity)
+            mesh.n_live_tets += nb - ncav
+        else:
+            arena.tet_cursor = tail + int(out[1])
+            free_t.extend(cavity)
+            arena.live_delta += nb - ncav
         self._vgrid[self._grid_key(px, py, pz)] = vnew
         if len(mesh.points) > self._vgrid_cap:
             self._regrid()
@@ -1361,14 +1472,23 @@ class Triangulation3D:
         boundary_faces = set(hole_faces.keys())
 
         # ---- commit ----
-        # Under speculative execution the mutation burst must not
-        # interleave with a two-phase insertion commit: concurrent
-        # operations are disjoint by the lock protocol, but the shared
-        # free lists and epoch lists are not safe to mutate from two
-        # threads at once.
-        commit_lock = self._commit_lock if touch is not None else None
-        if commit_lock is not None:
-            commit_lock.acquire()
+        # Under speculative execution the mutation burst must not race
+        # array growth (and, without a per-thread arena, must not
+        # interleave with another commit at all: the shared free lists
+        # and epoch lists are not safe to mutate from two threads at
+        # once).  With an arena installed, allocation is thread-private
+        # and a shared hold on the resize gate suffices.
+        commit_lock = None
+        gate = None
+        if touch is not None:
+            arena = mesh.current_alloc_arena()
+            if arena is not None:
+                mesh.ensure_arena_capacity(arena, n_tets=len(fill))
+                gate = mesh.resize_gate
+                gate.acquire_shared()
+            else:
+                commit_lock = self._commit_lock
+                commit_lock.acquire()
         try:
             # Resolve each boundary face's outside neighbor *and* the
             # slot in that neighbor pointing back into the ball before
@@ -1385,7 +1505,9 @@ class Triangulation3D:
             mesh.kill_vertex(v)
             gkey = self._grid_key(p[0], p[1], p[2])
             if self._vgrid.get(gkey) == v:
-                del self._vgrid[gkey]
+                # The grid is an advisory hint shared without a lock;
+                # a concurrent regrid may have dropped the key already.
+                self._vgrid.pop(gkey, None)
 
             new_tets: List[int] = []
             face_map: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
@@ -1419,6 +1541,8 @@ class Triangulation3D:
                 for w in tva[nt].tolist():
                     v2t[w] = nt
         finally:
+            if gate is not None:
+                gate.release_shared()
             if commit_lock is not None:
                 commit_lock.release()
         return new_tets, ball

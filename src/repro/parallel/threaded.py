@@ -178,8 +178,15 @@ def _parallel_mesh_image(
 
     errors: List[BaseException] = []
 
+    # Per-thread allocation arenas: each worker allocates/recycles mesh
+    # slots from a private slice, so validated commits from threads with
+    # disjoint lock sets proceed concurrently instead of serializing on
+    # the old global commit lock.
+    arenas = mesh.begin_thread_arenas(n_threads)
+
     def guarded_worker(ctx):
         try:
+            mesh.adopt_alloc_arena(arenas[ctx.thread_id])
             refinement_worker(ctx, env)
         except BaseException as exc:  # noqa: BLE001 - re-raised by driver
             errors.append(exc)
@@ -198,17 +205,24 @@ def _parallel_mesh_image(
     for th in threads:
         th.start()
     deadline = None if timeout is None else t0 + timeout
-    for th in threads:
-        remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
-        th.join(remaining)
-        if th.is_alive():
-            shared.done = True
-            for th2 in threads:
-                th2.join(5.0)
-            raise TimeoutError(
-                f"parallel refinement exceeded {timeout}s "
-                f"({mesh.n_live_tets} tets so far)"
-            )
+    try:
+        for th in threads:
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.perf_counter()))
+            th.join(remaining)
+            if th.is_alive():
+                shared.done = True
+                for th2 in threads:
+                    th2.join(5.0)
+                raise TimeoutError(
+                    f"parallel refinement exceeded {timeout}s "
+                    f"({mesh.n_live_tets} tets so far)"
+                )
+    finally:
+        # Merge even on timeout/crash: the mesh must be left in the
+        # canonical single-owner state (free lists whole, tail trimmed)
+        # for extraction or post-mortem inspection.
+        mesh.end_thread_arenas(arenas)
     wall = time.perf_counter() - t0
     if errors:
         raise RuntimeError(

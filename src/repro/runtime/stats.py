@@ -122,6 +122,9 @@ def publish_kernel_stats(registry: "MetricsRegistry", counters,
     registry.gauge("kernel.mean_commit_seconds").set(
         counters.mean_commit_seconds
     )
+    registry.gauge("kernel.mean_commit_wait_seconds").set(
+        counters.mean_commit_wait_seconds
+    )
     for name, value in predicate_delta.items():
         registry.gauge(f"kernel.predicates.{name}").set(value)
     decisions = (predicate_delta.get("orient3d_calls", 0)
@@ -165,7 +168,12 @@ def kernel_report(counters, predicate_delta: Dict[str, int]) -> str:
         f"accelerated removals    {counters.accel_removals:>10}"
         f"  (retries {counters.accel_remove_retries})",
         f"two-phase commits       {counters.commits:>10}"
-        f"  (mean {counters.mean_commit_seconds * 1e6:.1f} us)",
+        f"  (work {counters.mean_commit_seconds * 1e6:.1f} us"
+        f", wait {counters.mean_commit_wait_seconds * 1e6:.1f} us)",
+        f"  rollbacks             "
+        f"optimistic {counters.rollbacks_optimistic}"
+        f"  contention {counters.rollbacks_contention}"
+        f"  validation {counters.rollbacks_validation}",
         f"predicate decisions     {decisions:>10}",
         f"  orient3d/insphere     {o_calls:>6}/{i_calls}"
         f"  cc-entry {cc}  batch {batch}",
